@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! Baseline systems the paper compares Eunomia against, built on the same
+//! substrate (`eunomia-kv` storage, `eunomia-sim` network, the cost model
+//! and metrics of `eunomia-geo`) — mirroring the paper's methodology,
+//! where GentleRain and Cure "are implemented using the codebase of
+//! EunomiaKV" (§7.2).
+//!
+//! * [`gs`] — **GentleRain** (scalar global stable time, Du et al.,
+//!   SoCC '14) and **Cure** (vector global stable vector, Akkoorath et
+//!   al., ICDCS '16): sequencer-free designs that make remote updates
+//!   visible through a background *global* (cross-datacenter)
+//!   stabilization procedure.
+//! * [`seq`] — **S-Seq** (a synchronous sequencer per datacenter in the
+//!   client critical path, as in SwiftCloud/ChainReaction) and **A-Seq**
+//!   (the paper's bogus asynchronous variant that does the same work off
+//!   the critical path but fails to capture causality; §2).
+//!
+//! All four run under the shared [`eunomia_geo::ClusterConfig`] and report
+//! through [`eunomia_geo::harness::RunReport`], so every figure harness
+//! compares like with like.
+
+pub mod gs;
+pub mod msg;
+pub mod seq;
+
+use eunomia_geo::harness::RunReport;
+use eunomia_geo::ClusterConfig;
+
+/// The four baseline systems.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineKind {
+    /// Global stabilization with a single scalar (favours throughput).
+    GentleRain,
+    /// Global stabilization with a vector clock (favours visibility).
+    Cure,
+    /// Synchronous sequencer per datacenter (in the client critical path).
+    SSeq,
+    /// Asynchronous (bogus) sequencer variant: same work, off the critical
+    /// path, no causality.
+    ASeq,
+}
+
+/// Label used in reports and harness output.
+pub fn label(kind: BaselineKind) -> &'static str {
+    match kind {
+        BaselineKind::GentleRain => "GentleRain",
+        BaselineKind::Cure => "Cure",
+        BaselineKind::SSeq => "S-Seq",
+        BaselineKind::ASeq => "A-Seq",
+    }
+}
+
+/// Builds, runs and reports a baseline system under `cfg`.
+pub fn run_baseline(kind: BaselineKind, cfg: ClusterConfig) -> RunReport {
+    match kind {
+        BaselineKind::GentleRain => gs::run(gs::StabilizationMode::Scalar, cfg),
+        BaselineKind::Cure => gs::run(gs::StabilizationMode::Vector, cfg),
+        BaselineKind::SSeq => seq::run(seq::SeqMode::Synchronous, cfg),
+        BaselineKind::ASeq => seq::run(seq::SeqMode::Asynchronous, cfg),
+    }
+}

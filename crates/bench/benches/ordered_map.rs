@@ -1,0 +1,112 @@
+//! Criterion bench — the §6 data-structure choice for the stabilization
+//! buffer: red-black tree (the paper's pick) vs AVL tree (the alternative
+//! it rejected) vs `std` B-tree.
+//!
+//! Three access patterns matter to Eunomia:
+//! * pure ordered insertion (ingest bursts);
+//! * the steady-state stabilization mix — insert a batch, then drain
+//!   everything below the new stable time in order;
+//! * full in-order drain (catch-up after a stall).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eunomia_collections::{AvlTree, BTreeAdapter, OrderedMap, RbTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Duration;
+
+const N: usize = 8_192;
+
+fn keys(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random::<u64>()).collect()
+}
+
+fn bench_insert<M: OrderedMap<u64, u64>>(keys: &[u64]) -> usize {
+    let mut m = M::new();
+    for &k in keys {
+        m.insert(k, k);
+    }
+    m.len()
+}
+
+/// The PROCESS_STABLE steady state: batches arrive, the oldest quarter of
+/// the key range is drained in order.
+fn bench_stabilization<M: OrderedMap<u64, u64>>(keys: &[u64]) -> usize {
+    let mut m = M::new();
+    let mut out = Vec::new();
+    let mut drained = 0;
+    for chunk in keys.chunks(64) {
+        for &k in chunk {
+            m.insert(k, k);
+        }
+        if let Some(&min) = m.min_key() {
+            let bound = min.saturating_add(u64::MAX / 4);
+            out.clear();
+            m.drain_up_to(&bound, &mut out);
+            drained += out.len();
+        }
+    }
+    drained
+}
+
+fn bench_drain<M: OrderedMap<u64, u64>>(keys: &[u64]) -> u64 {
+    let mut m = M::new();
+    for &k in keys {
+        m.insert(k, k);
+    }
+    let mut acc = 0u64;
+    while let Some((k, _)) = m.pop_min() {
+        acc = acc.wrapping_add(k);
+    }
+    acc
+}
+
+fn ordered_map_benches(c: &mut Criterion) {
+    let ks = keys(7, N);
+    let mut g = c.benchmark_group("ordered_map/insert_random");
+    g.bench_function(BenchmarkId::from_parameter("rbtree"), |b| {
+        b.iter(|| bench_insert::<RbTree<u64, u64>>(black_box(&ks)))
+    });
+    g.bench_function(BenchmarkId::from_parameter("avl"), |b| {
+        b.iter(|| bench_insert::<AvlTree<u64, u64>>(black_box(&ks)))
+    });
+    g.bench_function(BenchmarkId::from_parameter("btreemap"), |b| {
+        b.iter(|| bench_insert::<BTreeAdapter<u64, u64>>(black_box(&ks)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("ordered_map/stabilization_mix");
+    g.bench_function(BenchmarkId::from_parameter("rbtree"), |b| {
+        b.iter(|| bench_stabilization::<RbTree<u64, u64>>(black_box(&ks)))
+    });
+    g.bench_function(BenchmarkId::from_parameter("avl"), |b| {
+        b.iter(|| bench_stabilization::<AvlTree<u64, u64>>(black_box(&ks)))
+    });
+    g.bench_function(BenchmarkId::from_parameter("btreemap"), |b| {
+        b.iter(|| bench_stabilization::<BTreeAdapter<u64, u64>>(black_box(&ks)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("ordered_map/full_drain");
+    g.bench_function(BenchmarkId::from_parameter("rbtree"), |b| {
+        b.iter(|| bench_drain::<RbTree<u64, u64>>(black_box(&ks)))
+    });
+    g.bench_function(BenchmarkId::from_parameter("avl"), |b| {
+        b.iter(|| bench_drain::<AvlTree<u64, u64>>(black_box(&ks)))
+    });
+    g.bench_function(BenchmarkId::from_parameter("btreemap"), |b| {
+        b.iter(|| bench_drain::<BTreeAdapter<u64, u64>>(black_box(&ks)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(20);
+    targets = ordered_map_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Criterion bench — micro-operations on the protocol hot paths: clock
+//! ticks, vector merges, Eunomia ingest/stabilize cycles, replica
+//! deduplication, sequencer counter, sender window maintenance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eunomia_core::batch::Batcher;
+use eunomia_core::eunomia::EunomiaState;
+use eunomia_core::ids::{PartitionId, ReplicaId};
+use eunomia_core::replica::{ReplicaState, ReplicatedSender};
+use eunomia_core::sequencer::Sequencer;
+use eunomia_core::time::{Hlc, HlcTimestamp, ScalarHlc, Timestamp, VectorTime};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn clock_benches(c: &mut Criterion) {
+    c.bench_function("clock/scalar_hlc_tick", |b| {
+        let mut clock = ScalarHlc::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 3;
+            black_box(clock.tick(Timestamp(t), Timestamp(t / 2)))
+        })
+    });
+    c.bench_function("clock/structured_hlc_update", |b| {
+        let mut hlc = Hlc::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 3;
+            black_box(hlc.update(t, HlcTimestamp { l: t + 1, c: 2 }))
+        })
+    });
+    c.bench_function("clock/vector_merge_and_dominates_m3", |b| {
+        let mut a = VectorTime::from_ticks(&[10, 20, 30]);
+        let v = VectorTime::from_ticks(&[15, 18, 33]);
+        b.iter(|| {
+            a.merge_max(black_box(&v));
+            black_box(a.dominates(&v))
+        })
+    });
+}
+
+fn eunomia_benches(c: &mut Criterion) {
+    c.bench_function("eunomia/ingest_and_stabilize_16p", |b| {
+        // Steady state: 16 partitions round-robin one op each, then a
+        // stabilization pass drains what became stable.
+        b.iter_with_setup(
+            || (EunomiaState::<u64>::new(16), Vec::new()),
+            |(mut svc, mut out)| {
+                for round in 0..64u64 {
+                    for p in 0..16u32 {
+                        let ts = round * 100 + u64::from(p) + 1;
+                        svc.add_op(PartitionId(p), Timestamp(ts), ts).unwrap();
+                    }
+                    svc.process_stable(&mut out);
+                }
+                black_box(out.len())
+            },
+        )
+    });
+    c.bench_function("eunomia/replica_duplicate_filtering", |b| {
+        // At-least-once delivery: half of each batch was already seen.
+        b.iter_with_setup(
+            || {
+                let mut r: ReplicaState<u64> = ReplicaState::new(ReplicaId(0), 1);
+                let first: Vec<(Timestamp, u64)> =
+                    (1..=512u64).map(|t| (Timestamp(t), t)).collect();
+                r.new_batch(PartitionId(0), first).unwrap();
+                r
+            },
+            |mut r| {
+                let redelivery: Vec<(Timestamp, u64)> =
+                    (256..=768u64).map(|t| (Timestamp(t), t)).collect();
+                black_box(r.new_batch(PartitionId(0), redelivery).unwrap())
+            },
+        )
+    });
+    c.bench_function("eunomia/sender_push_ack_cycle", |b| {
+        let mut sender: ReplicatedSender<u64> = ReplicatedSender::new(3);
+        let mut ts = 0u64;
+        b.iter(|| {
+            ts += 1;
+            sender.push(Timestamp(ts), ts);
+            for r in 0..3u32 {
+                sender.on_ack(ReplicaId(r), Timestamp(ts));
+            }
+            black_box(sender.window_len())
+        })
+    });
+    c.bench_function("eunomia/batcher_push_flush", |b| {
+        let mut batcher: Batcher<u64> = Batcher::new(0);
+        let mut t = 0u64;
+        b.iter(|| {
+            for i in 0..64u64 {
+                batcher.push(i);
+            }
+            t += 1;
+            black_box(batcher.force_flush(Timestamp(t)).len())
+        })
+    });
+}
+
+fn sequencer_benches(c: &mut Criterion) {
+    c.bench_function("sequencer/next", |b| {
+        let mut s = Sequencer::new();
+        b.iter(|| black_box(s.next_seq()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+        .sample_size(20);
+    targets = clock_benches, eunomia_benches, sequencer_benches
+}
+criterion_main!(benches);

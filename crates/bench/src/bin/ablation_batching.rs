@@ -1,0 +1,68 @@
+//! Ablation — partition-side batching towards Eunomia (§5).
+//!
+//! "Batch operations at partitions, and propagate them to Eunomia only
+//! periodically" cuts the message rate at the service at the cost of a
+//! slight increase in stabilization time — and unlike a sequencer, the
+//! waiting is not in any client's critical path (§7.1). This ablation
+//! sweeps the batching interval on the threaded service and, on the
+//! simulator, shows the visibility cost of larger batches.
+
+use eunomia_bench::{banner, fmt_ms, geo_config, print_table, BenchArgs};
+use eunomia_geo::{run_system, SystemKind};
+use eunomia_runtime::service::{run_eunomia_service, EunomiaBenchConfig};
+use eunomia_sim::units;
+use std::time::Duration;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.secs(3, 2);
+    banner(
+        "Ablation: metadata batching interval",
+        "threaded service ingest throughput and simulated visibility vs batch interval",
+        "larger batches stretch service throughput while visibility extra \
+         delay grows by roughly the batching interval",
+    );
+
+    let mut rows = Vec::new();
+    for (label, interval) in [
+        ("0.2 ms", Duration::from_micros(200)),
+        ("0.5 ms", Duration::from_micros(500)),
+        ("1 ms", Duration::from_millis(1)),
+        ("2 ms", Duration::from_millis(2)),
+        ("5 ms", Duration::from_millis(5)),
+    ] {
+        let cfg = EunomiaBenchConfig {
+            feeders: 30,
+            replicas: 1,
+            duration: Duration::from_secs(secs),
+            batch_interval: interval,
+            ..EunomiaBenchConfig::default()
+        };
+        let t = run_eunomia_service(&cfg);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", t.ops_per_sec() / 1000.0),
+        ]);
+    }
+    println!("\nthreaded service (30 feeders):");
+    print_table(&["batch interval", "kops/s stabilized"], &rows);
+
+    let mut rows = Vec::new();
+    for interval_us in [200u64, 500, 1000, 2000, 5000] {
+        let mut cfg = geo_config(args.secs(20, 8), args.seed);
+        cfg.batch_interval = units::us(interval_us);
+        cfg.heartbeat_delta = units::us(interval_us);
+        let r = run_system(SystemKind::EunomiaKv, cfg);
+        rows.push(vec![
+            format!("{:.1} ms", interval_us as f64 / 1000.0),
+            format!("{:.0}", r.throughput),
+            fmt_ms(r.visibility_percentile_ms(0, 1, 50.0)),
+            fmt_ms(r.visibility_percentile_ms(0, 1, 90.0)),
+        ]);
+    }
+    println!("\nsimulated geo deployment (90:10 U):");
+    print_table(
+        &["batch interval", "ops/s", "vis p50 (ms)", "vis p90 (ms)"],
+        &rows,
+    );
+}

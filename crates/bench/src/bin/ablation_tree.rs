@@ -1,0 +1,58 @@
+//! Ablation — the §5 metadata propagation tree.
+//!
+//! With `N` partitions batching every millisecond, the Eunomia service
+//! receives `N` messages per millisecond (all-to-one). Routing the batches
+//! through a fan-in tree among the partition servers cuts the message rate
+//! at the service to roughly one bundle per root flush, "at the cost of a
+//! slight increase in the stabilization time" — each tree level can add up
+//! to one batching interval of delay. This ablation measures both sides of
+//! the trade at two datacenter sizes.
+
+use eunomia_bench::{banner, fmt_ms, geo_config, print_table, BenchArgs};
+use eunomia_geo::{run_system, SystemKind};
+use eunomia_workload::WorkloadConfig;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.secs(20, 8);
+    banner(
+        "Ablation: metadata propagation tree (§5)",
+        "all-to-one vs fan-in tree routing of partition batches into Eunomia",
+        "service message rate drops by ~the partition count; visibility pays \
+         about one batching interval per tree level",
+    );
+
+    let mut rows = Vec::new();
+    for partitions in [8usize, 32] {
+        for arity in [None, Some(4), Some(2)] {
+            let mut cfg = geo_config(secs, args.seed);
+            cfg.partitions_per_dc = partitions;
+            cfg.metadata_tree_arity = arity;
+            cfg.workload = WorkloadConfig::paper(90, false);
+            let r = run_system(SystemKind::EunomiaKv, cfg);
+            let msgs = r.metrics.service_messages() as f64 / (secs as f64 * 3.0);
+            rows.push(vec![
+                format!("{partitions}"),
+                match arity {
+                    None => "direct".to_string(),
+                    Some(a) => format!("tree (arity {a})"),
+                },
+                format!("{:.0}", msgs),
+                format!("{:.0}", r.throughput),
+                fmt_ms(r.visibility_percentile_ms(0, 1, 50.0)),
+                fmt_ms(r.visibility_percentile_ms(0, 1, 90.0)),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "partitions/DC",
+            "routing",
+            "msgs/s at Eunomia (per DC)",
+            "ops/s",
+            "vis p50 (ms)",
+            "vis p90 (ms)",
+        ],
+        &rows,
+    );
+}

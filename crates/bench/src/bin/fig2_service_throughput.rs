@@ -1,0 +1,59 @@
+//! Figure 2 — maximum throughput of Eunomia vs a synchronous sequencer.
+//!
+//! As in §7.1, load generators bypass the datastore and feed the ordering
+//! service directly, each simulating one partition of a large datacenter.
+//! Eunomia ingests 1 ms batches of operation ids asynchronously; the
+//! sequencer serves one synchronous request/reply round trip per
+//! operation. The paper reports ≈370 kops/s vs ≈48 kops/s (7.7×) on its
+//! hardware; absolute numbers here differ (different machine, threads
+//! time-share cores) but the batched service must beat the synchronous
+//! one by around an order of magnitude, roughly flat in the number of
+//! feeding partitions.
+
+use eunomia_bench::{banner, print_table, BenchArgs};
+use eunomia_runtime::sequencer::{run_sequencer, SequencerBenchConfig};
+use eunomia_runtime::service::{run_eunomia_service, EunomiaBenchConfig};
+use std::time::Duration;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.secs(4, 2);
+    banner(
+        "Figure 2",
+        "maximum service throughput: Eunomia (15..75 feeder partitions) vs sequencer",
+        "Eunomia sustains roughly an order of magnitude more ops/s than the \
+         sequencer and stays roughly flat as feeders increase (paper: 370 kops \
+         vs 48 kops, 7.7x)",
+    );
+
+    let mut rows = Vec::new();
+    let mut eunomia_best = 0.0f64;
+    for feeders in [15usize, 30, 45, 60, 75] {
+        let cfg = EunomiaBenchConfig {
+            feeders,
+            replicas: 1,
+            duration: Duration::from_secs(secs),
+            ..EunomiaBenchConfig::default()
+        };
+        let t = run_eunomia_service(&cfg);
+        eunomia_best = eunomia_best.max(t.ops_per_sec());
+        rows.push(vec![
+            format!("Eunomia {feeders}"),
+            format!("{:.0}", t.ops_per_sec() / 1000.0),
+        ]);
+    }
+    let seq = run_sequencer(&SequencerBenchConfig {
+        clients: 60,
+        chain: 1,
+        duration: Duration::from_secs(secs),
+    });
+    rows.push(vec![
+        "Sequencer".to_string(),
+        format!("{:.0}", seq.ops_per_sec() / 1000.0),
+    ]);
+    print_table(&["service", "kops/s"], &rows);
+    println!(
+        "\nEunomia(best) / Sequencer = {:.1}x (paper: 7.7x)",
+        eunomia_best / seq.ops_per_sec().max(1.0)
+    );
+}

@@ -1,0 +1,111 @@
+//! Figure 3 — fault-tolerance overhead of Eunomia vs the sequencer.
+//!
+//! Normalized maximum throughput of the replicated Eunomia service
+//! (replicas never coordinate — their outputs are order-insensitive — so
+//! the overhead is just the duplicate feeder traffic) against the
+//! chain-replicated sequencer (every request traverses the whole chain
+//! before the client is released). Paper: ≈9% penalty for Eunomia at any
+//! replica count vs ≈33% for a 3-replica sequencer chain.
+//!
+//! Note: in this implementation the non-fault-tolerant service *is* the
+//! 1-replica configuration (the ack/resend machinery is always on), so
+//! "Eunomia 1-FT" is 1.00 by construction and the paper's Non-FT → 1-FT
+//! step is folded into it.
+
+use eunomia_bench::{banner, print_table, BenchArgs};
+use eunomia_runtime::sequencer::{run_sequencer, SequencerBenchConfig};
+use eunomia_runtime::service::{run_eunomia_service, EunomiaBenchConfig};
+use std::time::Duration;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let secs = args.secs(4, 2);
+    banner(
+        "Figure 3",
+        "normalized throughput of fault-tolerant Eunomia and sequencer",
+        "replicating Eunomia costs little at any replica count (paper: ~9%); \
+         chain-replicating the sequencer costs much more (paper: ~33%)",
+    );
+
+    let eunomia = |replicas| {
+        let cfg = EunomiaBenchConfig {
+            feeders: 30,
+            replicas,
+            duration: Duration::from_secs(secs),
+            ..EunomiaBenchConfig::default()
+        };
+        run_eunomia_service(&cfg).ops_per_sec()
+    };
+    let e1 = eunomia(1);
+    let e2 = eunomia(2);
+    let e3 = eunomia(3);
+
+    let sequencer = |chain| {
+        run_sequencer(&SequencerBenchConfig {
+            clients: 30,
+            chain,
+            duration: Duration::from_secs(secs),
+        })
+        .ops_per_sec()
+    };
+    let s1 = sequencer(1);
+    let s3 = sequencer(3);
+
+    // On this host all replica threads share the available cores, so an
+    // R-replica service is bounded by 1/R of raw throughput even with zero
+    // protocol overhead; the paper's replicas run on separate machines and
+    // parallelize. The "work-normalized" column multiplies back by R —
+    // the hardware-neutral measure of the *protocol* overhead (duplicate
+    // feeder traffic, ack processing), which is what the paper's ~9% is.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let adj = |tput: f64, replicas: f64| tput * (replicas / cores as f64).max(1.0);
+    let rows = vec![
+        vec![
+            "Eunomia Non-FT (1 replica)".into(),
+            format!("{:.0}", e1 / 1000.0),
+            "1.00".into(),
+            "1.00".into(),
+        ],
+        vec![
+            "Eunomia 2-FT".into(),
+            format!("{:.0}", e2 / 1000.0),
+            format!("{:.2}", e2 / e1),
+            format!("{:.2}", adj(e2, 2.0) / adj(e1, 1.0)),
+        ],
+        vec![
+            "Eunomia 3-FT".into(),
+            format!("{:.0}", e3 / 1000.0),
+            format!("{:.2}", e3 / e1),
+            format!("{:.2}", adj(e3, 3.0) / adj(e1, 1.0)),
+        ],
+        vec![
+            "Sequencer Non-FT".into(),
+            format!("{:.0}", s1 / 1000.0),
+            format!("{:.2}", s1 / e1),
+            "-".into(),
+        ],
+        vec![
+            "Sequencer 3-FT (chain)".into(),
+            format!("{:.0}", s3 / 1000.0),
+            format!("{:.2}", s3 / e1),
+            "-".into(),
+        ],
+    ];
+    print_table(
+        &[
+            "service",
+            "kops/s",
+            "normalized (raw)",
+            "normalized (work, x replicas/cores)",
+        ],
+        &rows,
+    );
+    println!("\nhost cores: {cores} (replica threads time-share; the paper's replicas are separate machines)");
+    println!(
+        "Eunomia 3-FT keeps {:.0}% of Non-FT work-normalized (paper ~91%); sequencer 3-FT keeps {:.0}% of its Non-FT (paper ~67%)",
+        100.0 * adj(e3, 3.0) / adj(e1, 1.0),
+        100.0 * s3 / s1.max(1.0)
+    );
+}

@@ -1,0 +1,175 @@
+//! Benchmark harness support: argument parsing, table output, and shared
+//! experiment configuration.
+//!
+//! Each figure of the paper has a dedicated binary in `src/bin/`
+//! (`fig1_motivation` … `fig7_stragglers`) that prints the same rows or
+//! series the paper reports, plus `ablation_*` binaries for the design
+//! choices called out in DESIGN.md. Criterion micro-benches live under
+//! `benches/`.
+//!
+//! All binaries accept:
+//!
+//! * `--quick` — scale durations down for a fast smoke run;
+//! * `--seconds N` — override the per-run measured duration;
+//! * `--seed N` — change the deterministic seed.
+
+use eunomia_geo::ClusterConfig;
+use eunomia_sim::units;
+
+/// Parsed command-line options shared by all harness binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchArgs {
+    /// Scale durations down for a smoke run.
+    pub quick: bool,
+    /// Explicit per-run duration in (simulated or wall) seconds.
+    pub seconds: Option<u64>,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage hint.
+    pub fn parse() -> Self {
+        let mut out = BenchArgs {
+            quick: false,
+            seconds: None,
+            seed: 42,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--seconds" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--seconds needs a value"));
+                    out.seconds = Some(v.parse().unwrap_or_else(|_| usage("bad --seconds")));
+                }
+                "--seed" => {
+                    let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    out.seed = v.parse().unwrap_or_else(|_| usage("bad --seed"));
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        out
+    }
+
+    /// Chooses a duration: explicit `--seconds`, else `quick` or `full`.
+    pub fn secs(&self, full: u64, quick: u64) -> u64 {
+        self.seconds
+            .unwrap_or(if self.quick { quick } else { full })
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!("usage: <bin> [--quick] [--seconds N] [--seed N]");
+    std::process::exit(2);
+}
+
+/// Prints the figure banner: what the paper shows and what to expect.
+pub fn banner(fig: &str, title: &str, expectation: &str) {
+    println!("==================================================================");
+    println!("{fig}: {title}");
+    println!("paper expectation: {expectation}");
+    println!("==================================================================");
+}
+
+/// Prints an aligned ASCII table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// The standard geo-replication experiment configuration: the paper's
+/// 3-DC deployment with `secs` simulated seconds (10% warm-up/cool-down
+/// trims, mirroring the paper's discarded first/last minute).
+pub fn geo_config(secs: u64, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.duration = units::secs(secs);
+    cfg.warmup = units::secs((secs / 10).max(2));
+    cfg.cooldown = units::secs((secs / 10).max(1));
+    cfg.seed = seed;
+    cfg
+}
+
+/// Formats an optional millisecond value.
+pub fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(ms) => format!("{ms:.2}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Formats a throughput delta vs a baseline as a signed percentage.
+pub fn fmt_delta_pct(value: f64, baseline: f64) -> String {
+    if baseline <= 0.0 {
+        return "-".to_string();
+    }
+    format!("{:+.1}%", (value / baseline - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_resolution_order() {
+        let explicit = BenchArgs {
+            quick: true,
+            seconds: Some(7),
+            seed: 1,
+        };
+        assert_eq!(explicit.secs(30, 10), 7);
+        let quick = BenchArgs {
+            quick: true,
+            seconds: None,
+            seed: 1,
+        };
+        assert_eq!(quick.secs(30, 10), 10);
+        let full = BenchArgs {
+            quick: false,
+            seconds: None,
+            seed: 1,
+        };
+        assert_eq!(full.secs(30, 10), 30);
+    }
+
+    #[test]
+    fn geo_config_trims_ten_percent() {
+        let cfg = geo_config(30, 9);
+        assert_eq!(cfg.duration, units::secs(30));
+        assert_eq!(cfg.warmup, units::secs(3));
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn delta_formatting() {
+        assert_eq!(fmt_delta_pct(90.0, 100.0), "-10.0%");
+        assert_eq!(fmt_delta_pct(100.0, 0.0), "-");
+        assert_eq!(fmt_ms(None), "-");
+        assert_eq!(fmt_ms(Some(1.234)), "1.23");
+    }
+}

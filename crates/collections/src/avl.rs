@@ -1,0 +1,425 @@
+//! Arena-based AVL tree — the self-balancing alternative the paper's
+//! prototype evaluated and rejected in favour of the red-black tree (§6).
+//!
+//! Kept here so the `ordered_map` ablation bench can reproduce that design
+//! comparison. The implementation is recursive over arena indices (`u32`
+//! links, `NONE` sentinel) and `unsafe`-free.
+
+use crate::OrderedMap;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Links {
+    left: u32,
+    right: u32,
+    height: i32,
+}
+
+/// An AVL tree mapping `K` to `V` (strict height balancing, |bf| <= 1).
+#[derive(Clone, Debug)]
+pub struct AvlTree<K, V> {
+    links: Vec<Links>,
+    data: Vec<Option<(K, V)>>,
+    root: u32,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<K: Ord, V> Default for AvlTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> AvlTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        AvlTree {
+            links: Vec::new(),
+            data: Vec::new(),
+            root: NONE,
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn key(&self, n: u32) -> &K {
+        &self.data[n as usize].as_ref().expect("occupied node").0
+    }
+
+    fn height(&self, n: u32) -> i32 {
+        if n == NONE {
+            0
+        } else {
+            self.links[n as usize].height
+        }
+    }
+
+    fn update_height(&mut self, n: u32) {
+        let h = 1 + self
+            .height(self.links[n as usize].left)
+            .max(self.height(self.links[n as usize].right));
+        self.links[n as usize].height = h;
+    }
+
+    fn balance_factor(&self, n: u32) -> i32 {
+        self.height(self.links[n as usize].left) - self.height(self.links[n as usize].right)
+    }
+
+    fn alloc(&mut self, key: K, value: V) -> u32 {
+        let links = Links {
+            left: NONE,
+            right: NONE,
+            height: 1,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.links[idx as usize] = links;
+            self.data[idx as usize] = Some((key, value));
+            idx
+        } else {
+            let idx = self.links.len() as u32;
+            self.links.push(links);
+            self.data.push(Some((key, value)));
+            idx
+        }
+    }
+
+    fn rotate_right(&mut self, y: u32) -> u32 {
+        let x = self.links[y as usize].left;
+        let t2 = self.links[x as usize].right;
+        self.links[x as usize].right = y;
+        self.links[y as usize].left = t2;
+        self.update_height(y);
+        self.update_height(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: u32) -> u32 {
+        let y = self.links[x as usize].right;
+        let t2 = self.links[y as usize].left;
+        self.links[y as usize].left = x;
+        self.links[x as usize].right = t2;
+        self.update_height(x);
+        self.update_height(y);
+        y
+    }
+
+    fn rebalance(&mut self, n: u32) -> u32 {
+        self.update_height(n);
+        let bf = self.balance_factor(n);
+        if bf > 1 {
+            if self.balance_factor(self.links[n as usize].left) < 0 {
+                let l = self.links[n as usize].left;
+                self.links[n as usize].left = self.rotate_left(l);
+            }
+            self.rotate_right(n)
+        } else if bf < -1 {
+            if self.balance_factor(self.links[n as usize].right) > 0 {
+                let r = self.links[n as usize].right;
+                self.links[n as usize].right = self.rotate_right(r);
+            }
+            self.rotate_left(n)
+        } else {
+            n
+        }
+    }
+
+    fn insert_at(&mut self, n: u32, key: K, value: V, replaced: &mut Option<V>) -> u32 {
+        if n == NONE {
+            self.len += 1;
+            return self.alloc(key, value);
+        }
+        match key.cmp(self.key(n)) {
+            std::cmp::Ordering::Less => {
+                let l = self.links[n as usize].left;
+                self.links[n as usize].left = self.insert_at(l, key, value, replaced);
+            }
+            std::cmp::Ordering::Greater => {
+                let r = self.links[n as usize].right;
+                self.links[n as usize].right = self.insert_at(r, key, value, replaced);
+            }
+            std::cmp::Ordering::Equal => {
+                let slot = self.data[n as usize].as_mut().expect("occupied node");
+                *replaced = Some(std::mem::replace(&mut slot.1, value));
+                return n;
+            }
+        }
+        self.rebalance(n)
+    }
+
+    /// Removes the minimum of the subtree, returning (new_root, detached_min).
+    fn detach_min(&mut self, n: u32) -> (u32, u32) {
+        let l = self.links[n as usize].left;
+        if l == NONE {
+            return (self.links[n as usize].right, n);
+        }
+        let (new_left, min) = self.detach_min(l);
+        self.links[n as usize].left = new_left;
+        (self.rebalance(n), min)
+    }
+
+    fn remove_at(&mut self, n: u32, key: &K, removed: &mut Option<(K, V)>) -> u32 {
+        if n == NONE {
+            return NONE;
+        }
+        match key.cmp(self.key(n)) {
+            std::cmp::Ordering::Less => {
+                let l = self.links[n as usize].left;
+                self.links[n as usize].left = self.remove_at(l, key, removed);
+            }
+            std::cmp::Ordering::Greater => {
+                let r = self.links[n as usize].right;
+                self.links[n as usize].right = self.remove_at(r, key, removed);
+            }
+            std::cmp::Ordering::Equal => {
+                *removed = Some(self.data[n as usize].take().expect("occupied node"));
+                self.free.push(n);
+                self.len -= 1;
+                let (l, r) = (self.links[n as usize].left, self.links[n as usize].right);
+                if l == NONE {
+                    return r;
+                }
+                if r == NONE {
+                    return l;
+                }
+                let (new_right, succ) = self.detach_min(r);
+                self.links[succ as usize].left = l;
+                self.links[succ as usize].right = new_right;
+                return self.rebalance(succ);
+            }
+        }
+        self.rebalance(n)
+    }
+
+    /// Returns an iterator over entries in ascending key order.
+    pub fn iter(&self) -> AvlIter<'_, K, V> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NONE {
+            stack.push(cur);
+            cur = self.links[cur as usize].left;
+        }
+        AvlIter { tree: self, stack }
+    }
+
+    /// Validates AVL invariants (BST order, |balance factor| <= 1, heights,
+    /// accurate `len`), panicking on violation. `O(n)`.
+    pub fn check_invariants(&self) {
+        let mut count = 0usize;
+        self.check_subtree(self.root, None, None, &mut count);
+        assert_eq!(count, self.len, "len must match node count");
+    }
+
+    fn check_subtree(
+        &self,
+        n: u32,
+        lower: Option<&K>,
+        upper: Option<&K>,
+        count: &mut usize,
+    ) -> i32 {
+        if n == NONE {
+            return 0;
+        }
+        *count += 1;
+        let k = self.key(n);
+        if let Some(lo) = lower {
+            assert!(k > lo, "BST order violated (lower bound)");
+        }
+        if let Some(hi) = upper {
+            assert!(k < hi, "BST order violated (upper bound)");
+        }
+        let hl = self.check_subtree(self.links[n as usize].left, lower, Some(k), count);
+        let hr = self.check_subtree(self.links[n as usize].right, Some(k), upper, count);
+        assert!((hl - hr).abs() <= 1, "AVL balance violated");
+        let h = 1 + hl.max(hr);
+        assert_eq!(h, self.links[n as usize].height, "stored height stale");
+        h
+    }
+}
+
+impl<K: Ord, V> OrderedMap<K, V> for AvlTree<K, V> {
+    fn new() -> Self {
+        AvlTree::new()
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let mut replaced = None;
+        let root = self.root;
+        self.root = self.insert_at(root, key, value, &mut replaced);
+        replaced
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = self.root;
+        while cur != NONE {
+            match key.cmp(self.key(cur)) {
+                std::cmp::Ordering::Less => cur = self.links[cur as usize].left,
+                std::cmp::Ordering::Greater => cur = self.links[cur as usize].right,
+                std::cmp::Ordering::Equal => {
+                    return Some(&self.data[cur as usize].as_ref().expect("occupied node").1)
+                }
+            }
+        }
+        None
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        let mut removed = None;
+        let root = self.root;
+        self.root = self.remove_at(root, key, &mut removed);
+        removed.map(|(_, v)| v)
+    }
+
+    fn pop_min(&mut self) -> Option<(K, V)> {
+        if self.root == NONE {
+            return None;
+        }
+        let root = self.root;
+        let (new_root, min) = self.detach_min(root);
+        self.root = new_root;
+        self.len -= 1;
+        let entry = self.data[min as usize].take().expect("occupied node");
+        self.free.push(min);
+        Some(entry)
+    }
+
+    fn min_key(&self) -> Option<&K> {
+        if self.root == NONE {
+            return None;
+        }
+        let mut cur = self.root;
+        while self.links[cur as usize].left != NONE {
+            cur = self.links[cur as usize].left;
+        }
+        Some(self.key(cur))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.links.clear();
+        self.data.clear();
+        self.free.clear();
+        self.root = NONE;
+        self.len = 0;
+    }
+
+    fn for_each<F: FnMut(&K, &V)>(&self, mut f: F) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+}
+
+/// In-order iterator over an [`AvlTree`].
+pub struct AvlIter<'a, K, V> {
+    tree: &'a AvlTree<K, V>,
+    stack: Vec<u32>,
+}
+
+impl<'a, K: Ord, V> Iterator for AvlIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        let mut cur = self.tree.links[n as usize].right;
+        while cur != NONE {
+            self.stack.push(cur);
+            cur = self.tree.links[cur as usize].left;
+        }
+        let (k, v) = self.tree.data[n as usize].as_ref().expect("occupied node");
+        Some((k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_sorted_vec;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn sequential_inserts_stay_balanced() {
+        let mut t = AvlTree::new();
+        for i in 0..1000u32 {
+            t.insert(i, i);
+        }
+        t.check_invariants();
+        // A perfectly balanced AVL of 1000 nodes has height <= 1.44 log2(n).
+        assert!(t.links[t.root as usize].height <= 15);
+    }
+
+    #[test]
+    fn remove_internal_nodes() {
+        let mut t = AvlTree::new();
+        for &k in &[50u32, 25, 75, 12, 37, 62, 87, 6, 18, 31, 43] {
+            t.insert(k, k);
+        }
+        assert_eq!(t.remove(&50), Some(50));
+        t.check_invariants();
+        assert_eq!(t.remove(&25), Some(25));
+        t.check_invariants();
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.get(&50), None);
+        assert_eq!(t.get(&37), Some(&37));
+    }
+
+    #[test]
+    fn pop_min_drains_in_order() {
+        let mut t = AvlTree::new();
+        for &k in &[9u32, 1, 8, 2, 7, 3, 6, 4, 5, 0] {
+            t.insert(k, ());
+        }
+        let mut out = Vec::new();
+        while let Some((k, _)) = t.pop_min() {
+            t.check_invariants();
+            out.push(k);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_insert_replaces_value() {
+        let mut t = AvlTree::new();
+        assert_eq!(t.insert(7, 1), None);
+        assert_eq!(t.insert(7, 2), Some(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_btreemap(ops in proptest::collection::vec((0u8..5, 0u16..200, 0u32..1000), 1..400)) {
+            let mut tree = AvlTree::new();
+            let mut model = BTreeMap::new();
+            for (op, key, val) in ops {
+                match op {
+                    0 | 1 => {
+                        prop_assert_eq!(tree.insert(key, val), model.insert(key, val));
+                    }
+                    2 => {
+                        prop_assert_eq!(tree.remove(&key), model.remove(&key));
+                    }
+                    3 => {
+                        prop_assert_eq!(tree.pop_min(), model.pop_first());
+                    }
+                    _ => {
+                        let mut drained = Vec::new();
+                        tree.drain_up_to(&key, &mut drained);
+                        let rest = model.split_off(&(key + 1));
+                        let expected: Vec<_> = std::mem::replace(&mut model, rest).into_iter().collect();
+                        prop_assert_eq!(drained, expected);
+                    }
+                }
+                tree.check_invariants();
+                prop_assert_eq!(tree.len(), model.len());
+            }
+            let entries = to_sorted_vec(&tree);
+            let expected: Vec<_> = model.into_iter().collect();
+            prop_assert_eq!(entries, expected);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! [`OrderedMap`] adapter over [`std::collections::BTreeMap`].
+//!
+//! The standard-library B-tree is the idiomatic Rust replacement for the
+//! paper's red-black tree; the adapter exists so the `ordered_map` ablation
+//! bench can compare the three candidates on identical workloads.
+
+use crate::OrderedMap;
+use std::collections::BTreeMap;
+
+/// Thin wrapper giving `BTreeMap` the [`OrderedMap`] interface.
+#[derive(Clone, Debug, Default)]
+pub struct BTreeAdapter<K, V> {
+    inner: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> BTreeAdapter<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        BTreeAdapter {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Borrows the underlying `BTreeMap`.
+    pub fn as_btree(&self) -> &BTreeMap<K, V> {
+        &self.inner
+    }
+}
+
+impl<K: Ord, V> OrderedMap<K, V> for BTreeAdapter<K, V> {
+    fn new() -> Self {
+        BTreeAdapter::new()
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        self.inner.get(key)
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        self.inner.remove(key)
+    }
+
+    fn pop_min(&mut self) -> Option<(K, V)> {
+        self.inner.pop_first()
+    }
+
+    fn min_key(&self) -> Option<&K> {
+        self.inner.keys().next()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    fn for_each<F: FnMut(&K, &V)>(&self, mut f: F) {
+        for (k, v) in &self.inner {
+            f(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_forwards_operations() {
+        let mut m = BTreeAdapter::new();
+        m.insert(2u32, "b");
+        m.insert(1, "a");
+        assert_eq!(m.min_key(), Some(&1));
+        assert_eq!(m.pop_min(), Some((1, "a")));
+        assert_eq!(m.remove(&2), Some("b"));
+        assert!(m.is_empty());
+    }
+}

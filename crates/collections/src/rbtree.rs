@@ -1,0 +1,672 @@
+//! Arena-based red-black tree (CLRS-style, sentinel NIL, no `unsafe`).
+//!
+//! This is the data structure the paper's C++ Eunomia prototype is built on
+//! (§6). Nodes live in a `Vec` arena and reference each other through `u32`
+//! indices; index `0` is the shared NIL sentinel, which — exactly as in
+//! CLRS — absorbs temporary parent-pointer writes during the delete fixup.
+//! Freed slots are recycled through a free list so a long-running
+//! stabilization buffer reaches a steady-state allocation footprint.
+
+use crate::OrderedMap;
+
+/// Index of the NIL sentinel in the arena.
+const NIL: u32 = 0;
+
+#[derive(Clone, Copy, Debug)]
+struct Links {
+    left: u32,
+    right: u32,
+    parent: u32,
+    red: bool,
+}
+
+impl Links {
+    const fn nil() -> Self {
+        Links {
+            left: NIL,
+            right: NIL,
+            parent: NIL,
+            red: false,
+        }
+    }
+}
+
+/// A red-black tree mapping `K` to `V`.
+///
+/// All operations are logarithmic; in-order draining of `k` entries costs
+/// `O(k log n)`. See [`OrderedMap`] for the operation contract.
+#[derive(Clone, Debug)]
+pub struct RbTree<K, V> {
+    links: Vec<Links>,
+    data: Vec<Option<(K, V)>>,
+    root: u32,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<K: Ord, V> Default for RbTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> RbTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RbTree {
+            links: vec![Links::nil()],
+            data: vec![None],
+            root: NIL,
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty tree with room for `cap` entries before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut t = Self::new();
+        t.links.reserve(cap);
+        t.data.reserve(cap);
+        t
+    }
+
+    fn key(&self, n: u32) -> &K {
+        &self.data[n as usize].as_ref().expect("occupied node").0
+    }
+
+    fn alloc(&mut self, key: K, value: V, parent: u32) -> u32 {
+        let links = Links {
+            left: NIL,
+            right: NIL,
+            parent,
+            red: true,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.links[idx as usize] = links;
+            self.data[idx as usize] = Some((key, value));
+            idx
+        } else {
+            let idx = self.links.len() as u32;
+            self.links.push(links);
+            self.data.push(Some((key, value)));
+            idx
+        }
+    }
+
+    fn dealloc(&mut self, n: u32) -> (K, V) {
+        let entry = self.data[n as usize].take().expect("occupied node");
+        self.free.push(n);
+        entry
+    }
+
+    fn find(&self, key: &K) -> u32 {
+        let mut cur = self.root;
+        while cur != NIL {
+            match key.cmp(self.key(cur)) {
+                std::cmp::Ordering::Less => cur = self.links[cur as usize].left,
+                std::cmp::Ordering::Greater => cur = self.links[cur as usize].right,
+                std::cmp::Ordering::Equal => return cur,
+            }
+        }
+        NIL
+    }
+
+    fn minimum(&self, mut n: u32) -> u32 {
+        while self.links[n as usize].left != NIL {
+            n = self.links[n as usize].left;
+        }
+        n
+    }
+
+    fn left_rotate(&mut self, x: u32) {
+        let y = self.links[x as usize].right;
+        debug_assert_ne!(y, NIL, "left_rotate requires a right child");
+        let y_left = self.links[y as usize].left;
+        self.links[x as usize].right = y_left;
+        if y_left != NIL {
+            self.links[y_left as usize].parent = x;
+        }
+        let xp = self.links[x as usize].parent;
+        self.links[y as usize].parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.links[xp as usize].left == x {
+            self.links[xp as usize].left = y;
+        } else {
+            self.links[xp as usize].right = y;
+        }
+        self.links[y as usize].left = x;
+        self.links[x as usize].parent = y;
+    }
+
+    fn right_rotate(&mut self, x: u32) {
+        let y = self.links[x as usize].left;
+        debug_assert_ne!(y, NIL, "right_rotate requires a left child");
+        let y_right = self.links[y as usize].right;
+        self.links[x as usize].left = y_right;
+        if y_right != NIL {
+            self.links[y_right as usize].parent = x;
+        }
+        let xp = self.links[x as usize].parent;
+        self.links[y as usize].parent = xp;
+        if xp == NIL {
+            self.root = y;
+        } else if self.links[xp as usize].right == x {
+            self.links[xp as usize].right = y;
+        } else {
+            self.links[xp as usize].left = y;
+        }
+        self.links[y as usize].right = x;
+        self.links[x as usize].parent = y;
+    }
+
+    fn insert_fixup(&mut self, mut z: u32) {
+        while self.links[self.links[z as usize].parent as usize].red {
+            let zp = self.links[z as usize].parent;
+            let zpp = self.links[zp as usize].parent;
+            if zp == self.links[zpp as usize].left {
+                let uncle = self.links[zpp as usize].right;
+                if self.links[uncle as usize].red {
+                    self.links[zp as usize].red = false;
+                    self.links[uncle as usize].red = false;
+                    self.links[zpp as usize].red = true;
+                    z = zpp;
+                } else {
+                    if z == self.links[zp as usize].right {
+                        z = zp;
+                        self.left_rotate(z);
+                    }
+                    let zp = self.links[z as usize].parent;
+                    let zpp = self.links[zp as usize].parent;
+                    self.links[zp as usize].red = false;
+                    self.links[zpp as usize].red = true;
+                    self.right_rotate(zpp);
+                }
+            } else {
+                let uncle = self.links[zpp as usize].left;
+                if self.links[uncle as usize].red {
+                    self.links[zp as usize].red = false;
+                    self.links[uncle as usize].red = false;
+                    self.links[zpp as usize].red = true;
+                    z = zpp;
+                } else {
+                    if z == self.links[zp as usize].left {
+                        z = zp;
+                        self.right_rotate(z);
+                    }
+                    let zp = self.links[z as usize].parent;
+                    let zpp = self.links[zp as usize].parent;
+                    self.links[zp as usize].red = false;
+                    self.links[zpp as usize].red = true;
+                    self.left_rotate(zpp);
+                }
+            }
+        }
+        let root = self.root;
+        self.links[root as usize].red = false;
+        // The sentinel may have been recolored through an uncle read; it must
+        // stay black for the loop conditions above to terminate correctly.
+        self.links[NIL as usize].red = false;
+    }
+
+    /// Replaces the subtree rooted at `u` with the subtree rooted at `v`.
+    fn transplant(&mut self, u: u32, v: u32) {
+        let up = self.links[u as usize].parent;
+        if up == NIL {
+            self.root = v;
+        } else if self.links[up as usize].left == u {
+            self.links[up as usize].left = v;
+        } else {
+            self.links[up as usize].right = v;
+        }
+        // Deliberately unconditional: when `v == NIL`, the sentinel records
+        // the parent so `delete_fixup` can walk upward from it (CLRS 12.3).
+        self.links[v as usize].parent = up;
+    }
+
+    fn remove_node(&mut self, z: u32) -> (K, V) {
+        let mut y = z;
+        let mut y_was_red = self.links[y as usize].red;
+        let x;
+        if self.links[z as usize].left == NIL {
+            x = self.links[z as usize].right;
+            self.transplant(z, x);
+        } else if self.links[z as usize].right == NIL {
+            x = self.links[z as usize].left;
+            self.transplant(z, x);
+        } else {
+            y = self.minimum(self.links[z as usize].right);
+            y_was_red = self.links[y as usize].red;
+            x = self.links[y as usize].right;
+            if self.links[y as usize].parent == z {
+                self.links[x as usize].parent = y;
+            } else {
+                self.transplant(y, x);
+                let zr = self.links[z as usize].right;
+                self.links[y as usize].right = zr;
+                self.links[zr as usize].parent = y;
+            }
+            self.transplant(z, y);
+            let zl = self.links[z as usize].left;
+            self.links[y as usize].left = zl;
+            self.links[zl as usize].parent = y;
+            self.links[y as usize].red = self.links[z as usize].red;
+        }
+        if !y_was_red {
+            self.delete_fixup(x);
+        }
+        self.len -= 1;
+        self.dealloc(z)
+    }
+
+    fn delete_fixup(&mut self, mut x: u32) {
+        while x != self.root && !self.links[x as usize].red {
+            let xp = self.links[x as usize].parent;
+            if x == self.links[xp as usize].left {
+                let mut w = self.links[xp as usize].right;
+                if self.links[w as usize].red {
+                    self.links[w as usize].red = false;
+                    self.links[xp as usize].red = true;
+                    self.left_rotate(xp);
+                    w = self.links[xp as usize].right;
+                }
+                let wl = self.links[w as usize].left;
+                let wr = self.links[w as usize].right;
+                if !self.links[wl as usize].red && !self.links[wr as usize].red {
+                    self.links[w as usize].red = true;
+                    x = xp;
+                } else {
+                    if !self.links[wr as usize].red {
+                        self.links[wl as usize].red = false;
+                        self.links[w as usize].red = true;
+                        self.right_rotate(w);
+                        w = self.links[xp as usize].right;
+                    }
+                    self.links[w as usize].red = self.links[xp as usize].red;
+                    self.links[xp as usize].red = false;
+                    let wr = self.links[w as usize].right;
+                    self.links[wr as usize].red = false;
+                    self.left_rotate(xp);
+                    x = self.root;
+                }
+            } else {
+                let mut w = self.links[xp as usize].left;
+                if self.links[w as usize].red {
+                    self.links[w as usize].red = false;
+                    self.links[xp as usize].red = true;
+                    self.right_rotate(xp);
+                    w = self.links[xp as usize].left;
+                }
+                let wl = self.links[w as usize].left;
+                let wr = self.links[w as usize].right;
+                if !self.links[wl as usize].red && !self.links[wr as usize].red {
+                    self.links[w as usize].red = true;
+                    x = xp;
+                } else {
+                    if !self.links[wl as usize].red {
+                        self.links[wr as usize].red = false;
+                        self.links[w as usize].red = true;
+                        self.left_rotate(w);
+                        w = self.links[xp as usize].left;
+                    }
+                    self.links[w as usize].red = self.links[xp as usize].red;
+                    self.links[xp as usize].red = false;
+                    let wl = self.links[w as usize].left;
+                    self.links[wl as usize].red = false;
+                    self.right_rotate(xp);
+                    x = self.root;
+                }
+            }
+        }
+        self.links[x as usize].red = false;
+        self.links[NIL as usize].red = false;
+    }
+
+    /// Returns an iterator over the entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = Vec::new();
+        let mut cur = self.root;
+        while cur != NIL {
+            stack.push(cur);
+            cur = self.links[cur as usize].left;
+        }
+        Iter { tree: self, stack }
+    }
+
+    /// Validates every red-black invariant, panicking on violation.
+    ///
+    /// Checks: BST ordering, black sentinel/root, no red node with a red
+    /// child, equal black height on every root-leaf path, parent-pointer
+    /// consistency and an accurate `len`. Intended for tests and
+    /// `debug_assert!` call sites; costs `O(n)`.
+    pub fn check_invariants(&self) {
+        assert!(!self.links[NIL as usize].red, "sentinel must be black");
+        if self.root != NIL {
+            assert!(!self.links[self.root as usize].red, "root must be black");
+            assert_eq!(
+                self.links[self.root as usize].parent, NIL,
+                "root parent must be NIL"
+            );
+        }
+        let mut count = 0usize;
+        let black_height = self.check_subtree(self.root, None, None, &mut count);
+        assert!(black_height >= 1, "black height must be positive");
+        assert_eq!(count, self.len, "len must match node count");
+    }
+
+    fn check_subtree(
+        &self,
+        n: u32,
+        lower: Option<&K>,
+        upper: Option<&K>,
+        count: &mut usize,
+    ) -> usize {
+        if n == NIL {
+            return 1;
+        }
+        *count += 1;
+        let k = self.key(n);
+        if let Some(lo) = lower {
+            assert!(k > lo, "BST order violated (lower bound)");
+        }
+        if let Some(hi) = upper {
+            assert!(k < hi, "BST order violated (upper bound)");
+        }
+        let l = self.links[n as usize];
+        if l.red {
+            assert!(
+                !self.links[l.left as usize].red && !self.links[l.right as usize].red,
+                "red node must not have red children"
+            );
+        }
+        if l.left != NIL {
+            assert_eq!(
+                self.links[l.left as usize].parent, n,
+                "left child parent link"
+            );
+        }
+        if l.right != NIL {
+            assert_eq!(
+                self.links[l.right as usize].parent, n,
+                "right child parent link"
+            );
+        }
+        let bh_left = self.check_subtree(l.left, lower, Some(k), count);
+        let bh_right = self.check_subtree(l.right, Some(k), upper, count);
+        assert_eq!(bh_left, bh_right, "black heights must match");
+        bh_left + usize::from(!l.red)
+    }
+}
+
+impl<K: Ord, V> OrderedMap<K, V> for RbTree<K, V> {
+    fn new() -> Self {
+        RbTree::new()
+    }
+
+    fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let mut parent = NIL;
+        let mut cur = self.root;
+        while cur != NIL {
+            parent = cur;
+            match key.cmp(self.key(cur)) {
+                std::cmp::Ordering::Less => cur = self.links[cur as usize].left,
+                std::cmp::Ordering::Greater => cur = self.links[cur as usize].right,
+                std::cmp::Ordering::Equal => {
+                    let slot = self.data[cur as usize].as_mut().expect("occupied node");
+                    return Some(std::mem::replace(&mut slot.1, value));
+                }
+            }
+        }
+        let is_left = parent != NIL && key < *self.key(parent);
+        let z = self.alloc(key, value, parent);
+        if parent == NIL {
+            self.root = z;
+        } else if is_left {
+            self.links[parent as usize].left = z;
+        } else {
+            self.links[parent as usize].right = z;
+        }
+        self.len += 1;
+        self.insert_fixup(z);
+        None
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        let n = self.find(key);
+        if n == NIL {
+            None
+        } else {
+            Some(&self.data[n as usize].as_ref().expect("occupied node").1)
+        }
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        let n = self.find(key);
+        if n == NIL {
+            None
+        } else {
+            Some(self.remove_node(n).1)
+        }
+    }
+
+    fn pop_min(&mut self) -> Option<(K, V)> {
+        if self.root == NIL {
+            return None;
+        }
+        let n = self.minimum(self.root);
+        Some(self.remove_node(n))
+    }
+
+    fn min_key(&self) -> Option<&K> {
+        if self.root == NIL {
+            None
+        } else {
+            Some(self.key(self.minimum(self.root)))
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.links.clear();
+        self.links.push(Links::nil());
+        self.data.clear();
+        self.data.push(None);
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    fn for_each<F: FnMut(&K, &V)>(&self, mut f: F) {
+        for (k, v) in self.iter() {
+            f(k, v);
+        }
+    }
+}
+
+/// In-order iterator over a [`RbTree`].
+pub struct Iter<'a, K, V> {
+    tree: &'a RbTree<K, V>,
+    stack: Vec<u32>,
+}
+
+impl<'a, K: Ord, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        let mut cur = self.tree.links[n as usize].right;
+        while cur != NIL {
+            self.stack.push(cur);
+            cur = self.tree.links[cur as usize].left;
+        }
+        let (k, v) = self.tree.data[n as usize].as_ref().expect("occupied node");
+        Some((k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_sorted_vec;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = RbTree::new();
+        for i in 0..100u32 {
+            assert_eq!(t.insert(i * 7 % 101, i), None);
+            t.check_invariants();
+        }
+        assert_eq!(t.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(t.get(&(i * 7 % 101)), Some(&i));
+        }
+        for i in 0..100u32 {
+            assert_eq!(t.remove(&(i * 7 % 101)), Some(i));
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_insert_replaces() {
+        let mut t = RbTree::new();
+        assert_eq!(t.insert(1, "a"), None);
+        assert_eq!(t.insert(1, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn ascending_and_descending_inserts_stay_balanced() {
+        let mut asc = RbTree::new();
+        let mut desc = RbTree::new();
+        for i in 0..1024u32 {
+            asc.insert(i, i);
+            desc.insert(1024 - i, i);
+        }
+        asc.check_invariants();
+        desc.check_invariants();
+        assert_eq!(asc.min_key(), Some(&0));
+        assert_eq!(desc.min_key(), Some(&1));
+    }
+
+    #[test]
+    fn pop_min_yields_sorted_order() {
+        let mut t = RbTree::new();
+        let keys = [5u32, 3, 9, 1, 7, 2, 8, 4, 6, 0];
+        for &k in &keys {
+            t.insert(k, k * 10);
+        }
+        let mut out = Vec::new();
+        while let Some((k, _)) = t.pop_min() {
+            t.check_invariants();
+            out.push(k);
+        }
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_up_to_respects_bound_inclusively() {
+        let mut t = RbTree::new();
+        for i in 0..20u32 {
+            t.insert(i, ());
+        }
+        let mut out = Vec::new();
+        t.drain_up_to(&9, &mut out);
+        assert_eq!(
+            out.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.min_key(), Some(&10));
+    }
+
+    #[test]
+    fn iter_is_in_order() {
+        let mut t = RbTree::new();
+        for &k in &[4u32, 2, 6, 1, 3, 5, 7] {
+            t.insert(k, k);
+        }
+        let collected: Vec<u32> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(collected, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn slots_are_recycled_after_removal() {
+        let mut t = RbTree::new();
+        for i in 0..64u32 {
+            t.insert(i, i);
+        }
+        let arena = t.links.len();
+        for i in 0..64u32 {
+            t.remove(&i);
+        }
+        for i in 64..128u32 {
+            t.insert(i, i);
+        }
+        assert_eq!(t.links.len(), arena, "freed slots must be reused");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = RbTree::new();
+        for i in 0..10u32 {
+            t.insert(i, i);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.min_key(), None);
+        t.insert(3, 3);
+        t.check_invariants();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_missing_key_is_none() {
+        let mut t: RbTree<u32, u32> = RbTree::new();
+        t.insert(1, 1);
+        assert_eq!(t.remove(&2), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    proptest! {
+        /// Model-based equivalence with `BTreeMap` under random workloads.
+        #[test]
+        fn behaves_like_btreemap(ops in proptest::collection::vec((0u8..5, 0u16..200, 0u32..1000), 1..400)) {
+            let mut tree = RbTree::new();
+            let mut model = BTreeMap::new();
+            for (op, key, val) in ops {
+                match op {
+                    0 | 1 => {
+                        prop_assert_eq!(tree.insert(key, val), model.insert(key, val));
+                    }
+                    2 => {
+                        prop_assert_eq!(tree.remove(&key), model.remove(&key));
+                    }
+                    3 => {
+                        prop_assert_eq!(tree.pop_min(), model.pop_first());
+                    }
+                    _ => {
+                        let mut drained = Vec::new();
+                        tree.drain_up_to(&key, &mut drained);
+                        let rest = model.split_off(&(key + 1));
+                        let expected: Vec<_> = std::mem::replace(&mut model, rest).into_iter().collect();
+                        prop_assert_eq!(drained, expected);
+                    }
+                }
+                tree.check_invariants();
+                prop_assert_eq!(tree.len(), model.len());
+                prop_assert_eq!(tree.min_key(), model.keys().next());
+            }
+            let entries = to_sorted_vec(&tree);
+            let expected: Vec<_> = model.into_iter().collect();
+            prop_assert_eq!(entries, expected);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Partition-side operation batching (§5, "Communication Patterns").
+//!
+//! Partitions accumulate operations and propagate them to Eunomia only
+//! periodically; this cuts the message rate at the service at the cost of
+//! a slight increase in stabilization time. Crucially — unlike batching at
+//! a sequencer — this waiting is *not* in the client's critical path: the
+//! client already got its reply when the operation entered the batch.
+
+use crate::time::Timestamp;
+
+/// A time-based batcher.
+///
+/// Drivers push items as operations are timestamped and call
+/// [`Batcher::flush_due`] from their periodic tick; the batch is emitted
+/// once `interval` ticks elapsed since the last flush (or
+/// immediately when `interval` is zero).
+#[derive(Clone, Debug)]
+pub struct Batcher<T> {
+    buf: Vec<T>,
+    interval: u64,
+    last_flush: Timestamp,
+    flushes: u64,
+    items: u64,
+}
+
+impl<T> Batcher<T> {
+    /// Creates a batcher flushing every `interval` ticks.
+    pub fn new(interval: u64) -> Self {
+        Batcher {
+            buf: Vec::new(),
+            interval,
+            last_flush: Timestamp::ZERO,
+            flushes: 0,
+            items: 0,
+        }
+    }
+
+    /// Adds an item to the open batch.
+    pub fn push(&mut self, item: T) {
+        self.buf.push(item);
+        self.items += 1;
+    }
+
+    /// Number of items in the open batch.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the open batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether a flush is due at `now`.
+    pub fn due(&self, now: Timestamp) -> bool {
+        !self.buf.is_empty() && now.saturating_sub(self.last_flush) >= self.interval
+    }
+
+    /// Emits the batch if due, otherwise `None`.
+    pub fn flush_due(&mut self, now: Timestamp) -> Option<Vec<T>> {
+        if self.due(now) {
+            Some(self.force_flush(now))
+        } else {
+            None
+        }
+    }
+
+    /// Unconditionally emits the (possibly empty) open batch.
+    pub fn force_flush(&mut self, now: Timestamp) -> Vec<T> {
+        self.last_flush = now;
+        self.flushes += 1;
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Configured flush interval (ticks).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Total batches emitted.
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Mean items per emitted batch, or `None` before the first flush.
+    pub fn mean_batch_size(&self) -> Option<f64> {
+        (self.flushes > 0)
+            .then(|| (self.items - self.buf.len() as u64) as f64 / self.flushes as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_interval() {
+        let mut b: Batcher<u32> = Batcher::new(1000);
+        b.push(1);
+        assert!(!b.due(Timestamp(500)));
+        assert_eq!(b.flush_due(Timestamp(500)), None);
+        assert!(b.due(Timestamp(1000)));
+        assert_eq!(b.flush_due(Timestamp(1000)), Some(vec![1]));
+        b.push(2);
+        // The window restarts from the last flush.
+        assert!(!b.due(Timestamp(1999)));
+        assert!(b.due(Timestamp(2000)));
+    }
+
+    #[test]
+    fn zero_interval_flushes_whenever_nonempty() {
+        let mut b: Batcher<u32> = Batcher::new(0);
+        assert_eq!(b.flush_due(Timestamp(0)), None, "empty batch never flushes");
+        b.push(7);
+        assert_eq!(b.flush_due(Timestamp(0)), Some(vec![7]));
+    }
+
+    #[test]
+    fn batches_accumulate_between_flushes() {
+        let mut b: Batcher<u32> = Batcher::new(10);
+        b.push(1);
+        b.push(2);
+        b.push(3);
+        assert_eq!(b.flush_due(Timestamp(10)), Some(vec![1, 2, 3]));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn mean_batch_size_tracks() {
+        let mut b: Batcher<u32> = Batcher::new(0);
+        assert_eq!(b.mean_batch_size(), None);
+        b.push(1);
+        b.push(2);
+        b.force_flush(Timestamp(1));
+        b.push(3);
+        b.force_flush(Timestamp(2));
+        assert_eq!(b.mean_batch_size(), Some(1.5));
+        assert_eq!(b.flushes(), 2);
+    }
+}

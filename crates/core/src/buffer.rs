@@ -1,0 +1,205 @@
+//! The stabilization buffer: Eunomia's ordered set of unstable operations.
+//!
+//! Every update received from a partition is inserted keyed by
+//! `(timestamp, partition)`; `PROCESS_STABLE` drains — in timestamp order —
+//! everything at or below the stable time. The backing store is pluggable
+//! through [`eunomia_collections::OrderedMap`]; the default is the
+//! red-black tree the paper's prototype uses (§6).
+
+use crate::ids::PartitionId;
+use crate::time::Timestamp;
+use eunomia_collections::{OrderedMap, RbTree};
+
+/// Buffer key: timestamp first, partition as tie-breaker.
+///
+/// Property 2 guarantees a single partition never reuses a timestamp, so
+/// `(ts, partition)` uniquely identifies an operation. Operations from
+/// *different* partitions may share a timestamp — they are concurrent and
+/// the paper allows processing them in any order; ordering by partition id
+/// makes that order deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpKey {
+    /// Update timestamp (the local entry of its vector time).
+    pub ts: Timestamp,
+    /// Originating partition.
+    pub partition: PartitionId,
+}
+
+impl OpKey {
+    /// Convenience constructor.
+    pub fn new(ts: Timestamp, partition: PartitionId) -> Self {
+        OpKey { ts, partition }
+    }
+}
+
+/// An ordered buffer of unstable operations with payloads of type `T`.
+///
+/// `M` is the ordered-map backend (defaults to the paper's red-black tree).
+#[derive(Clone, Debug)]
+pub struct StabilizationBuffer<T, M = RbTree<OpKey, T>>
+where
+    M: OrderedMap<OpKey, T>,
+{
+    ops: M,
+    _payload: std::marker::PhantomData<T>,
+}
+
+impl<T, M: OrderedMap<OpKey, T>> Default for StabilizationBuffer<T, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, M: OrderedMap<OpKey, T>> StabilizationBuffer<T, M> {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        StabilizationBuffer {
+            ops: M::new(),
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// Inserts an operation. Returns the displaced payload if the exact
+    /// `(ts, partition)` key was already present (a duplicate delivery).
+    pub fn insert(&mut self, key: OpKey, payload: T) -> Option<T> {
+        self.ops.insert(key, payload)
+    }
+
+    /// Number of buffered (unstable) operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Smallest buffered key, if any.
+    pub fn min_key(&self) -> Option<OpKey> {
+        self.ops.min_key().copied()
+    }
+
+    /// Drains every operation with `ts <= stable_time` into `out`, in
+    /// `(ts, partition)` order — `FIND_STABLE` plus removal (Alg. 3 l. 9–11).
+    pub fn drain_stable(&mut self, stable_time: Timestamp, out: &mut Vec<(OpKey, T)>) {
+        // All partitions are >= PartitionId(0), so the max partition id acts
+        // as an inclusive upper fence at `stable_time`.
+        let bound = OpKey {
+            ts: stable_time,
+            partition: PartitionId(u32::MAX),
+        };
+        self.ops.drain_up_to(&bound, out);
+    }
+
+    /// Drops (without yielding) every operation with `ts <= stable_time`;
+    /// used by follower replicas that learn a stable time from the leader
+    /// (Alg. 4 l. 13–15).
+    pub fn discard_stable(&mut self, stable_time: Timestamp) -> usize {
+        let mut scratch = Vec::new();
+        self.drain_stable(stable_time, &mut scratch);
+        scratch.len()
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+
+    /// Visits all buffered operations in order (diagnostics/tests).
+    pub fn for_each<F: FnMut(&OpKey, &T)>(&self, f: F) {
+        self.ops.for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(ts: u64, p: u32) -> OpKey {
+        OpKey::new(Timestamp(ts), PartitionId(p))
+    }
+
+    #[test]
+    fn drains_in_timestamp_order() {
+        let mut buf: StabilizationBuffer<u32> = StabilizationBuffer::new();
+        buf.insert(key(30, 0), 3);
+        buf.insert(key(10, 1), 1);
+        buf.insert(key(20, 0), 2);
+        let mut out = Vec::new();
+        buf.drain_stable(Timestamp(25), &mut out);
+        assert_eq!(out.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn equal_timestamps_from_different_partitions_both_drain() {
+        let mut buf: StabilizationBuffer<&str> = StabilizationBuffer::new();
+        buf.insert(key(10, 2), "b");
+        buf.insert(key(10, 1), "a");
+        let mut out = Vec::new();
+        buf.drain_stable(Timestamp(10), &mut out);
+        // Concurrent updates: deterministic partition-id order.
+        assert_eq!(
+            out.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn bound_is_inclusive() {
+        let mut buf: StabilizationBuffer<()> = StabilizationBuffer::new();
+        buf.insert(key(10, 0), ());
+        buf.insert(key(11, 0), ());
+        let mut out = Vec::new();
+        buf.drain_stable(Timestamp(10), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0.ts, Timestamp(10));
+    }
+
+    #[test]
+    fn duplicate_insert_reports_displacement() {
+        let mut buf: StabilizationBuffer<u8> = StabilizationBuffer::new();
+        assert_eq!(buf.insert(key(5, 0), 1), None);
+        assert_eq!(buf.insert(key(5, 0), 2), Some(1));
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn discard_stable_counts() {
+        let mut buf: StabilizationBuffer<()> = StabilizationBuffer::new();
+        for t in 1..=10u64 {
+            buf.insert(key(t, 0), ());
+        }
+        assert_eq!(buf.discard_stable(Timestamp(4)), 4);
+        assert_eq!(buf.len(), 6);
+    }
+
+    proptest! {
+        /// Whatever mix of inserts arrives, draining yields a sorted prefix
+        /// and leaves a suffix strictly above the stable time.
+        #[test]
+        fn drain_is_sorted_prefix(
+            entries in proptest::collection::vec((1u64..1000, 0u32..8), 1..200),
+            stable in 1u64..1000,
+        ) {
+            let mut buf: StabilizationBuffer<u64> = StabilizationBuffer::new();
+            let mut unique = std::collections::BTreeMap::new();
+            for (ts, p) in entries {
+                buf.insert(key(ts, p), ts);
+                unique.insert((ts, p), ts);
+            }
+            let mut out = Vec::new();
+            buf.drain_stable(Timestamp(stable), &mut out);
+            // Sorted by (ts, partition).
+            for w in out.windows(2) {
+                prop_assert!(w[0].0 < w[1].0);
+            }
+            // Exactly the entries at or below the bound.
+            let expected = unique.keys().filter(|(ts, _)| *ts <= stable).count();
+            prop_assert_eq!(out.len(), expected);
+            buf.for_each(|k, _| assert!(k.ts > Timestamp(stable)));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Ω-style eventual leader election (§3.3).
+//!
+//! The paper notes that a unique leader is *not* required for correctness —
+//! it only saves network resources — so "any leader election protocol
+//! designed for asynchronous systems (such as Ω) can be plugged in". This
+//! module provides a simple timeout-based Ω: members exchange heartbeats,
+//! each member suspects peers whose heartbeat is older than a timeout, and
+//! the trusted member with the smallest id is the leader. With eventually
+//! timely heartbeats all members eventually agree.
+
+use crate::ids::ReplicaId;
+use crate::time::Timestamp;
+
+/// Timeout-based eventual leader detector.
+///
+/// Drivers feed it heartbeat arrivals (`record_heartbeat`) and query
+/// `leader(now)`. The local member never suspects itself.
+#[derive(Clone, Debug)]
+pub struct OmegaState {
+    me: ReplicaId,
+    last_heard: Vec<Timestamp>,
+    timeout: u64,
+}
+
+impl OmegaState {
+    /// Creates a detector for `n_members` members, local member `me`,
+    /// suspecting peers silent for more than `timeout` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is out of range or `timeout` is zero.
+    pub fn new(me: ReplicaId, n_members: usize, timeout: u64) -> Self {
+        assert!(me.index() < n_members, "local member must be in range");
+        assert!(timeout > 0, "timeout must be positive");
+        OmegaState {
+            me,
+            last_heard: vec![Timestamp::ZERO; n_members],
+            timeout,
+        }
+    }
+
+    /// Records a heartbeat from `member` arriving at local time `now`.
+    pub fn record_heartbeat(&mut self, member: ReplicaId, now: Timestamp) {
+        if let Some(slot) = self.last_heard.get_mut(member.index()) {
+            if now > *slot {
+                *slot = now;
+            }
+        }
+    }
+
+    /// Whether `member` is currently trusted at local time `now`.
+    pub fn trusts(&self, member: ReplicaId, now: Timestamp) -> bool {
+        if member == self.me {
+            return true;
+        }
+        match self.last_heard.get(member.index()) {
+            Some(last) => now.saturating_sub(*last) <= self.timeout,
+            None => false,
+        }
+    }
+
+    /// Current leader estimate: the trusted member with the smallest id.
+    ///
+    /// Always returns some member — in the worst case the local one.
+    pub fn leader(&self, now: Timestamp) -> ReplicaId {
+        for i in 0..self.last_heard.len() {
+            let candidate = ReplicaId(i as u32);
+            if self.trusts(candidate, now) {
+                return candidate;
+            }
+        }
+        self.me
+    }
+
+    /// The configured suspicion timeout in ticks.
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    /// The local member id.
+    pub fn me(&self) -> ReplicaId {
+        self.me
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initially_trusts_only_self_until_heartbeats() {
+        let o = OmegaState::new(ReplicaId(2), 3, 100);
+        // No heartbeats at time beyond the timeout: peers suspected.
+        let now = Timestamp(1000);
+        assert!(!o.trusts(ReplicaId(0), now));
+        assert!(!o.trusts(ReplicaId(1), now));
+        assert!(o.trusts(ReplicaId(2), now));
+        assert_eq!(o.leader(now), ReplicaId(2));
+    }
+
+    #[test]
+    fn lowest_trusted_id_wins() {
+        let mut o = OmegaState::new(ReplicaId(2), 3, 100);
+        o.record_heartbeat(ReplicaId(0), Timestamp(950));
+        o.record_heartbeat(ReplicaId(1), Timestamp(990));
+        assert_eq!(o.leader(Timestamp(1000)), ReplicaId(0));
+        // Replica 0 goes silent past the timeout.
+        assert_eq!(o.leader(Timestamp(1051)), ReplicaId(1));
+        // Both silent.
+        assert_eq!(o.leader(Timestamp(2000)), ReplicaId(2));
+    }
+
+    #[test]
+    fn recovery_restores_leadership() {
+        let mut o = OmegaState::new(ReplicaId(1), 2, 50);
+        o.record_heartbeat(ReplicaId(0), Timestamp(100));
+        assert_eq!(o.leader(Timestamp(120)), ReplicaId(0));
+        assert_eq!(o.leader(Timestamp(200)), ReplicaId(1));
+        o.record_heartbeat(ReplicaId(0), Timestamp(210));
+        assert_eq!(o.leader(Timestamp(220)), ReplicaId(0));
+    }
+
+    #[test]
+    fn stale_heartbeats_do_not_rewind() {
+        let mut o = OmegaState::new(ReplicaId(1), 2, 50);
+        o.record_heartbeat(ReplicaId(0), Timestamp(100));
+        o.record_heartbeat(ReplicaId(0), Timestamp(80));
+        assert!(o.trusts(ReplicaId(0), Timestamp(150)));
+        assert!(!o.trusts(ReplicaId(0), Timestamp(151)));
+    }
+
+    #[test]
+    #[should_panic(expected = "local member must be in range")]
+    fn out_of_range_member_panics() {
+        let _ = OmegaState::new(ReplicaId(3), 3, 100);
+    }
+
+    #[test]
+    fn two_detectors_converge_on_same_leader() {
+        let mut a = OmegaState::new(ReplicaId(1), 3, 100);
+        let mut b = OmegaState::new(ReplicaId(2), 3, 100);
+        // Replica 0 is alive and heartbeats reach both.
+        for t in (0..1000).step_by(50) {
+            a.record_heartbeat(ReplicaId(0), Timestamp(t));
+            b.record_heartbeat(ReplicaId(0), Timestamp(t));
+            a.record_heartbeat(ReplicaId(2), Timestamp(t));
+            b.record_heartbeat(ReplicaId(1), Timestamp(t));
+        }
+        assert_eq!(a.leader(Timestamp(1000)), b.leader(Timestamp(1000)));
+        assert_eq!(a.leader(Timestamp(1000)), ReplicaId(0));
+    }
+}

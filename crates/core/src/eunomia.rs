@@ -1,0 +1,359 @@
+//! The Eunomia service state machine (Algorithm 3).
+//!
+//! Eunomia receives timestamped operations and heartbeats from every
+//! partition of its datacenter, tracks the latest timestamp seen per
+//! partition (`PartitionTime`), and periodically drains — in timestamp
+//! order — every operation at or below the *stable time*, the minimum of
+//! `PartitionTime`. Property 2 (per-partition FIFO with strictly
+//! increasing timestamps) guarantees no operation below the stable time
+//! can still arrive, so the drained sequence is a total order consistent
+//! with causality (Property 1) and can be shipped to remote datacenters
+//! with trivially checkable dependencies.
+
+use crate::buffer::{OpKey, StabilizationBuffer};
+use crate::ids::PartitionId;
+use crate::time::Timestamp;
+use eunomia_collections::{OrderedMap, RbTree};
+
+/// Errors surfaced by the Eunomia state machine.
+///
+/// A correct deployment never produces these: partitions stamp strictly
+/// increasing timestamps (Property 2) and links are FIFO. They exist so
+/// that drivers and tests can detect wiring mistakes instead of silently
+/// corrupting the stabilization order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EunomiaError {
+    /// An operation or heartbeat arrived from a partition id outside the
+    /// configured range.
+    UnknownPartition(PartitionId),
+    /// An operation arrived with a timestamp at or below the partition's
+    /// recorded `PartitionTime` — a Property 2 violation.
+    NonMonotonicTimestamp {
+        /// Offending partition.
+        partition: PartitionId,
+        /// Timestamp carried by the operation.
+        got: Timestamp,
+        /// Latest timestamp previously recorded for that partition.
+        latest: Timestamp,
+    },
+}
+
+impl std::fmt::Display for EunomiaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EunomiaError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
+            EunomiaError::NonMonotonicTimestamp {
+                partition,
+                got,
+                latest,
+            } => write!(
+                f,
+                "non-monotonic timestamp from {partition}: got {got}, latest {latest}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EunomiaError {}
+
+/// The (non-replicated) Eunomia service of §3.1.
+///
+/// Generic over the operation payload `T` and the ordered-map backend `M`
+/// (default: the red-black tree of §6).
+#[derive(Clone, Debug)]
+pub struct EunomiaState<T, M = RbTree<OpKey, T>>
+where
+    M: OrderedMap<OpKey, T>,
+{
+    partition_time: Vec<Timestamp>,
+    ops: StabilizationBuffer<T, M>,
+    last_stable: Timestamp,
+    total_received: u64,
+    total_stabilized: u64,
+}
+
+impl<T, M: OrderedMap<OpKey, T>> EunomiaState<T, M> {
+    /// Creates a service tracking `n_partitions` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_partitions` is zero — the stable time would be
+    /// undefined.
+    pub fn new(n_partitions: usize) -> Self {
+        assert!(n_partitions > 0, "Eunomia needs at least one partition");
+        EunomiaState {
+            partition_time: vec![Timestamp::ZERO; n_partitions],
+            ops: StabilizationBuffer::new(),
+            last_stable: Timestamp::ZERO,
+            total_received: 0,
+            total_stabilized: 0,
+        }
+    }
+
+    /// Number of tracked partitions.
+    pub fn partitions(&self) -> usize {
+        self.partition_time.len()
+    }
+
+    /// `ADD_OP` (Alg. 3 l. 1–4): buffers an operation and advances the
+    /// partition's entry in `PartitionTime`.
+    pub fn add_op(
+        &mut self,
+        partition: PartitionId,
+        ts: Timestamp,
+        payload: T,
+    ) -> Result<(), EunomiaError> {
+        let entry = self
+            .partition_time
+            .get_mut(partition.index())
+            .ok_or(EunomiaError::UnknownPartition(partition))?;
+        if ts <= *entry {
+            return Err(EunomiaError::NonMonotonicTimestamp {
+                partition,
+                got: ts,
+                latest: *entry,
+            });
+        }
+        *entry = ts;
+        self.ops.insert(OpKey::new(ts, partition), payload);
+        self.total_received += 1;
+        Ok(())
+    }
+
+    /// `HEARTBEAT` (Alg. 3 l. 5–6): advances `PartitionTime` without
+    /// buffering an operation. Stale heartbeats (at or below the recorded
+    /// time) are ignored rather than rejected: unlike operations they carry
+    /// no payload, so dropping them is harmless.
+    pub fn heartbeat(&mut self, partition: PartitionId, ts: Timestamp) -> Result<(), EunomiaError> {
+        let entry = self
+            .partition_time
+            .get_mut(partition.index())
+            .ok_or(EunomiaError::UnknownPartition(partition))?;
+        if ts > *entry {
+            *entry = ts;
+        }
+        Ok(())
+    }
+
+    /// The current stable time: `MIN(PartitionTime)` (Alg. 3 l. 8).
+    ///
+    /// No partition will ever stamp an update at or below this value, so
+    /// every buffered operation at or below it is final.
+    pub fn stable_time(&self) -> Timestamp {
+        self.partition_time
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// `PROCESS_STABLE` (Alg. 3 l. 7–11): drains every stable operation
+    /// into `out` in timestamp order and returns the stable time used.
+    pub fn process_stable(&mut self, out: &mut Vec<(OpKey, T)>) -> Timestamp {
+        let stable = self.stable_time();
+        if stable > self.last_stable {
+            let before = out.len();
+            self.ops.drain_stable(stable, out);
+            self.total_stabilized += (out.len() - before) as u64;
+            self.last_stable = stable;
+        }
+        self.last_stable
+    }
+
+    /// Latest timestamp recorded for `partition`.
+    pub fn partition_time(&self, partition: PartitionId) -> Option<Timestamp> {
+        self.partition_time.get(partition.index()).copied()
+    }
+
+    /// Stable time returned by the last `process_stable` call.
+    pub fn last_stable(&self) -> Timestamp {
+        self.last_stable
+    }
+
+    /// Number of buffered (not yet stable) operations.
+    pub fn pending(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total operations ever received.
+    pub fn total_received(&self) -> u64 {
+        self.total_received
+    }
+
+    /// Total operations ever drained as stable.
+    pub fn total_stabilized(&self) -> u64 {
+        self.total_stabilized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    type Svc = EunomiaState<u64>;
+
+    #[test]
+    fn nothing_stable_until_all_partitions_report() {
+        let mut s = Svc::new(3);
+        s.add_op(PartitionId(0), Timestamp(10), 0).unwrap();
+        s.add_op(PartitionId(1), Timestamp(20), 1).unwrap();
+        // Partition 2 has never reported: stable time is ZERO.
+        assert_eq!(s.stable_time(), Timestamp::ZERO);
+        let mut out = Vec::new();
+        s.process_stable(&mut out);
+        assert!(out.is_empty());
+        s.heartbeat(PartitionId(2), Timestamp(15)).unwrap();
+        s.process_stable(&mut out);
+        assert_eq!(out.len(), 1, "only the op at ts 10 <= stable 10 is out");
+    }
+
+    #[test]
+    fn drains_in_causal_timestamp_order() {
+        let mut s = Svc::new(2);
+        s.add_op(PartitionId(0), Timestamp(5), 5).unwrap();
+        s.add_op(PartitionId(1), Timestamp(3), 3).unwrap();
+        s.add_op(PartitionId(0), Timestamp(8), 8).unwrap();
+        s.add_op(PartitionId(1), Timestamp(7), 7).unwrap();
+        let mut out = Vec::new();
+        s.process_stable(&mut out);
+        // stable = min(8, 7) = 7 -> ops 3, 5, 7 in order.
+        assert_eq!(
+            out.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![3, 5, 7]
+        );
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn property2_violation_is_rejected() {
+        let mut s = Svc::new(1);
+        s.add_op(PartitionId(0), Timestamp(10), 0).unwrap();
+        let err = s.add_op(PartitionId(0), Timestamp(10), 1).unwrap_err();
+        assert!(matches!(err, EunomiaError::NonMonotonicTimestamp { .. }));
+        let err = s.add_op(PartitionId(0), Timestamp(9), 1).unwrap_err();
+        assert!(matches!(err, EunomiaError::NonMonotonicTimestamp { .. }));
+    }
+
+    #[test]
+    fn unknown_partition_is_rejected() {
+        let mut s = Svc::new(2);
+        assert_eq!(
+            s.add_op(PartitionId(5), Timestamp(1), 0),
+            Err(EunomiaError::UnknownPartition(PartitionId(5)))
+        );
+        assert_eq!(
+            s.heartbeat(PartitionId(2), Timestamp(1)),
+            Err(EunomiaError::UnknownPartition(PartitionId(2)))
+        );
+    }
+
+    #[test]
+    fn stale_heartbeats_are_ignored() {
+        let mut s = Svc::new(1);
+        s.add_op(PartitionId(0), Timestamp(10), 0).unwrap();
+        s.heartbeat(PartitionId(0), Timestamp(5)).unwrap();
+        assert_eq!(s.partition_time(PartitionId(0)), Some(Timestamp(10)));
+    }
+
+    #[test]
+    fn slow_partition_does_not_block_others_with_heartbeats() {
+        let mut s = Svc::new(2);
+        for t in 1..=100u64 {
+            s.add_op(PartitionId(0), Timestamp(t), t).unwrap();
+        }
+        // Partition 1 is idle but heartbeats (Alg. 2 l. 10-12).
+        s.heartbeat(PartitionId(1), Timestamp(100)).unwrap();
+        let mut out = Vec::new();
+        s.process_stable(&mut out);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn counters_track_flow() {
+        let mut s = Svc::new(1);
+        s.add_op(PartitionId(0), Timestamp(1), 1).unwrap();
+        s.add_op(PartitionId(0), Timestamp(2), 2).unwrap();
+        let mut out = Vec::new();
+        s.process_stable(&mut out);
+        assert_eq!(s.total_received(), 2);
+        assert_eq!(s.total_stabilized(), 2);
+        assert_eq!(s.last_stable(), Timestamp(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let _ = Svc::new(0);
+    }
+
+    proptest! {
+        /// For any interleaving of per-partition monotone streams, the
+        /// stabilized output is (a) totally ordered by (ts, partition),
+        /// (b) a prefix: nothing later emerges below an emitted timestamp,
+        /// and (c) complete up to the final stable time.
+        #[test]
+        fn stabilized_output_is_an_order_consistent_prefix(
+            // Per-partition number of ops and per-op timestamp gaps.
+            gaps in proptest::collection::vec(
+                proptest::collection::vec(1u64..5, 0..30), 2..5
+            ),
+            // Interleaving seed.
+            seed in 0u64..u64::MAX,
+        ) {
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let n = gaps.len();
+            let mut streams: Vec<Vec<Timestamp>> = gaps
+                .iter()
+                .map(|g| {
+                    let mut acc = 0u64;
+                    g.iter().map(|d| { acc += d; Timestamp(acc) }).collect()
+                })
+                .collect();
+            let mut svc: EunomiaState<Timestamp> = EunomiaState::new(n);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut emitted: Vec<OpKey> = Vec::new();
+            let mut cursors = vec![0usize; n];
+            let total: usize = streams.iter().map(|s| s.len()).sum();
+            let mut sent = 0usize;
+            while sent < total {
+                let p = rng.random_range(0..n);
+                if cursors[p] < streams[p].len() {
+                    let ts = streams[p][cursors[p]];
+                    cursors[p] += 1;
+                    sent += 1;
+                    svc.add_op(PartitionId(p as u32), ts, ts).unwrap();
+                }
+                if rng.random_range(0..4) == 0 {
+                    let mut out = Vec::new();
+                    svc.process_stable(&mut out);
+                    emitted.extend(out.iter().map(|(k, _)| *k));
+                }
+            }
+            // Final heartbeat from everyone so everything stabilizes.
+            let horizon = Timestamp(1_000_000);
+            for p in 0..n {
+                svc.heartbeat(PartitionId(p as u32), horizon).unwrap();
+            }
+            let mut out = Vec::new();
+            svc.process_stable(&mut out);
+            emitted.extend(out.iter().map(|(k, _)| *k));
+
+            // (a) total order.
+            for w in emitted.windows(2) {
+                prop_assert!(w[0] < w[1], "emitted keys must strictly increase");
+            }
+            // (c) completeness.
+            prop_assert_eq!(emitted.len(), total);
+            let mut expected: Vec<OpKey> = streams
+                .iter_mut()
+                .enumerate()
+                .flat_map(|(p, s)| {
+                    s.drain(..).map(move |ts| OpKey::new(ts, PartitionId(p as u32)))
+                })
+                .collect();
+            expected.sort();
+            prop_assert_eq!(emitted, expected);
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! Timestamps, hybrid clocks and vector times.
+//!
+//! The paper combines logical and physical time (§3.2): update timestamps
+//! are scalars derived from a loosely synchronized physical clock, with a
+//! logical bump that keeps them strictly monotone per partition and strictly
+//! above each client's causal past. [`ScalarHlc`] implements exactly the
+//! rule of Algorithm 2 line 5. [`Hlc`] is the structured
+//! (physical, logical) hybrid clock of Kulkarni et al., provided as the
+//! general-purpose clock for library users. [`VectorTime`] is the
+//! one-entry-per-datacenter vector of §4.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A scalar timestamp in clock ticks (nanoseconds throughout this
+/// workspace).
+///
+/// `Timestamp(0)` is the bottom element (before every event). Timestamps
+/// produced by a single partition are strictly increasing (Property 2 of
+/// the paper); timestamps across partitions order causally related updates
+/// (Property 1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The bottom timestamp, ordered before every update.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The top timestamp.
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Raw tick value.
+    pub fn as_ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a tick delta.
+    pub fn saturating_add(self, delta: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(delta))
+    }
+
+    /// Saturating difference in ticks.
+    pub fn saturating_sub(self, other: Timestamp) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+
+    /// Maximum of two timestamps.
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        Timestamp(self.0.max(other.0))
+    }
+
+    /// Minimum of two timestamps.
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        Timestamp(self.0.min(other.0))
+    }
+}
+
+impl Add<u64> for Timestamp {
+    type Output = Timestamp;
+
+    fn add(self, rhs: u64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = u64;
+
+    fn sub(self, rhs: Timestamp) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The scalar hybrid clock of Algorithm 2.
+///
+/// Each partition owns one. Ticking with the current physical clock reading
+/// and the client's dependency clock yields the update timestamp
+/// `MaxTs <- max(phys, dep + 1, MaxTs + 1)`, which is:
+///
+/// * strictly greater than the dependency (Property 1),
+/// * strictly greater than any timestamp this clock issued before
+///   (Property 2),
+/// * and no further ahead of real time than the causal past forces it to
+///   be — the logical bump replaces the "wait out the clock skew" delays of
+///   purely physical schemes (§3.2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScalarHlc {
+    max_ts: Timestamp,
+}
+
+impl ScalarHlc {
+    /// A fresh clock that has issued no timestamps.
+    pub fn new() -> Self {
+        ScalarHlc {
+            max_ts: Timestamp::ZERO,
+        }
+    }
+
+    /// Issues the timestamp for an update, given the physical clock reading
+    /// `physical` and the client's causal dependency `dep`.
+    pub fn tick(&mut self, physical: Timestamp, dep: Timestamp) -> Timestamp {
+        let ts = Timestamp(physical.0.max(dep.0 + 1).max(self.max_ts.0 + 1));
+        self.max_ts = ts;
+        ts
+    }
+
+    /// Issues a timestamp for a local event with no external dependency.
+    pub fn tick_local(&mut self, physical: Timestamp) -> Timestamp {
+        self.tick(physical, Timestamp::ZERO)
+    }
+
+    /// The latest timestamp issued (`MaxTs` in the paper).
+    pub fn last(&self) -> Timestamp {
+        self.max_ts
+    }
+
+    /// Whether the heartbeat condition of Algorithm 2 line 11 holds: the
+    /// physical clock has advanced at least `delta` past the last issued
+    /// timestamp, so a heartbeat stamped `physical` cannot be overtaken.
+    pub fn heartbeat_due(&self, physical: Timestamp, delta: u64) -> bool {
+        physical.0 >= self.max_ts.0.saturating_add(delta)
+    }
+
+    /// Issues a heartbeat timestamp (the physical reading) and records it so
+    /// that subsequent updates are stamped strictly above it, keeping the
+    /// per-partition stream monotone even if the physical clock stalls
+    /// within one microsecond.
+    pub fn heartbeat(&mut self, physical: Timestamp) -> Timestamp {
+        debug_assert!(
+            physical > self.max_ts,
+            "heartbeat_due must be checked first"
+        );
+        self.max_ts = physical;
+        physical
+    }
+}
+
+/// A structured hybrid logical clock (Kulkarni et al., OPODIS '14).
+///
+/// Keeps the physical component `l` within the clock-synchronization bound
+/// of real time, and a bounded logical counter `c` that breaks ties. The
+/// paper's scalar scheme is the special case where both components are
+/// folded into one integer; this type exists for library users who want
+/// explicit HLC semantics and for the clock-skew ablation bench.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HlcTimestamp {
+    /// Physical component (clock ticks).
+    pub l: u64,
+    /// Logical tie-breaker.
+    pub c: u32,
+}
+
+impl fmt::Display for HlcTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.l, self.c)
+    }
+}
+
+/// Hybrid logical clock state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hlc {
+    last: HlcTimestamp,
+}
+
+impl Hlc {
+    /// A fresh clock.
+    pub fn new() -> Self {
+        Hlc {
+            last: HlcTimestamp::default(),
+        }
+    }
+
+    /// Timestamp for a send or local event at physical time `pt` (ticks).
+    pub fn now(&mut self, pt: u64) -> HlcTimestamp {
+        if pt > self.last.l {
+            self.last = HlcTimestamp { l: pt, c: 0 };
+        } else {
+            self.last.c += 1;
+        }
+        self.last
+    }
+
+    /// Timestamp for a receive event: merges the remote timestamp `m` with
+    /// physical time `pt`.
+    pub fn update(&mut self, pt: u64, m: HlcTimestamp) -> HlcTimestamp {
+        let l_new = pt.max(self.last.l).max(m.l);
+        let c_new = if l_new == self.last.l && l_new == m.l {
+            self.last.c.max(m.c) + 1
+        } else if l_new == self.last.l {
+            self.last.c + 1
+        } else if l_new == m.l {
+            m.c + 1
+        } else {
+            0
+        };
+        self.last = HlcTimestamp { l: l_new, c: c_new };
+        self.last
+    }
+
+    /// The latest issued timestamp.
+    pub fn last(&self) -> HlcTimestamp {
+        self.last
+    }
+}
+
+/// A vector time with one [`Timestamp`] entry per datacenter (§4).
+///
+/// Entry `m` carries the causal dependency on datacenter `m`'s update
+/// stream. Vector times avoid the false cross-datacenter dependencies a
+/// single scalar would introduce, which is what lets EunomiaKV reach the
+/// optimal remote-visibility lower bound (latency from the *originating*
+/// datacenter rather than the farthest one).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct VectorTime(Vec<Timestamp>);
+
+impl VectorTime {
+    /// The zero vector over `m` datacenters.
+    pub fn new(m: usize) -> Self {
+        VectorTime(vec![Timestamp::ZERO; m])
+    }
+
+    /// Builds from raw tick entries.
+    pub fn from_ticks(entries: &[u64]) -> Self {
+        VectorTime(entries.iter().map(|&e| Timestamp(e)).collect())
+    }
+
+    /// Number of entries (datacenters).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Entry for datacenter `dc`.
+    pub fn get(&self, dc: crate::ids::DcId) -> Timestamp {
+        self.0[dc.index()]
+    }
+
+    /// Sets the entry for datacenter `dc`.
+    pub fn set(&mut self, dc: crate::ids::DcId, ts: Timestamp) {
+        self.0[dc.index()] = ts;
+    }
+
+    /// Pointwise maximum with `other` (client read rule of §4).
+    pub fn merge_max(&mut self, other: &VectorTime) {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether every entry of `self` is `>=` the matching entry of `other`
+    /// (i.e. `other`'s dependencies are covered by `self`).
+    pub fn dominates(&self, other: &VectorTime) -> bool {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a >= b)
+    }
+
+    /// Whether `self` covers `other` on every entry except the ones in
+    /// `skip` — the receiver's dependency check of Algorithm 5 line 12,
+    /// which exempts the local datacenter and the update's origin.
+    pub fn dominates_except(&self, other: &VectorTime, skip: &[crate::ids::DcId]) -> bool {
+        debug_assert_eq!(self.0.len(), other.0.len());
+        self.0
+            .iter()
+            .zip(other.0.iter())
+            .enumerate()
+            .all(|(i, (a, b))| skip.iter().any(|dc| dc.index() == i) || a >= b)
+    }
+
+    /// Minimum entry (used by scalar global-stabilization baselines).
+    pub fn min_entry(&self) -> Timestamp {
+        self.0.iter().copied().min().unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Iterates over entries.
+    pub fn iter(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Raw tick entries.
+    pub fn as_ticks(&self) -> Vec<u64> {
+        self.0.iter().map(|t| t.0).collect()
+    }
+}
+
+impl fmt::Display for VectorTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", t.0)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::DcId;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_hlc_follows_alg2_rule() {
+        let mut clock = ScalarHlc::new();
+        // Physical ahead of everything: timestamp = physical.
+        assert_eq!(clock.tick(Timestamp(100), Timestamp(50)), Timestamp(100));
+        // Dependency ahead of physical: timestamp = dep + 1 (no waiting).
+        assert_eq!(clock.tick(Timestamp(101), Timestamp(500)), Timestamp(501));
+        // Physical behind MaxTs: timestamp = MaxTs + 1 (monotonicity).
+        assert_eq!(clock.tick(Timestamp(102), Timestamp(0)), Timestamp(502));
+    }
+
+    #[test]
+    fn scalar_hlc_is_strictly_monotone() {
+        let mut clock = ScalarHlc::new();
+        let mut prev = Timestamp::ZERO;
+        for i in 0..1000u64 {
+            // Physical clock that stalls (integer division) and jumps.
+            let ts = clock.tick(Timestamp(i / 10), Timestamp(i % 7));
+            assert!(ts > prev, "timestamps must strictly increase");
+            prev = ts;
+        }
+    }
+
+    #[test]
+    fn heartbeat_due_and_monotone() {
+        let mut clock = ScalarHlc::new();
+        clock.tick(Timestamp(100), Timestamp::ZERO);
+        assert!(!clock.heartbeat_due(Timestamp(104), 5));
+        assert!(clock.heartbeat_due(Timestamp(105), 5));
+        let hb = clock.heartbeat(Timestamp(105));
+        assert_eq!(hb, Timestamp(105));
+        // An update right after the heartbeat must exceed it even if the
+        // physical clock has not advanced.
+        let ts = clock.tick(Timestamp(105), Timestamp::ZERO);
+        assert!(ts > hb);
+    }
+
+    #[test]
+    fn structured_hlc_stays_close_to_physical() {
+        let mut hlc = Hlc::new();
+        let t1 = hlc.now(10);
+        assert_eq!((t1.l, t1.c), (10, 0));
+        let t2 = hlc.now(10);
+        assert_eq!((t2.l, t2.c), (10, 1));
+        let t3 = hlc.now(11);
+        assert_eq!((t3.l, t3.c), (11, 0));
+    }
+
+    #[test]
+    fn structured_hlc_update_merges() {
+        let mut hlc = Hlc::new();
+        hlc.now(10);
+        // Remote is ahead: adopt its l, bump c.
+        let t = hlc.update(10, HlcTimestamp { l: 20, c: 3 });
+        assert_eq!((t.l, t.c), (20, 4));
+        // Physical overtakes: logical resets.
+        let t = hlc.update(25, HlcTimestamp { l: 20, c: 9 });
+        assert_eq!((t.l, t.c), (25, 0));
+        // Equal l on both sides: c = max + 1.
+        let t = hlc.update(25, HlcTimestamp { l: 25, c: 7 });
+        assert_eq!((t.l, t.c), (25, 8));
+    }
+
+    #[test]
+    fn vector_time_merge_and_dominates() {
+        let mut a = VectorTime::from_ticks(&[5, 0, 9]);
+        let b = VectorTime::from_ticks(&[3, 7, 9]);
+        assert!(!a.dominates(&b));
+        a.merge_max(&b);
+        assert_eq!(a, VectorTime::from_ticks(&[5, 7, 9]));
+        assert!(a.dominates(&b));
+        assert_eq!(a.min_entry(), Timestamp(5));
+    }
+
+    #[test]
+    fn dominates_except_skips_entries() {
+        let site = VectorTime::from_ticks(&[0, 100, 0]);
+        let dep = VectorTime::from_ticks(&[999, 50, 888]);
+        // Skipping dc0 (local) and dc2 (origin) leaves only dc1 to check.
+        assert!(site.dominates_except(&dep, &[DcId(0), DcId(2)]));
+        assert!(!site.dominates_except(&dep, &[DcId(0)]));
+    }
+
+    #[test]
+    fn vector_time_set_get_roundtrip() {
+        let mut v = VectorTime::new(3);
+        v.set(DcId(1), Timestamp(42));
+        assert_eq!(v.get(DcId(1)), Timestamp(42));
+        assert_eq!(v.get(DcId(0)), Timestamp::ZERO);
+        assert_eq!(v.to_string(), "[0,42,0]");
+    }
+
+    proptest! {
+        /// Property 1 analogue: a tick is strictly above its dependency.
+        #[test]
+        fn tick_exceeds_dependency(phys in 0u64..1_000_000, dep in 0u64..1_000_000) {
+            let mut c = ScalarHlc::new();
+            let ts = c.tick(Timestamp(phys), Timestamp(dep));
+            prop_assert!(ts.0 > dep);
+            prop_assert!(ts.0 >= phys);
+        }
+
+        /// The logical bump never pushes further ahead than needed: with no
+        /// dependencies and an advancing physical clock, ts == physical.
+        #[test]
+        fn tick_tracks_physical(start in 1u64..1_000_000) {
+            let mut c = ScalarHlc::new();
+            for i in 0..100u64 {
+                let phys = Timestamp(start + i * 10);
+                let ts = c.tick_local(phys);
+                prop_assert_eq!(ts, phys);
+            }
+        }
+
+        /// merge_max is commutative, associative and idempotent (join).
+        #[test]
+        fn merge_max_is_a_join(
+            a in proptest::collection::vec(0u64..1000, 4),
+            b in proptest::collection::vec(0u64..1000, 4),
+        ) {
+            let va = VectorTime::from_ticks(&a);
+            let vb = VectorTime::from_ticks(&b);
+            let mut ab = va.clone();
+            ab.merge_max(&vb);
+            let mut ba = vb.clone();
+            ba.merge_max(&va);
+            prop_assert_eq!(&ab, &ba);
+            prop_assert!(ab.dominates(&va) && ab.dominates(&vb));
+            let mut idem = ab.clone();
+            idem.merge_max(&ab.clone());
+            prop_assert_eq!(idem, ab);
+        }
+
+        /// Structured HLC timestamps strictly increase per clock.
+        #[test]
+        fn hlc_monotone(readings in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut hlc = Hlc::new();
+            let mut prev = HlcTimestamp::default();
+            for pt in readings {
+                let t = hlc.now(pt);
+                prop_assert!(t > prev);
+                prev = t;
+            }
+        }
+    }
+}

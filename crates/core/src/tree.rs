@@ -1,0 +1,148 @@
+//! Fan-in propagation tree (§5, "Communication Patterns").
+//!
+//! With many partitions, the all-to-one flow of metadata into Eunomia may
+//! not scale; the paper's first remedy is to "build a propagation tree
+//! among partition servers" so the service receives a few merged bundles
+//! instead of one message per partition per interval. This module
+//! provides the tree shape: a complete `arity`-ary tree over partition
+//! indices in heap layout (node 0 is the root and the only node that
+//! talks to Eunomia directly).
+
+/// A complete k-ary fan-in tree over `n` nodes in heap layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FanInTree {
+    n: usize,
+    arity: usize,
+}
+
+impl FanInTree {
+    /// Builds a tree over `n` nodes with the given fan-in `arity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `arity < 2`.
+    pub fn new(n: usize, arity: usize) -> Self {
+        assert!(n > 0, "tree needs at least one node");
+        assert!(arity >= 2, "fan-in below 2 is a chain, not a tree");
+        FanInTree { n, arity }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tree is empty (never true — `new` rejects `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The configured fan-in.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The root node (the one that forwards to Eunomia).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// Parent of `node`, or `None` for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn parent(&self, node: usize) -> Option<usize> {
+        assert!(node < self.n, "node out of range");
+        (node != 0).then(|| (node - 1) / self.arity)
+    }
+
+    /// Children of `node`, in index order.
+    pub fn children(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        let first = node * self.arity + 1;
+        (first..first + self.arity).filter(move |c| *c < self.n)
+    }
+
+    /// Distance from `node` to the root.
+    pub fn depth(&self, node: usize) -> usize {
+        let mut d = 0;
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            cur = p;
+            d += 1;
+        }
+        d
+    }
+
+    /// Height of the whole tree (max depth).
+    pub fn height(&self) -> usize {
+        self.depth(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binary_tree_shape() {
+        let t = FanInTree::new(7, 2);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.children(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(t.children(1).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(t.children(2).collect::<Vec<_>>(), vec![5, 6]);
+        assert_eq!(t.parent(5), Some(2));
+        assert_eq!(t.depth(6), 2);
+        assert_eq!(t.height(), 2);
+    }
+
+    #[test]
+    fn partial_last_level() {
+        let t = FanInTree::new(5, 3);
+        assert_eq!(t.children(0).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(t.children(1).collect::<Vec<_>>(), vec![4]);
+        assert_eq!(t.children(2).count(), 0);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = FanInTree::new(1, 4);
+        assert_eq!(t.parent(0), None);
+        assert_eq!(t.children(0).count(), 0);
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in below 2")]
+    fn arity_one_panics() {
+        let _ = FanInTree::new(3, 1);
+    }
+
+    proptest! {
+        /// Every node's parent lists it as a child, and walking parents
+        /// always reaches the root in <= log_arity(n) + 1 steps.
+        #[test]
+        fn parent_child_consistency(n in 1usize..200, arity in 2usize..8) {
+            let t = FanInTree::new(n, arity);
+            for node in 0..n {
+                if let Some(p) = t.parent(node) {
+                    prop_assert!(t.children(p).any(|c| c == node));
+                    prop_assert!(p < node, "parents precede children in heap layout");
+                }
+                prop_assert!(t.depth(node) <= n.ilog(arity.min(n).max(2)) as usize + 1);
+            }
+            // Children partition the non-root nodes.
+            let mut seen = vec![false; n];
+            seen[0] = true;
+            for node in 0..n {
+                for c in t.children(node) {
+                    prop_assert!(!seen[c], "each node has one parent");
+                    seen[c] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|s| *s));
+        }
+    }
+}

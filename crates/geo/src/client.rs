@@ -1,0 +1,128 @@
+//! Closed-loop client simulation actor.
+//!
+//! Each client runs Algorithm 1 (§4 vector form) against its home
+//! datacenter: it issues one operation, waits for the reply, folds the
+//! returned timestamp into its session clock and immediately issues the
+//! next operation — the paper's Basho Bench clients with zero think time.
+
+use crate::config::{ClusterConfig, SystemKind};
+use crate::metrics::GeoMetrics;
+use crate::msg::Msg;
+use crate::registry::SharedRegistry;
+use eunomia_core::ids::DcId;
+use eunomia_core::time::VectorTime;
+use eunomia_kv::client::ClientState;
+use eunomia_kv::{ring, Key};
+use eunomia_sim::{Context, Process, ProcessId, SimTime};
+use eunomia_workload::{Op, OpGenerator};
+use std::rc::Rc;
+
+/// The client actor.
+pub struct ClientProc {
+    session: ClientState,
+    gen: OpGenerator,
+    dc: usize,
+    kind: SystemKind,
+    cfg: Rc<ClusterConfig>,
+    reg: SharedRegistry,
+    metrics: GeoMetrics,
+    issued_at: SimTime,
+    pending_is_update: bool,
+    completed: u64,
+}
+
+impl ClientProc {
+    /// Creates a client homed at datacenter `dc`.
+    pub fn new(
+        dc: usize,
+        kind: SystemKind,
+        cfg: Rc<ClusterConfig>,
+        reg: SharedRegistry,
+        metrics: GeoMetrics,
+    ) -> Self {
+        ClientProc {
+            session: ClientState::new(DcId(dc as u16), cfg.n_dcs),
+            gen: cfg.workload.generator(),
+            dc,
+            kind,
+            cfg,
+            reg,
+            metrics,
+            issued_at: 0,
+            pending_is_update: false,
+            completed: 0,
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Under partial replication, clients access only keys their home
+        // datacenter stores (remote reads are out of scope, as in Practi's
+        // partial-replication reads-go-home model).
+        let mut op = self.gen.next_op(ctx.rng());
+        if let Some(rf) = self.cfg.replication_factor {
+            while !ring::replicates(Key(op.key()), self.dc, self.cfg.n_dcs, rf) {
+                op = self.gen.next_op(ctx.rng());
+            }
+        }
+        let key = Key(op.key());
+        let partition = ring::responsible(key, self.cfg.partitions_per_dc);
+        let target = self.reg.borrow().partition(self.dc, partition.index());
+        self.issued_at = ctx.now();
+        match op {
+            Op::Read(_) => {
+                self.pending_is_update = false;
+                ctx.send(target, Msg::Read { key });
+            }
+            Op::Update(_, value) => {
+                self.pending_is_update = true;
+                let deps = match self.kind {
+                    // §4: the update carries the client's whole causal past.
+                    SystemKind::EunomiaKv => self.session.vclock().clone(),
+                    // Eventual consistency tracks nothing.
+                    SystemKind::Eventual => VectorTime::new(self.cfg.n_dcs),
+                };
+                ctx.send(target, Msg::Update { key, value, deps });
+            }
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Context<'_, Msg>) {
+        let latency = ctx.now().saturating_sub(self.issued_at);
+        self.metrics
+            .record_op(self.dc, ctx.now(), latency, self.pending_is_update);
+        self.completed += 1;
+        if self
+            .cfg
+            .ops_per_client
+            .is_none_or(|budget| self.completed < budget)
+        {
+            self.issue(ctx);
+        }
+    }
+}
+
+impl Process<Msg> for ClientProc {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.issue(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: ProcessId, msg: Msg) {
+        match msg {
+            Msg::ReadReply { vts, .. } => {
+                if self.kind == SystemKind::EunomiaKv {
+                    self.session.on_read_reply(&vts);
+                }
+                self.complete(ctx);
+            }
+            Msg::UpdateReply { vts } => {
+                if self.kind == SystemKind::EunomiaKv {
+                    self.session.on_update_reply(vts);
+                }
+                self.complete(ctx);
+            }
+            other => {
+                debug_assert!(false, "client received unexpected message: {other:?}");
+            }
+        }
+    }
+}

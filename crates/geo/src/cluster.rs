@@ -1,0 +1,127 @@
+//! Cluster assembly: spawns clients, partitions, Eunomia replicas and
+//! receivers on the simulator and wires the registry.
+
+use crate::client::ClientProc;
+use crate::config::{ClusterConfig, SystemKind};
+use crate::eunomia_proc::ReplicaProc;
+use crate::metrics::GeoMetrics;
+use crate::msg::Msg;
+use crate::partition::PartitionProc;
+use crate::receiver::ReceiverProc;
+use crate::registry::{self, SharedRegistry};
+use eunomia_core::ids::ReplicaId;
+use eunomia_sim::{ClockModel, ProcessId, Simulation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+/// A built (not yet run) cluster.
+pub struct Cluster {
+    /// The simulation, ready to run.
+    pub sim: Simulation<Msg>,
+    /// Shared metrics sink.
+    pub metrics: GeoMetrics,
+    /// Process registry (filled).
+    pub registry: SharedRegistry,
+    /// Client process ids (for targeted inspection).
+    pub clients: Vec<ProcessId>,
+    /// Eunomia replica ids per datacenter (crash-injection targets).
+    pub replicas: Vec<Vec<ProcessId>>,
+    /// The configuration the cluster was built from.
+    pub cfg: Rc<ClusterConfig>,
+}
+
+/// Draws a clock model within the configured skew/drift bounds.
+fn draw_clock(cfg: &ClusterConfig, rng: &mut StdRng) -> ClockModel {
+    if cfg.clock_skew == 0 && cfg.drift_ppm == 0.0 {
+        return ClockModel::perfect();
+    }
+    let skew = cfg.clock_skew as i64;
+    let offset = if skew > 0 {
+        rng.random_range(-skew..=skew)
+    } else {
+        0
+    };
+    let drift = if cfg.drift_ppm > 0.0 {
+        rng.random_range(-cfg.drift_ppm..=cfg.drift_ppm)
+    } else {
+        0.0
+    };
+    ClockModel::new(offset, drift)
+}
+
+/// Builds a full deployment of `kind` per `cfg`.
+///
+/// Node placement: every partition, Eunomia replica, receiver and client
+/// gets its own simulated node in its datacenter's region; partitions and
+/// replicas get clocks drawn within the configured skew/drift bounds
+/// (clients and receivers never read physical clocks).
+pub fn build(kind: SystemKind, cfg: ClusterConfig) -> Cluster {
+    let cfg = Rc::new(cfg);
+    let metrics = GeoMetrics::new(cfg.n_dcs);
+    let reg = registry::shared();
+    let mut sim: Simulation<Msg> = Simulation::new(cfg.topology(), cfg.seed);
+    let mut clock_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_C10C);
+
+    let mut partitions = Vec::new();
+    let mut eunomia = Vec::new();
+    let mut receivers = Vec::new();
+    let mut clients = Vec::new();
+
+    for dc in 0..cfg.n_dcs {
+        let mut dc_parts = Vec::new();
+        for p in 0..cfg.partitions_per_dc {
+            let node = sim.add_node_with_clock(dc, draw_clock(&cfg, &mut clock_rng));
+            let proc = PartitionProc::new(dc, p, kind, cfg.clone(), reg.clone(), metrics.clone());
+            dc_parts.push(sim.add_process_on(node, Box::new(proc)));
+        }
+        partitions.push(dc_parts);
+
+        let mut dc_replicas = Vec::new();
+        if kind == SystemKind::EunomiaKv {
+            for r in 0..cfg.replicas.max(1) {
+                let node = sim.add_node_with_clock(dc, draw_clock(&cfg, &mut clock_rng));
+                let proc = ReplicaProc::new(
+                    dc,
+                    ReplicaId(r as u32),
+                    cfg.clone(),
+                    reg.clone(),
+                    metrics.clone(),
+                );
+                dc_replicas.push(sim.add_process_on(node, Box::new(proc)));
+            }
+        }
+        eunomia.push(dc_replicas);
+
+        if kind == SystemKind::EunomiaKv {
+            let node = sim.add_node(dc);
+            let proc = ReceiverProc::new(dc, cfg.clone(), reg.clone(), metrics.clone());
+            receivers.push(sim.add_process_on(node, Box::new(proc)));
+        } else {
+            // Placeholder id, never messaged in Eventual mode.
+            receivers.push(ProcessId(u32::MAX));
+        }
+
+        for _ in 0..cfg.clients_per_dc {
+            let node = sim.add_node(dc);
+            let proc = ClientProc::new(dc, kind, cfg.clone(), reg.clone(), metrics.clone());
+            clients.push(sim.add_process_on(node, Box::new(proc)));
+        }
+    }
+
+    {
+        let mut r = reg.borrow_mut();
+        r.partitions = partitions;
+        r.eunomia = eunomia.clone();
+        r.receivers = receivers;
+    }
+
+    Cluster {
+        sim,
+        metrics,
+        registry: reg,
+        clients,
+        replicas: eunomia,
+        cfg,
+    }
+}

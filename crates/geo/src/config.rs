@@ -1,0 +1,296 @@
+//! Deployment, cost-model and workload configuration.
+
+use eunomia_sim::{units, SimTime};
+use eunomia_workload::WorkloadConfig;
+
+/// Which system to assemble over the substrate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Eventually consistent multi-cluster store: remote updates apply on
+    /// arrival, no causality metadata. The paper's normalization baseline.
+    Eventual,
+    /// EunomiaKV: the paper's system (§3–§5).
+    EunomiaKv,
+}
+
+/// CPU service costs (nanoseconds) charged by the busy-server model.
+///
+/// Defaults are calibrated so a partition behaves like a share of the
+/// paper's Riak machines (§7.1 reports ≈3 kops/s per machine): an op costs
+/// a few hundred microseconds, and consistency metadata adds costs on top.
+/// Absolute values are not meant to match the authors' hardware — the
+/// *relative* costs are what produce the paper's shapes.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Partition: base read handling.
+    pub read_ns: u64,
+    /// Partition: base update handling (storage write + timestamping).
+    pub update_ns: u64,
+    /// Per vector entry handled on client-facing ops (0 for scalar or
+    /// eventual systems).
+    pub vector_entry_ns: u64,
+    /// Eunomia: per-op ingest (buffer insert).
+    pub meta_op_ns: u64,
+    /// Eunomia: per-op stabilization drain.
+    pub stable_per_op_ns: u64,
+    /// Fixed per-message cost (batch framing, syscalls).
+    pub batch_overhead_ns: u64,
+    /// Partition: applying one remote update.
+    pub apply_ns: u64,
+    /// Partition: staging one remote data payload.
+    pub stage_ns: u64,
+    /// Receiver: per stable op enqueue/dependency check.
+    pub receiver_op_ns: u64,
+    /// Heartbeat/liveness message processing.
+    pub hb_ns: u64,
+    /// Baselines — per-op scalar metadata handling (GentleRain's single
+    /// timestamp; Cure pays `stab_vector_entry_ns` per entry instead).
+    pub scalar_meta_ns: u64,
+    /// Baselines — per-vector-entry metadata cost of the global-
+    /// stabilization systems (Cure). Deliberately much larger than
+    /// `vector_entry_ns`: EunomiaKV only *attaches* vectors (dependency
+    /// checking is the receiver's trivial comparison), while Cure's
+    /// partitions maintain, merge and stabilize vectors on every
+    /// operation — the "metadata enrichment" overhead of §7.2.1.
+    pub stab_vector_entry_ns: u64,
+    /// Baselines — partition cost to compute and send one LST/LSV report
+    /// into the global stabilization procedure (scalar part; vector
+    /// systems add `vector_entry_ns` per entry).
+    pub stab_report_ns: u64,
+    /// Baselines — partition cost to process one GST/GSV broadcast.
+    pub stab_broadcast_ns: u64,
+    /// Baselines — sequencer service time per sequence-number request.
+    pub seq_req_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            read_ns: 700_000,
+            update_ns: 900_000,
+            vector_entry_ns: 5_000,
+            meta_op_ns: 1_500,
+            stable_per_op_ns: 1_000,
+            batch_overhead_ns: 10_000,
+            apply_ns: 30_000,
+            stage_ns: 8_000,
+            receiver_op_ns: 2_000,
+            hb_ns: 2_000,
+            scalar_meta_ns: 100_000,
+            stab_vector_entry_ns: 55_000,
+            stab_report_ns: 40_000,
+            stab_broadcast_ns: 30_000,
+            seq_req_ns: 150_000,
+        }
+    }
+}
+
+/// A partition that communicates abnormally slowly with its local Eunomia
+/// during a time window (§7.2.3).
+#[derive(Clone, Copy, Debug)]
+pub struct StragglerConfig {
+    /// Datacenter of the straggler.
+    pub dc: usize,
+    /// Partition index within the datacenter.
+    pub partition: usize,
+    /// Straggling window start (sim time).
+    pub from: SimTime,
+    /// Straggling window end (sim time).
+    pub to: SimTime,
+    /// Batch/heartbeat interval used *inside* the window.
+    pub interval: SimTime,
+}
+
+/// Full cluster configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of datacenters (`M`).
+    pub n_dcs: usize,
+    /// Logical partitions per datacenter (`N`).
+    pub partitions_per_dc: usize,
+    /// Closed-loop clients per datacenter.
+    pub clients_per_dc: usize,
+    /// Symmetric RTT matrix between datacenters (ns); `None` selects the
+    /// paper's 3-DC topology (80/80/160 ms).
+    pub rtt_matrix: Option<Vec<Vec<SimTime>>>,
+    /// One-way latency between nodes of the same datacenter.
+    pub intra_oneway: SimTime,
+    /// Uniform jitter bound added to every one-way latency.
+    pub jitter: SimTime,
+    /// Simulation duration.
+    pub duration: SimTime,
+    /// Ignored prefix when computing steady-state rates (the paper trims
+    /// the first minute).
+    pub warmup: SimTime,
+    /// Ignored suffix (the paper trims the last minute).
+    pub cooldown: SimTime,
+    /// Partition → Eunomia batching interval (§5; paper uses 1 ms).
+    pub batch_interval: SimTime,
+    /// Partition heartbeat threshold ∆ (Alg. 2 l. 10–12).
+    pub heartbeat_delta: SimTime,
+    /// Eunomia `PROCESS_STABLE` period θ.
+    pub theta: SimTime,
+    /// Receiver `CHECK_PENDING` period ρ.
+    pub rho: SimTime,
+    /// Baselines — interval at which sibling partitions across datacenters
+    /// exchange heartbeats for global stabilization (the paper uses 10 ms).
+    pub stab_heartbeat_interval: SimTime,
+    /// Baselines — interval at which each datacenter recomputes its
+    /// GST/GSV ("clock computation interval"; the paper uses 5 ms and
+    /// sweeps 1–100 ms in Fig. 1).
+    pub stab_aggregation_interval: SimTime,
+    /// Eunomia replica count (1 = the non-replicated service of §3.1).
+    pub replicas: usize,
+    /// Ω heartbeat interval between replicas.
+    pub omega_interval: SimTime,
+    /// Ω suspicion timeout.
+    pub omega_timeout: SimTime,
+    /// Per-node clock offsets are drawn uniformly from `[-skew, +skew]`.
+    pub clock_skew: SimTime,
+    /// Per-node drift drawn uniformly from `[-drift_ppm, +drift_ppm]`.
+    pub drift_ppm: f64,
+    /// Optional straggler injection (§7.2.3).
+    pub straggler: Option<StragglerConfig>,
+    /// Service cost model.
+    pub costs: CostModel,
+    /// Workload.
+    pub workload: WorkloadConfig,
+    /// RNG seed (identical seeds give identical runs).
+    pub seed: u64,
+    /// Optional per-client operation budget: clients stop issuing after
+    /// completing this many operations (used by quiescence tests; `None`
+    /// keeps the closed loop running for the whole duration).
+    pub ops_per_client: Option<u64>,
+    /// Extension (off = faithful Alg. 5): allow the receiver to keep one
+    /// APPLY in flight per origin datacenter instead of one globally.
+    pub pipelined_receiver: bool,
+    /// Extension (§8 future work, Practi-style): replicate each key at
+    /// only this many datacenters. Metadata still flows to every
+    /// datacenter (receivers advance `SiteTime` with metadata-only
+    /// applies for keys they do not store); data ships only to the
+    /// key's replica set. `None` = full replication (the paper's setting).
+    pub replication_factor: Option<usize>,
+    /// §5 "Communication Patterns": route partition metadata through a
+    /// fan-in tree of the given arity instead of all-to-one. `None`
+    /// (default) sends every partition's batches straight to the Eunomia
+    /// replicas; `Some(k)` makes partition 0 the root relay.
+    pub metadata_tree_arity: Option<usize>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_dcs: 3,
+            partitions_per_dc: 8,
+            clients_per_dc: 4,
+            rtt_matrix: None,
+            intra_oneway: units::us(50),
+            jitter: units::us(20),
+            duration: units::secs(60),
+            warmup: units::secs(10),
+            cooldown: units::secs(10),
+            batch_interval: units::ms(1),
+            heartbeat_delta: units::ms(1),
+            theta: units::ms(1),
+            rho: units::ms(1),
+            stab_heartbeat_interval: units::ms(10),
+            stab_aggregation_interval: units::ms(5),
+            replicas: 1,
+            omega_interval: units::ms(10),
+            omega_timeout: units::ms(50),
+            clock_skew: units::us(500),
+            drift_ppm: 50.0,
+            straggler: None,
+            costs: CostModel::default(),
+            workload: WorkloadConfig::paper(90, false),
+            seed: 42,
+            ops_per_client: None,
+            pipelined_receiver: false,
+            replication_factor: None,
+            metadata_tree_arity: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The measurement window `[warmup, duration - cooldown)`.
+    pub fn measure_window(&self) -> (SimTime, SimTime) {
+        (self.warmup, self.duration.saturating_sub(self.cooldown))
+    }
+
+    /// Costs adjusted for the system being run: the eventual store pays no
+    /// vector handling (it keeps no causality metadata).
+    pub fn costs_for(&self, kind: SystemKind) -> CostModel {
+        let mut c = self.costs;
+        if kind == SystemKind::Eventual {
+            c.vector_entry_ns = 0;
+        }
+        c
+    }
+
+    /// Builds the simulator topology for this config.
+    pub fn topology(&self) -> eunomia_sim::Topology {
+        match &self.rtt_matrix {
+            Some(m) => eunomia_sim::Topology::new(m.clone(), self.intra_oneway, self.jitter),
+            None => {
+                assert_eq!(
+                    self.n_dcs, 3,
+                    "default topology is the paper's 3-DC deployment"
+                );
+                eunomia_sim::Topology::paper_three_dcs(self.intra_oneway, self.jitter)
+            }
+        }
+    }
+
+    /// A small, fast configuration for tests (2 DCs, few clients, short
+    /// run, low latencies).
+    pub fn small_test() -> Self {
+        ClusterConfig {
+            n_dcs: 2,
+            partitions_per_dc: 2,
+            clients_per_dc: 2,
+            rtt_matrix: Some(vec![vec![0, units::ms(20)], vec![units::ms(20), 0]]),
+            duration: units::secs(5),
+            warmup: units::secs(1),
+            cooldown: units::secs(1),
+            workload: WorkloadConfig {
+                keys: 100,
+                read_pct: 50,
+                value_size: 16,
+                power_law: false,
+            },
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_deployment() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.n_dcs, 3);
+        assert_eq!(c.partitions_per_dc, 8);
+        assert_eq!(c.batch_interval, units::ms(1));
+        let topo = c.topology();
+        assert_eq!(topo.rtt(0, 1), units::ms(80));
+        assert_eq!(topo.rtt(1, 2), units::ms(160));
+    }
+
+    #[test]
+    fn eventual_pays_no_vector_costs() {
+        let c = ClusterConfig::default();
+        assert_eq!(c.costs_for(SystemKind::Eventual).vector_entry_ns, 0);
+        assert!(c.costs_for(SystemKind::EunomiaKv).vector_entry_ns > 0);
+    }
+
+    #[test]
+    fn measure_window_trims_both_ends() {
+        let c = ClusterConfig::default();
+        let (from, to) = c.measure_window();
+        assert_eq!(from, units::secs(10));
+        assert_eq!(to, units::secs(50));
+    }
+}

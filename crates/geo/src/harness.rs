@@ -1,0 +1,136 @@
+//! Run-and-report helpers shared by tests, examples and benchmarks.
+
+use crate::cluster::{build, Cluster};
+use crate::config::{ClusterConfig, SystemKind};
+use crate::metrics::GeoMetrics;
+use eunomia_sim::{units, SimTime};
+
+/// Summary of one simulated run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Human-readable system label.
+    pub system: String,
+    /// Steady-state throughput (ops/s) over the trimmed window, summed
+    /// across datacenters.
+    pub throughput: f64,
+    /// Total completed client operations (whole run).
+    pub total_ops: u64,
+    /// Median client operation latency (ms).
+    pub p50_latency_ms: f64,
+    /// 99th percentile client operation latency (ms).
+    pub p99_latency_ms: f64,
+    /// Metrics sink for deeper analysis (visibility CDFs etc.).
+    pub metrics: GeoMetrics,
+    /// Measurement window used.
+    pub window: (SimTime, SimTime),
+}
+
+impl RunReport {
+    /// Visibility percentile (ms of *extra* delay beyond data arrival) for
+    /// updates originating at `origin` observed at `dest`, over the
+    /// measurement window. `None` if no samples.
+    pub fn visibility_percentile_ms(&self, origin: u16, dest: u16, p: f64) -> Option<f64> {
+        let samples = self
+            .metrics
+            .visibility_extras(origin, dest, self.window.0, self.window.1);
+        eunomia_stats::exact_percentile(&samples, p).map(units::to_ms)
+    }
+
+    /// Full visibility CDF (ms, cumulative fraction) for a DC pair.
+    pub fn visibility_cdf_ms(&self, origin: u16, dest: u16) -> Vec<(f64, f64)> {
+        let samples = self
+            .metrics
+            .visibility_extras(origin, dest, self.window.0, self.window.1);
+        eunomia_stats::empirical_cdf(&samples)
+            .into_iter()
+            .map(|(ns, f)| (units::to_ms(ns), f))
+            .collect()
+    }
+}
+
+/// Label for a system kind.
+pub fn label(kind: SystemKind) -> &'static str {
+    match kind {
+        SystemKind::Eventual => "Eventual",
+        SystemKind::EunomiaKv => "EunomiaKV",
+    }
+}
+
+/// Builds and runs a full deployment, returning the report.
+pub fn run_system(kind: SystemKind, cfg: ClusterConfig) -> RunReport {
+    let mut cluster = build(kind, cfg);
+    run_built(&mut cluster);
+    report(kind, &cluster)
+}
+
+/// Runs an already-built cluster to its configured duration.
+pub fn run_built(cluster: &mut Cluster) {
+    let duration = cluster.cfg.duration;
+    cluster.sim.run_until(duration);
+}
+
+/// Extracts the report from a finished cluster run.
+pub fn report(kind: SystemKind, cluster: &Cluster) -> RunReport {
+    make_report(label(kind), &cluster.metrics, &cluster.cfg)
+}
+
+/// Builds a [`RunReport`] from any system's metrics — also used by the
+/// baseline systems in `eunomia-baselines`, which share the metrics sink
+/// and configuration types.
+pub fn make_report(system: &str, metrics: &GeoMetrics, cfg: &ClusterConfig) -> RunReport {
+    let (from, to) = cfg.measure_window();
+    let metrics = metrics.clone();
+    let (p50, p99) = metrics.with(|m| {
+        (
+            m.op_latency.percentile(50.0).unwrap_or(0),
+            m.op_latency.percentile(99.0).unwrap_or(0),
+        )
+    });
+    RunReport {
+        system: system.to_string(),
+        throughput: metrics.throughput_ops_sec(from, to),
+        total_ops: metrics.completed_ops(),
+        p50_latency_ms: units::to_ms(p50),
+        p99_latency_ms: units::to_ms(p99),
+        metrics,
+        window: (from, to),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_eventual_run_completes_ops() {
+        let report = run_system(SystemKind::Eventual, ClusterConfig::small_test());
+        assert!(report.total_ops > 100, "ops: {}", report.total_ops);
+        assert!(report.throughput > 0.0);
+        assert!(report.p50_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn small_eunomia_run_completes_ops_and_visibility() {
+        let report = run_system(SystemKind::EunomiaKv, ClusterConfig::small_test());
+        assert!(report.total_ops > 100, "ops: {}", report.total_ops);
+        // Remote updates became visible in both directions.
+        let v01 = report.metrics.visibility_extras(0, 1, 0, u64::MAX);
+        let v10 = report.metrics.visibility_extras(1, 0, 0, u64::MAX);
+        assert!(!v01.is_empty(), "dc0->dc1 visibility samples missing");
+        assert!(!v10.is_empty(), "dc1->dc0 visibility samples missing");
+        // Extra delay should be modest: stabilization intervals are 1 ms.
+        let p90 = report.visibility_percentile_ms(0, 1, 90.0).unwrap();
+        assert!(p90 < 100.0, "p90 extra delay unreasonably large: {p90} ms");
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let a = run_system(SystemKind::EunomiaKv, ClusterConfig::small_test());
+        let b = run_system(SystemKind::EunomiaKv, ClusterConfig::small_test());
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(
+            a.metrics.visibility_extras(0, 1, 0, u64::MAX),
+            b.metrics.visibility_extras(0, 1, 0, u64::MAX)
+        );
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Geo-replication layer: full EunomiaKV and Eventual systems on the
+//! discrete-event simulator.
+//!
+//! This crate assembles the pieces of `eunomia-core` and `eunomia-kv` into
+//! running datacenters (§4 of the paper):
+//!
+//! * [`client::ClientProc`] — closed-loop clients with vector sessions
+//!   (Algorithm 1 / §4);
+//! * [`partition::PartitionProc`] — partition servers: timestamping,
+//!   batched metadata to the Eunomia replicas (§5), immediate data-path
+//!   shipping to sibling partitions, remote applies;
+//! * [`eunomia_proc::ReplicaProc`] — the (optionally replicated) Eunomia
+//!   service: ingestion with duplicate filtering, Ω leader election,
+//!   leader-driven `PROCESS_STABLE` and ordered shipping to remote
+//!   receivers (Algorithms 3–4);
+//! * [`receiver::ReceiverProc`] — the per-datacenter receiver running the
+//!   FLUSH loop of Algorithm 5 (one outstanding APPLY, exactly as
+//!   published; a pipelined extension exists for the ablation bench);
+//! * [`cluster`] — wiring; [`harness`] — run-and-report helpers.
+//!
+//! The same crate also builds the **Eventual** baseline (no causality:
+//! remote updates apply on arrival), which is the paper's normalization
+//! reference.
+
+pub mod client;
+pub mod cluster;
+pub mod config;
+pub mod eunomia_proc;
+pub mod harness;
+pub mod metrics;
+pub mod msg;
+pub mod partition;
+pub mod receiver;
+pub mod registry;
+
+pub use config::{ClusterConfig, CostModel, StragglerConfig, SystemKind};
+pub use harness::{run_system, RunReport};
+pub use metrics::GeoMetrics;
+pub use msg::Msg;

@@ -1,0 +1,239 @@
+//! Shared run metrics: throughput, operation latency, remote visibility.
+
+use eunomia_sim::SimTime;
+use eunomia_stats::{Histogram, TimeSeries};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One remote-visibility observation.
+#[derive(Clone, Copy, Debug)]
+pub struct VisibilitySample {
+    /// Simulated time at which the update became visible at the
+    /// destination.
+    pub at: SimTime,
+    /// Extra delay in nanoseconds: time from the update's data arriving at
+    /// the destination partition until it became visible. This is the
+    /// paper's metric — network latency between datacenters is factored
+    /// out (§7.2.2).
+    pub extra_ns: u64,
+}
+
+/// One entry of the (optional) apply log: an update landing at a
+/// datacenter, used by integration tests to verify causal order and
+/// convergence end to end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ApplyRecord {
+    /// Originating datacenter.
+    pub origin: u16,
+    /// Datacenter where the update landed (== `origin` for local updates).
+    pub dest: u16,
+    /// Updated key.
+    pub key: u64,
+    /// The update's timestamp at its origin (its LWW rank component).
+    pub ts: u64,
+    /// Full vector time of the update.
+    pub vts: Vec<u64>,
+    /// Sim time of the landing.
+    pub at: SimTime,
+}
+
+/// Mutable interior of [`GeoMetrics`].
+#[derive(Debug)]
+pub struct MetricsInner {
+    /// Completed client operations per datacenter, 1-second buckets.
+    pub ops_per_dc: Vec<TimeSeries>,
+    /// Client-observed operation latency (ns).
+    pub op_latency: Histogram,
+    /// Client-observed latency of update operations only (ns).
+    pub update_latency: Histogram,
+    /// Update latency over time (1-second buckets; mean per bucket) —
+    /// used by the straggler experiment to show sequencer systems pushing
+    /// the straggling interval into client latency (§7.2.3).
+    pub update_latency_series: TimeSeries,
+    /// Visibility samples per `(origin_dc, dest_dc)`.
+    pub visibility: HashMap<(u16, u16), Vec<VisibilitySample>>,
+    /// Total completed operations.
+    pub completed_ops: u64,
+    /// Total completed updates.
+    pub completed_updates: u64,
+    /// Total remote updates applied.
+    pub remote_applies: u64,
+    /// Messages received by Eunomia replicas (MetaBatch/MetaBundle) — the
+    /// quantity the §5 propagation tree reduces.
+    pub service_messages: u64,
+    /// Apply log (only filled when enabled; see
+    /// [`GeoMetrics::enable_apply_log`]).
+    pub apply_log: Vec<ApplyRecord>,
+    /// Whether the apply log records entries.
+    pub apply_log_enabled: bool,
+}
+
+/// Metrics sink shared (single-threaded `Rc`) by all simulation processes.
+#[derive(Clone, Debug)]
+pub struct GeoMetrics {
+    inner: Rc<RefCell<MetricsInner>>,
+}
+
+impl GeoMetrics {
+    /// Creates a sink for `n_dcs` datacenters.
+    pub fn new(n_dcs: usize) -> Self {
+        GeoMetrics {
+            inner: Rc::new(RefCell::new(MetricsInner {
+                ops_per_dc: (0..n_dcs)
+                    .map(|_| TimeSeries::new(eunomia_sim::units::secs(1)))
+                    .collect(),
+                op_latency: Histogram::new(),
+                update_latency: Histogram::new(),
+                update_latency_series: TimeSeries::new(eunomia_sim::units::secs(1)),
+                visibility: HashMap::new(),
+                completed_ops: 0,
+                completed_updates: 0,
+                remote_applies: 0,
+                service_messages: 0,
+                apply_log: Vec::new(),
+                apply_log_enabled: false,
+            })),
+        }
+    }
+
+    /// Records a completed client operation.
+    pub fn record_op(&self, dc: usize, at: SimTime, latency_ns: u64, is_update: bool) {
+        let mut m = self.inner.borrow_mut();
+        m.ops_per_dc[dc].add(at, 1);
+        m.op_latency.record(latency_ns);
+        m.completed_ops += 1;
+        if is_update {
+            m.update_latency.record(latency_ns);
+            m.update_latency_series.observe(at, latency_ns);
+            m.completed_updates += 1;
+        }
+    }
+
+    /// Records a remote update becoming visible.
+    pub fn record_visibility(&self, origin: u16, dest: u16, at: SimTime, extra_ns: u64) {
+        let mut m = self.inner.borrow_mut();
+        m.remote_applies += 1;
+        m.visibility
+            .entry((origin, dest))
+            .or_default()
+            .push(VisibilitySample { at, extra_ns });
+    }
+
+    /// Counts one metadata message arriving at an Eunomia replica.
+    pub fn record_service_msg(&self) {
+        self.inner.borrow_mut().service_messages += 1;
+    }
+
+    /// Messages received by Eunomia replicas so far.
+    pub fn service_messages(&self) -> u64 {
+        self.inner.borrow().service_messages
+    }
+
+    /// Turns on the apply log (off by default: it grows with every update
+    /// landing anywhere, which benchmark runs do not want to pay for).
+    pub fn enable_apply_log(&self) {
+        self.inner.borrow_mut().apply_log_enabled = true;
+    }
+
+    /// Appends to the apply log if enabled.
+    pub fn record_apply(&self, record: ApplyRecord) {
+        let mut m = self.inner.borrow_mut();
+        if m.apply_log_enabled {
+            m.apply_log.push(record);
+        }
+    }
+
+    /// Clones the apply log (empty unless enabled).
+    pub fn apply_log(&self) -> Vec<ApplyRecord> {
+        self.inner.borrow().apply_log.clone()
+    }
+
+    /// Immutable access to the accumulated metrics.
+    pub fn with<R>(&self, f: impl FnOnce(&MetricsInner) -> R) -> R {
+        f(&self.inner.borrow())
+    }
+
+    /// Total completed client operations.
+    pub fn completed_ops(&self) -> u64 {
+        self.inner.borrow().completed_ops
+    }
+
+    /// Throughput in ops/sec over `[from, to)` (sim time), across all DCs.
+    pub fn throughput_ops_sec(&self, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let m = self.inner.borrow();
+        let total: u64 = m
+            .ops_per_dc
+            .iter()
+            .map(|ts| ts.total_between(from, to))
+            .sum();
+        total as f64 / eunomia_sim::units::to_secs(to - from)
+    }
+
+    /// Visibility extra delays (ns) for updates from `origin` observed at
+    /// `dest`, restricted to samples visible within `[from, to)`.
+    pub fn visibility_extras(
+        &self,
+        origin: u16,
+        dest: u16,
+        from: SimTime,
+        to: SimTime,
+    ) -> Vec<u64> {
+        let m = self.inner.borrow();
+        m.visibility
+            .get(&(origin, dest))
+            .map(|v| {
+                v.iter()
+                    .filter(|s| s.at >= from && s.at < to)
+                    .map(|s| s.extra_ns)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eunomia_sim::units;
+
+    #[test]
+    fn throughput_over_window() {
+        let m = GeoMetrics::new(2);
+        for s in 0..10u64 {
+            for _ in 0..100 {
+                m.record_op(0, units::secs(s), 1_000_000, false);
+            }
+        }
+        // 100 ops/s in each of the 8 whole seconds of [1s, 9s).
+        let t = m.throughput_ops_sec(units::secs(1), units::secs(9));
+        assert!((t - 100.0).abs() < 1e-9, "{t}");
+        assert_eq!(m.completed_ops(), 1000);
+    }
+
+    #[test]
+    fn visibility_window_filter() {
+        let m = GeoMetrics::new(3);
+        m.record_visibility(0, 1, units::secs(1), 5);
+        m.record_visibility(0, 1, units::secs(5), 7);
+        m.record_visibility(2, 1, units::secs(5), 9);
+        let v = m.visibility_extras(0, 1, units::secs(2), units::secs(10));
+        assert_eq!(v, vec![7]);
+        assert!(m.visibility_extras(1, 0, 0, units::secs(10)).is_empty());
+    }
+
+    #[test]
+    fn update_latency_tracked_separately() {
+        let m = GeoMetrics::new(1);
+        m.record_op(0, 0, 10, false);
+        m.record_op(0, 0, 20, true);
+        m.with(|inner| {
+            assert_eq!(inner.op_latency.count(), 2);
+            assert_eq!(inner.update_latency.count(), 1);
+            assert_eq!(inner.completed_updates, 1);
+        });
+    }
+}

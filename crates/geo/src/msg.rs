@@ -1,0 +1,147 @@
+//! Network messages of the EunomiaKV / Eventual systems.
+
+use eunomia_core::ids::{DcId, PartitionId, ReplicaId};
+use eunomia_core::time::{Timestamp, VectorTime};
+use eunomia_kv::{Key, Update, UpdateId, Value};
+
+/// Metadata record a partition sends to Eunomia for one update (§5:
+/// identifier plus the vector needed by remote dependency checks — never
+/// the value payload).
+#[derive(Clone, Debug)]
+pub struct OpMeta {
+    /// Lightweight update identifier.
+    pub id: UpdateId,
+    /// Full vector timestamp (receivers check dependencies against it).
+    pub vts: VectorTime,
+}
+
+/// One entry of a [`Msg::MetaBundle`].
+#[derive(Clone, Debug)]
+pub struct BundleEntry {
+    /// The Eunomia replica this batch is destined for.
+    pub replica: ReplicaId,
+    /// The partition that produced the batch.
+    pub partition: PartitionId,
+    /// Batched metadata, ascending by timestamp.
+    pub ops: Vec<OpMeta>,
+    /// Heartbeat timestamp, if the partition was idle.
+    pub heartbeat: Option<Timestamp>,
+}
+
+/// One stabilized operation as shipped to remote receivers, in stable
+/// order.
+#[derive(Clone, Debug)]
+pub struct StableOp {
+    /// Origin partition (the remote sibling holds the payload).
+    pub partition: PartitionId,
+    /// Update identifier.
+    pub id: UpdateId,
+    /// Vector timestamp.
+    pub vts: VectorTime,
+}
+
+/// All messages exchanged in the EunomiaKV and Eventual systems.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// Client → partition: read request.
+    Read {
+        /// Key to read.
+        key: Key,
+    },
+    /// Partition → client: read reply.
+    ReadReply {
+        /// Stored value (empty if the key was never written).
+        value: Value,
+        /// Version vector of the returned value.
+        vts: VectorTime,
+    },
+    /// Client → partition: update request carrying the session's
+    /// dependency vector (`VClock_c`).
+    Update {
+        /// Key to update.
+        key: Key,
+        /// New value.
+        value: Value,
+        /// Client dependency vector.
+        deps: VectorTime,
+    },
+    /// Partition → client: update reply with the update's vector time.
+    UpdateReply {
+        /// Assigned vector timestamp.
+        vts: VectorTime,
+    },
+    /// Partition → Eunomia replica: a timestamp-ordered batch of metadata
+    /// records (possibly empty) and an optional heartbeat (Alg. 2 l. 10–12).
+    MetaBatch {
+        /// Sending partition.
+        partition: PartitionId,
+        /// Batched metadata, ascending by timestamp.
+        ops: Vec<OpMeta>,
+        /// Heartbeat timestamp, if the partition has been idle.
+        heartbeat: Option<Timestamp>,
+    },
+    /// Partition → parent partition (or tree root → Eunomia replica): a
+    /// merged bundle of per-partition batches climbing the §5 fan-in tree.
+    /// Each entry addresses one Eunomia replica; acks flow back directly
+    /// from replica to originating partition.
+    MetaBundle {
+        /// Bundled batches: `(target replica, origin partition, ops,
+        /// heartbeat)`.
+        entries: Vec<BundleEntry>,
+    },
+    /// Eunomia replica → partition: cumulative ack (prefix property).
+    MetaAck {
+        /// Acking replica.
+        replica: ReplicaId,
+        /// Highest timestamp the replica now holds from this partition.
+        upto: Timestamp,
+    },
+    /// Partition → remote sibling partition: the §5 data path (full
+    /// update, no ordering constraints).
+    RemoteData {
+        /// The update payload.
+        update: Update,
+    },
+    /// Eunomia leader → remote receiver: newly stable operations in stable
+    /// (timestamp) order.
+    ///
+    /// Batches are chained: `prev_stable` is the stable time covered by
+    /// the previous batch and `stable` the new one, so a receiver can
+    /// detect (and reorder around) batches that raced across a leader
+    /// fail-over, and drop duplicates a new leader may re-ship.
+    StableOps {
+        /// Originating datacenter.
+        origin: DcId,
+        /// Stable time before this batch (exclusive lower bound).
+        prev_stable: Timestamp,
+        /// Stable time of this batch (inclusive upper bound).
+        stable: Timestamp,
+        /// Operations, in stabilization order.
+        ops: Vec<StableOp>,
+    },
+    /// Eunomia leader → follower replicas: the new stable time (Alg. 4
+    /// l. 12).
+    StableAnnounce {
+        /// Stable time the leader just processed.
+        stable: Timestamp,
+    },
+    /// Replica ↔ replica: Ω liveness heartbeat.
+    ReplicaAlive {
+        /// Sending replica.
+        replica: ReplicaId,
+    },
+    /// Receiver → partition: apply a remote update (Alg. 5 l. 14).
+    Apply {
+        /// Originating datacenter of the update.
+        origin: DcId,
+        /// Update identifier.
+        id: UpdateId,
+    },
+    /// Partition → receiver: the APPLY completed (Alg. 5 l. 15).
+    ApplyOk {
+        /// Originating datacenter of the applied update.
+        origin: DcId,
+        /// Update identifier.
+        id: UpdateId,
+    },
+}

@@ -1,0 +1,87 @@
+//! Process-id registry shared by all simulation actors.
+//!
+//! Processes are constructed before their peers' ids exist, so each actor
+//! holds an `Rc<RefCell<Registry>>` that the cluster builder fills in
+//! after spawning everything; actors only read it once the run starts.
+
+use eunomia_sim::ProcessId;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Ids of every process in the deployment.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    /// `partitions[dc][p]` — partition processes.
+    pub partitions: Vec<Vec<ProcessId>>,
+    /// `eunomia[dc][replica]` — Eunomia replica processes.
+    pub eunomia: Vec<Vec<ProcessId>>,
+    /// `receivers[dc]` — receiver processes.
+    pub receivers: Vec<ProcessId>,
+    /// `aggregators[dc]` — global-stabilization aggregators (baselines).
+    pub aggregators: Vec<ProcessId>,
+    /// `sequencers[dc]` — per-datacenter sequencers (baselines).
+    pub sequencers: Vec<ProcessId>,
+    /// `seq_receivers[dc]` — sequencer-system receivers (baselines).
+    pub seq_receivers: Vec<ProcessId>,
+}
+
+/// Shared handle to the registry.
+pub type SharedRegistry = Rc<RefCell<Registry>>;
+
+/// Creates an empty shared registry.
+pub fn shared() -> SharedRegistry {
+    Rc::new(RefCell::new(Registry::default()))
+}
+
+impl Registry {
+    /// Partition `p` of datacenter `dc`.
+    pub fn partition(&self, dc: usize, p: usize) -> ProcessId {
+        self.partitions[dc][p]
+    }
+
+    /// All Eunomia replicas of `dc`.
+    pub fn eunomia_replicas(&self, dc: usize) -> &[ProcessId] {
+        &self.eunomia[dc]
+    }
+
+    /// The receiver of `dc`.
+    pub fn receiver(&self, dc: usize) -> ProcessId {
+        self.receivers[dc]
+    }
+
+    /// Number of datacenters registered.
+    pub fn n_dcs(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The stabilization aggregator of `dc` (baselines).
+    pub fn aggregator(&self, dc: usize) -> ProcessId {
+        self.aggregators[dc]
+    }
+
+    /// The sequencer of `dc` (baselines).
+    pub fn sequencer(&self, dc: usize) -> ProcessId {
+        self.sequencers[dc]
+    }
+
+    /// The sequencer-system receiver of `dc` (baselines).
+    pub fn seq_receiver(&self, dc: usize) -> ProcessId {
+        self.seq_receivers[dc]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn late_filling_is_visible_through_the_shared_handle() {
+        let reg = shared();
+        let held = reg.clone();
+        reg.borrow_mut().partitions = vec![vec![ProcessId(3)]];
+        reg.borrow_mut().receivers = vec![ProcessId(9)];
+        assert_eq!(held.borrow().partition(0, 0), ProcessId(3));
+        assert_eq!(held.borrow().receiver(0), ProcessId(9));
+        assert_eq!(held.borrow().n_dcs(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Client sessions (Algorithm 1, scalar and vector forms).
+//!
+//! A client keeps the largest timestamp(s) seen in its session; that clock
+//! is the whole causal dependency it ships with each update. Reads merge
+//! the returned version's timestamp in; update replies *replace* the clock
+//! (the returned timestamp is strictly greater — Alg. 1 l. 9, §4).
+
+use eunomia_core::ids::DcId;
+use eunomia_core::time::{Timestamp, VectorTime};
+
+/// Scalar client session (Algorithm 1 verbatim): one datacenter, scalar
+/// timestamps. Used by the single-DC quickstart and the service-level
+/// benchmarks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScalarClientState {
+    clock: Timestamp,
+}
+
+impl ScalarClientState {
+    /// A fresh session with an empty causal past.
+    pub fn new() -> Self {
+        ScalarClientState {
+            clock: Timestamp::ZERO,
+        }
+    }
+
+    /// The session clock (`Clock_c`), sent with every update.
+    pub fn clock(&self) -> Timestamp {
+        self.clock
+    }
+
+    /// READ reply: `Clock_c <- max(Clock_c, Ts)` (Alg. 1 l. 4).
+    pub fn on_read_reply(&mut self, ts: Timestamp) {
+        self.clock = self.clock.max(ts);
+    }
+
+    /// UPDATE reply: `Clock_c <- Ts` (Alg. 1 l. 9); debug-asserts the
+    /// protocol guarantee that the new timestamp exceeds the old clock.
+    pub fn on_update_reply(&mut self, ts: Timestamp) {
+        debug_assert!(
+            ts > self.clock,
+            "update timestamp must exceed the session clock"
+        );
+        self.clock = ts;
+    }
+}
+
+/// Vector client session (§4): one entry per datacenter.
+#[derive(Clone, Debug)]
+pub struct ClientState {
+    vclock: VectorTime,
+    home: DcId,
+    reads: u64,
+    updates: u64,
+}
+
+impl ClientState {
+    /// A fresh session homed at datacenter `home` in an `n_dcs` deployment.
+    pub fn new(home: DcId, n_dcs: usize) -> Self {
+        assert!(home.index() < n_dcs, "home datacenter out of range");
+        ClientState {
+            vclock: VectorTime::new(n_dcs),
+            home,
+            reads: 0,
+            updates: 0,
+        }
+    }
+
+    /// The session's dependency vector (`VClock_c`).
+    pub fn vclock(&self) -> &VectorTime {
+        &self.vclock
+    }
+
+    /// The client's home datacenter.
+    pub fn home(&self) -> DcId {
+        self.home
+    }
+
+    /// READ reply: entrywise max-merge (§4 "Read").
+    pub fn on_read_reply(&mut self, vts: &VectorTime) {
+        self.vclock.merge_max(vts);
+        self.reads += 1;
+    }
+
+    /// UPDATE reply: substitute the returned vector, which is strictly
+    /// greater than `VClock_c` (§4 "Update").
+    pub fn on_update_reply(&mut self, vts: VectorTime) {
+        debug_assert!(
+            vts.dominates(&self.vclock),
+            "update vts must dominate the session clock"
+        );
+        self.vclock = vts;
+        self.updates += 1;
+    }
+
+    /// Session reads completed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Session updates completed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_session_tracks_causal_past() {
+        let mut c = ScalarClientState::new();
+        c.on_read_reply(Timestamp(10));
+        assert_eq!(c.clock(), Timestamp(10));
+        // An older version does not move the clock back.
+        c.on_read_reply(Timestamp(5));
+        assert_eq!(c.clock(), Timestamp(10));
+        c.on_update_reply(Timestamp(11));
+        assert_eq!(c.clock(), Timestamp(11));
+    }
+
+    #[test]
+    fn vector_session_merges_reads_and_substitutes_updates() {
+        let mut c = ClientState::new(DcId(0), 3);
+        c.on_read_reply(&VectorTime::from_ticks(&[1, 9, 0]));
+        c.on_read_reply(&VectorTime::from_ticks(&[4, 2, 3]));
+        assert_eq!(c.vclock(), &VectorTime::from_ticks(&[4, 9, 3]));
+        c.on_update_reply(VectorTime::from_ticks(&[5, 9, 3]));
+        assert_eq!(c.vclock(), &VectorTime::from_ticks(&[5, 9, 3]));
+        assert_eq!(c.reads(), 2);
+        assert_eq!(c.updates(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "home datacenter out of range")]
+    fn bad_home_panics() {
+        let _ = ClientState::new(DcId(5), 3);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "must dominate")]
+    fn regressing_update_reply_asserts() {
+        let mut c = ClientState::new(DcId(0), 2);
+        c.on_read_reply(&VectorTime::from_ticks(&[10, 10]));
+        c.on_update_reply(VectorTime::from_ticks(&[11, 0]));
+    }
+}

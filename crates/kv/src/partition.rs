@@ -1,0 +1,416 @@
+//! Partition logic: Algorithm 2 generalized to the geo-replicated vector
+//! protocol of §4, with the §5 optimizations.
+//!
+//! A partition serializes updates to its share of the key space. For each
+//! update it computes the vector timestamp — local entry from the scalar
+//! hybrid clock (`max(physical, dep+1, MaxTs+1)`), remote entries copied
+//! from the client's vector — stores the new version, and hands the caller
+//! what must be shipped: the lightweight id for Eunomia (metadata path) and
+//! the full update for sibling partitions in remote datacenters (data
+//! path). Remote updates are applied only when *both* the data and the
+//! receiver's APPLY instruction (metadata) have arrived, in either order.
+
+use crate::store::{StoredVersion, VersionedStore};
+use crate::{Key, Update, UpdateId, Value};
+use eunomia_core::ids::{DcId, PartitionId};
+use eunomia_core::time::{ScalarHlc, Timestamp, VectorTime};
+use std::collections::HashMap;
+
+/// Result of a local update: everything the driver must propagate.
+#[derive(Clone, Debug)]
+pub struct LocalUpdate {
+    /// The full update (data path: ship to sibling partitions remotely).
+    pub update: Update,
+    /// The §5 identifier (metadata path: send to the local Eunomia).
+    pub id: UpdateId,
+}
+
+/// Outcome of a receiver APPLY instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The update was applied (or superseded under LWW) — ack the receiver.
+    Applied,
+    /// The payload has not arrived yet; the ack must wait for the data
+    /// message (`on_remote_data` will report it).
+    WaitingForData,
+}
+
+/// State of one logical partition.
+#[derive(Clone, Debug)]
+pub struct PartitionState {
+    id: PartitionId,
+    dc: DcId,
+    n_dcs: usize,
+    store: VersionedStore,
+    clock: ScalarHlc,
+    /// Data that arrived before its APPLY instruction.
+    staged_data: HashMap<(DcId, Timestamp), Update>,
+    /// APPLY instructions waiting for their data.
+    pending_applies: HashMap<(DcId, Timestamp), UpdateId>,
+    local_updates: u64,
+    remote_applies: u64,
+}
+
+impl PartitionState {
+    /// Creates partition `id` of datacenter `dc` in an `n_dcs`-datacenter
+    /// deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dc` is out of range for `n_dcs`.
+    pub fn new(id: PartitionId, dc: DcId, n_dcs: usize) -> Self {
+        assert!(dc.index() < n_dcs, "datacenter id out of range");
+        PartitionState {
+            id,
+            dc,
+            n_dcs,
+            store: VersionedStore::new(),
+            clock: ScalarHlc::new(),
+            staged_data: HashMap::new(),
+            pending_applies: HashMap::new(),
+            local_updates: 0,
+            remote_applies: 0,
+        }
+    }
+
+    /// This partition's id.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// The datacenter this partition belongs to.
+    pub fn dc(&self) -> DcId {
+        self.dc
+    }
+
+    /// READ (Alg. 2 l. 1–3): returns the stored value and its vector
+    /// timestamp; missing keys read as an empty value at the zero vector.
+    pub fn read(&self, key: Key) -> (Value, VectorTime) {
+        match self.store.get(key) {
+            Some(v) => (v.value.clone(), v.vts.clone()),
+            None => (Value::new(), VectorTime::new(self.n_dcs)),
+        }
+    }
+
+    /// UPDATE (Alg. 2 l. 4–9 extended per §4): timestamps, stores and
+    /// returns what to propagate.
+    ///
+    /// `physical` is the node's physical clock reading; `client_vc` is the
+    /// client's dependency vector (`VClock_c`).
+    pub fn update(
+        &mut self,
+        key: Key,
+        value: Value,
+        client_vc: &VectorTime,
+        physical: Timestamp,
+    ) -> LocalUpdate {
+        debug_assert_eq!(client_vc.len(), self.n_dcs);
+        let local_ts = self.clock.tick(physical, client_vc.get(self.dc));
+        let mut vts = client_vc.clone();
+        vts.set(self.dc, local_ts);
+        let version = StoredVersion {
+            value: value.clone(),
+            vts: vts.clone(),
+            origin: self.dc,
+        };
+        self.store.put_local(key, version);
+        self.local_updates += 1;
+        let update = Update {
+            key,
+            value,
+            vts,
+            origin: self.dc,
+        };
+        let id = update.id();
+        LocalUpdate { update, id }
+    }
+
+    /// Whether the heartbeat of Alg. 2 l. 10–12 is due: no update for at
+    /// least `delta` of physical time.
+    pub fn heartbeat_due(&self, physical: Timestamp, delta: u64) -> bool {
+        self.clock.heartbeat_due(physical, delta)
+    }
+
+    /// Emits the heartbeat timestamp (and keeps the timestamp stream
+    /// monotone past it).
+    pub fn heartbeat(&mut self, physical: Timestamp) -> Timestamp {
+        self.clock.heartbeat(physical)
+    }
+
+    /// Latest timestamp issued by this partition (`MaxTs_n`).
+    pub fn max_ts(&self) -> Timestamp {
+        self.clock.last()
+    }
+
+    /// Data-path delivery: a sibling partition shipped the full update.
+    ///
+    /// Returns the ids of APPLY instructions that were waiting for this
+    /// payload and are now applied (the driver acks the receiver for them).
+    pub fn on_remote_data(&mut self, update: Update) -> Option<UpdateId> {
+        let key = (update.origin, update.vts.get(update.origin));
+        if let Some(id) = self.pending_applies.remove(&key) {
+            self.apply(update);
+            Some(id)
+        } else {
+            self.staged_data.insert(key, update);
+            None
+        }
+    }
+
+    /// Metadata-path delivery: the receiver instructs this partition to
+    /// apply the update identified by `id` from `origin` (Alg. 5 l. 13–15).
+    pub fn on_apply_request(&mut self, origin: DcId, id: UpdateId) -> ApplyOutcome {
+        let key = (origin, id.ts);
+        if let Some(update) = self.staged_data.remove(&key) {
+            self.apply(update);
+            ApplyOutcome::Applied
+        } else {
+            self.pending_applies.insert(key, id);
+            ApplyOutcome::WaitingForData
+        }
+    }
+
+    /// Applies a remote update immediately, bypassing the data/metadata
+    /// rendezvous — the eventually consistent baseline's behaviour
+    /// (remote updates execute as soon as they are received).
+    pub fn apply_now(&mut self, update: Update) {
+        self.apply(update);
+    }
+
+    fn apply(&mut self, update: Update) {
+        let version = StoredVersion {
+            value: update.value,
+            vts: update.vts,
+            origin: update.origin,
+        };
+        self.store.put_remote(update.key, version);
+        self.remote_applies += 1;
+    }
+
+    /// Number of data payloads staged awaiting their APPLY instruction.
+    pub fn staged_data_len(&self) -> usize {
+        self.staged_data.len()
+    }
+
+    /// Number of APPLY instructions awaiting their payload.
+    pub fn pending_applies_len(&self) -> usize {
+        self.pending_applies.len()
+    }
+
+    /// Local updates processed.
+    pub fn local_updates(&self) -> u64 {
+        self.local_updates
+    }
+
+    /// Remote updates applied.
+    pub fn remote_applies(&self) -> u64 {
+        self.remote_applies
+    }
+
+    /// Read-only view of the underlying store (tests, invariant checks).
+    pub fn store(&self) -> &VersionedStore {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(s: &str) -> Value {
+        Value::from(s.as_bytes().to_vec())
+    }
+
+    fn partition() -> PartitionState {
+        PartitionState::new(PartitionId(0), DcId(0), 3)
+    }
+
+    #[test]
+    fn missing_key_reads_empty_at_zero_vector() {
+        let p = partition();
+        let (v, vts) = p.read(Key(1));
+        assert!(v.is_empty());
+        assert_eq!(vts, VectorTime::new(3));
+    }
+
+    #[test]
+    fn update_sets_local_entry_and_copies_rest() {
+        let mut p = partition();
+        let client_vc = VectorTime::from_ticks(&[0, 55, 66]);
+        let res = p.update(Key(1), value("x"), &client_vc, Timestamp(100));
+        assert_eq!(res.update.vts.get(DcId(0)), Timestamp(100));
+        assert_eq!(res.update.vts.get(DcId(1)), Timestamp(55));
+        assert_eq!(res.update.vts.get(DcId(2)), Timestamp(66));
+        assert_eq!(res.id.ts, Timestamp(100));
+        let (v, vts) = p.read(Key(1));
+        assert_eq!(v, value("x"));
+        assert_eq!(vts, res.update.vts);
+    }
+
+    #[test]
+    fn local_timestamps_strictly_increase_even_with_stalled_clock() {
+        let mut p = partition();
+        let vc = VectorTime::new(3);
+        let mut prev = Timestamp::ZERO;
+        for _ in 0..100 {
+            let res = p.update(Key(2), value("y"), &vc, Timestamp(10));
+            let ts = res.update.vts.get(DcId(0));
+            assert!(ts > prev);
+            prev = ts;
+        }
+    }
+
+    #[test]
+    fn update_dominates_client_dependency_on_local_entry() {
+        let mut p = partition();
+        let client_vc = VectorTime::from_ticks(&[500, 0, 0]);
+        let res = p.update(Key(3), value("z"), &client_vc, Timestamp(100));
+        // dep + 1 rule: strictly above the client's local entry.
+        assert_eq!(res.update.vts.get(DcId(0)), Timestamp(501));
+    }
+
+    #[test]
+    fn heartbeat_gating() {
+        let mut p = partition();
+        p.update(Key(1), value("a"), &VectorTime::new(3), Timestamp(1000));
+        assert!(!p.heartbeat_due(Timestamp(1004), 5));
+        assert!(p.heartbeat_due(Timestamp(1005), 5));
+        let hb = p.heartbeat(Timestamp(1005));
+        assert_eq!(hb, Timestamp(1005));
+        // Next update outranks the heartbeat even at a stalled clock.
+        let res = p.update(Key(1), value("b"), &VectorTime::new(3), Timestamp(1005));
+        assert!(res.update.vts.get(DcId(0)) > hb);
+    }
+
+    #[test]
+    fn remote_data_then_apply() {
+        let mut p = partition();
+        let u = Update {
+            key: Key(5),
+            value: value("remote"),
+            vts: VectorTime::from_ticks(&[0, 42, 0]),
+            origin: DcId(1),
+        };
+        assert_eq!(p.on_remote_data(u.clone()), None);
+        assert_eq!(p.staged_data_len(), 1);
+        let outcome = p.on_apply_request(DcId(1), u.id());
+        assert_eq!(outcome, ApplyOutcome::Applied);
+        assert_eq!(p.read(Key(5)).0, value("remote"));
+        assert_eq!(p.remote_applies(), 1);
+        assert_eq!(p.staged_data_len(), 0);
+    }
+
+    #[test]
+    fn apply_before_data_waits_then_completes() {
+        let mut p = partition();
+        let u = Update {
+            key: Key(6),
+            value: value("late-data"),
+            vts: VectorTime::from_ticks(&[0, 0, 77]),
+            origin: DcId(2),
+        };
+        assert_eq!(
+            p.on_apply_request(DcId(2), u.id()),
+            ApplyOutcome::WaitingForData
+        );
+        assert_eq!(p.pending_applies_len(), 1);
+        // Data arrives: the deferred apply completes and reports the id.
+        assert_eq!(p.on_remote_data(u.clone()), Some(u.id()));
+        assert_eq!(p.read(Key(6)).0, value("late-data"));
+        assert_eq!(p.pending_applies_len(), 0);
+    }
+
+    #[test]
+    fn remote_apply_respects_lww() {
+        let mut p = partition();
+        // Local write with a high local timestamp.
+        let vc = VectorTime::from_ticks(&[0, 0, 0]);
+        p.update(Key(7), value("local"), &vc, Timestamp(100));
+        // Remote concurrent write from dc1 with ts 50 at its origin.
+        let u = Update {
+            key: Key(7),
+            value: value("remote"),
+            vts: VectorTime::from_ticks(&[0, 50, 0]),
+            origin: DcId(1),
+        };
+        p.on_remote_data(u.clone());
+        p.on_apply_request(DcId(1), u.id());
+        // rank(local) = (100, dc0) vs rank(remote) = (50, dc1): local wins.
+        assert_eq!(p.read(Key(7)).0, value("local"));
+    }
+
+    #[test]
+    #[should_panic(expected = "datacenter id out of range")]
+    fn bad_dc_panics() {
+        let _ = PartitionState::new(PartitionId(0), DcId(3), 3);
+    }
+
+    mod rendezvous_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any interleaving of data deliveries and APPLY
+            /// instructions (each update gets exactly one of each, in
+            /// either relative order), every update is applied exactly
+            /// once and no staging state leaks.
+            #[test]
+            fn data_and_metadata_rendezvous_in_any_order(
+                n in 1usize..30,
+                data_first in proptest::collection::vec(proptest::bool::ANY, 30),
+            ) {
+                let mut p = PartitionState::new(PartitionId(0), DcId(0), 2);
+                let mut applied = 0usize;
+                for (i, &first) in data_first.iter().enumerate().take(n) {
+                    let u = Update {
+                        key: Key(i as u64),
+                        value: Value::from_static(b"v"),
+                        vts: VectorTime::from_ticks(&[0, (i + 1) as u64]),
+                        origin: DcId(1),
+                    };
+                    if first {
+                        prop_assert_eq!(p.on_remote_data(u.clone()), None);
+                        prop_assert_eq!(
+                            p.on_apply_request(DcId(1), u.id()),
+                            ApplyOutcome::Applied
+                        );
+                        applied += 1;
+                    } else {
+                        prop_assert_eq!(
+                            p.on_apply_request(DcId(1), u.id()),
+                            ApplyOutcome::WaitingForData
+                        );
+                        prop_assert_eq!(p.on_remote_data(u.clone()), Some(u.id()));
+                        applied += 1;
+                    }
+                }
+                prop_assert_eq!(p.remote_applies(), applied as u64);
+                prop_assert_eq!(p.staged_data_len(), 0);
+                prop_assert_eq!(p.pending_applies_len(), 0);
+                prop_assert_eq!(p.store().len(), n);
+            }
+
+            /// Local update timestamps strictly increase and always
+            /// dominate the client's dependency vector.
+            #[test]
+            fn local_updates_dominate_dependencies(
+                deps in proptest::collection::vec(
+                    proptest::collection::vec(0u64..1000, 3), 1..50
+                ),
+                phys in proptest::collection::vec(0u64..1000, 50),
+            ) {
+                let mut p = PartitionState::new(PartitionId(0), DcId(1), 3);
+                let mut prev = Timestamp::ZERO;
+                for (i, d) in deps.iter().enumerate() {
+                    let vc = VectorTime::from_ticks(d);
+                    let res = p.update(Key(1), Value::from_static(b"x"), &vc, Timestamp(phys[i % phys.len()]));
+                    let vts = &res.update.vts;
+                    prop_assert!(vts.dominates(&vc));
+                    prop_assert!(vts.get(DcId(1)) > vc.get(DcId(1)));
+                    prop_assert!(vts.get(DcId(1)) > prev);
+                    prev = vts.get(DcId(1));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Key routing: the `RESPONSIBLE(Key)` function.
+//!
+//! Keys are spread over the `N` logical partitions of a datacenter with a
+//! multiplicative (Fibonacci) hash, so dense workload keys 0..K do not all
+//! land on consecutive partitions. Sibling partitions across datacenters
+//! share the same index, which is what lets the data path of §5 ship an
+//! update straight to "its sibling partitions in other datacenters".
+
+use crate::Key;
+use eunomia_core::ids::PartitionId;
+
+/// 2^64 / phi, the classic Fibonacci hashing multiplier.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Maps a key to its responsible partition among `n_partitions`.
+///
+/// # Panics
+///
+/// Panics if `n_partitions` is zero.
+pub fn responsible(key: Key, n_partitions: usize) -> PartitionId {
+    assert!(n_partitions > 0, "need at least one partition");
+    let h = key.0.wrapping_mul(GOLDEN);
+    PartitionId((h >> 32) as u32 % n_partitions as u32)
+}
+
+/// Whether datacenter `dc` replicates `key` under partial replication
+/// with `rf` replicas out of `m` datacenters.
+///
+/// The replica set of a key is its "home" datacenter (chosen by hash)
+/// plus the next `rf - 1` datacenters on the ring — the scheme the
+/// partial-replication extension uses (the paper's §8 names partial
+/// replication, in the style of Practi, as unexplored future work; the
+/// §5 separation of data and metadata is what makes it cheap: metadata
+/// still flows everywhere, only data is scoped).
+///
+/// # Panics
+///
+/// Panics if `rf` is zero or exceeds `m`.
+pub fn replicates(key: Key, dc: usize, m: usize, rf: usize) -> bool {
+    assert!(rf >= 1 && rf <= m, "replication factor must be in 1..=M");
+    let home = (key.0.wrapping_mul(GOLDEN) >> 17) as usize % m;
+    let offset = (dc + m - home) % m;
+    offset < rf
+}
+
+/// The set of datacenters replicating `key` (ascending order).
+pub fn replica_set(key: Key, m: usize, rf: usize) -> Vec<usize> {
+    (0..m).filter(|dc| replicates(key, *dc, m, rf)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stable_mapping() {
+        let a = responsible(Key(42), 8);
+        let b = responsible(Key(42), 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spreads_dense_keys() {
+        let n = 8;
+        let mut counts = vec![0u32; n];
+        for k in 0..8000u64 {
+            counts[responsible(Key(k), n).index()] += 1;
+        }
+        // Every partition sees a reasonable share (within 2x of fair).
+        for &c in &counts {
+            assert!(c > 8000 / (2 * n as u32), "unbalanced: {counts:?}");
+            assert!(c < 8000 * 2 / n as u32, "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let _ = responsible(Key(1), 0);
+    }
+
+    #[test]
+    fn full_replication_is_everywhere() {
+        for k in 0..100u64 {
+            assert_eq!(replica_set(Key(k), 3, 3), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn partial_replication_spreads_homes() {
+        let m = 3;
+        let mut counts = vec![0u32; m];
+        for k in 0..3000u64 {
+            for dc in replica_set(Key(k), m, 2) {
+                counts[dc] += 1;
+            }
+        }
+        // Each key at exactly rf DCs; DC load roughly even.
+        assert_eq!(counts.iter().sum::<u32>(), 3000 * 2);
+        for &c in &counts {
+            assert!((1500..2500).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn zero_rf_panics() {
+        let _ = replicates(Key(1), 0, 3, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn always_in_range(key in 0u64..u64::MAX, n in 1usize..64) {
+            let p = responsible(Key(key), n);
+            prop_assert!(p.index() < n);
+        }
+
+        /// Every key has exactly `rf` replicas and they form a contiguous
+        /// ring segment starting at the key's home.
+        #[test]
+        fn replica_sets_have_rf_members(key in 0u64..u64::MAX, m in 1usize..8, rf_off in 0usize..8) {
+            let rf = rf_off % m + 1;
+            let set = replica_set(Key(key), m, rf);
+            prop_assert_eq!(set.len(), rf);
+        }
+    }
+}

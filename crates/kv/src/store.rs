@@ -1,0 +1,173 @@
+//! In-memory versioned key-value storage engine.
+
+use crate::{Key, Value};
+use eunomia_core::ids::DcId;
+use eunomia_core::time::{Timestamp, VectorTime};
+use std::collections::HashMap;
+
+/// One stored version of a key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredVersion {
+    /// The value payload.
+    pub value: Value,
+    /// Vector timestamp of the update that produced this version.
+    pub vts: VectorTime,
+    /// Datacenter where the update originated.
+    pub origin: DcId,
+}
+
+impl StoredVersion {
+    /// Deterministic last-writer-wins rank: the update's timestamp at its
+    /// origin, with the origin id as tie-breaker.
+    ///
+    /// Within a datacenter, updates to a key are serialized by its
+    /// partition, so ranks of same-origin versions never tie. Across
+    /// datacenters, *concurrent* updates to the same key must converge to
+    /// one winner everywhere; causally ordered updates already have ordered
+    /// ranks because the later update's origin entry is strictly greater
+    /// (the paper's protocol never orders `u2` after `u1` it depends on
+    /// with a smaller origin timestamp). The open-source Riak of the paper
+    /// resolves siblings with client-side merge; LWW is the standard
+    /// deterministic substitute and is documented in DESIGN.md.
+    pub fn rank(&self) -> (Timestamp, u16) {
+        (self.vts.get(self.origin), self.origin.0)
+    }
+}
+
+/// An in-memory map from [`Key`] to its latest [`StoredVersion`].
+#[derive(Clone, Debug, Default)]
+pub struct VersionedStore {
+    map: HashMap<u64, StoredVersion>,
+    writes_applied: u64,
+    writes_ignored: u64,
+}
+
+impl VersionedStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        VersionedStore::default()
+    }
+
+    /// Reads the current version of `key`, if any.
+    pub fn get(&self, key: Key) -> Option<&StoredVersion> {
+        self.map.get(&key.0)
+    }
+
+    /// Unconditionally installs a locally generated version (local updates
+    /// are serialized by the owning partition, so they always win locally).
+    pub fn put_local(&mut self, key: Key, version: StoredVersion) {
+        self.writes_applied += 1;
+        self.map.insert(key.0, version);
+    }
+
+    /// Installs a remotely originated version under last-writer-wins:
+    /// the write is ignored iff an existing version outranks it.
+    /// Returns whether the write took effect.
+    pub fn put_remote(&mut self, key: Key, version: StoredVersion) -> bool {
+        match self.map.get(&key.0) {
+            Some(existing) if existing.rank() >= version.rank() => {
+                self.writes_ignored += 1;
+                false
+            }
+            _ => {
+                self.writes_applied += 1;
+                self.map.insert(key.0, version);
+                true
+            }
+        }
+    }
+
+    /// Number of keys present.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Writes that took effect.
+    pub fn writes_applied(&self) -> u64 {
+        self.writes_applied
+    }
+
+    /// Remote writes ignored by LWW.
+    pub fn writes_ignored(&self) -> u64 {
+        self.writes_ignored
+    }
+
+    /// Iterates over all `(key, version)` pairs (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &StoredVersion)> + '_ {
+        self.map.iter().map(|(k, v)| (Key(*k), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn version(origin: u16, vts: &[u64]) -> StoredVersion {
+        StoredVersion {
+            value: Value::from(format!("o{origin}").into_bytes()),
+            vts: VectorTime::from_ticks(vts),
+            origin: DcId(origin),
+        }
+    }
+
+    #[test]
+    fn get_of_missing_key_is_none() {
+        let s = VersionedStore::new();
+        assert!(s.get(Key(1)).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn local_put_overwrites() {
+        let mut s = VersionedStore::new();
+        s.put_local(Key(1), version(0, &[5, 0]));
+        s.put_local(Key(1), version(0, &[9, 0]));
+        assert_eq!(s.get(Key(1)).unwrap().vts, VectorTime::from_ticks(&[9, 0]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.writes_applied(), 2);
+    }
+
+    #[test]
+    fn remote_lww_keeps_higher_rank() {
+        let mut s = VersionedStore::new();
+        assert!(s.put_remote(Key(1), version(1, &[0, 50])));
+        // Lower origin timestamp loses.
+        assert!(!s.put_remote(Key(1), version(1, &[0, 40])));
+        // Higher wins.
+        assert!(s.put_remote(Key(1), version(1, &[0, 60])));
+        assert_eq!(s.get(Key(1)).unwrap().vts, VectorTime::from_ticks(&[0, 60]));
+        assert_eq!(s.writes_ignored(), 1);
+    }
+
+    #[test]
+    fn concurrent_cross_dc_writes_converge_in_any_order() {
+        let a = version(0, &[50, 0]);
+        let b = version(1, &[0, 50]);
+        let mut s1 = VersionedStore::new();
+        s1.put_remote(Key(7), a.clone());
+        s1.put_remote(Key(7), b.clone());
+        let mut s2 = VersionedStore::new();
+        s2.put_remote(Key(7), b);
+        s2.put_remote(Key(7), a);
+        assert_eq!(
+            s1.get(Key(7)),
+            s2.get(Key(7)),
+            "LWW must be order-insensitive"
+        );
+        // Tie on timestamp 50: higher DC id wins deterministically.
+        assert_eq!(s1.get(Key(7)).unwrap().origin, DcId(1));
+    }
+
+    #[test]
+    fn equal_rank_is_idempotent() {
+        let mut s = VersionedStore::new();
+        let v = version(2, &[0, 0, 33]);
+        assert!(s.put_remote(Key(3), v.clone()));
+        assert!(!s.put_remote(Key(3), v), "redelivery must not flap");
+    }
+}

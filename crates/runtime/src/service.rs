@@ -1,0 +1,407 @@
+//! Threaded Eunomia service with optional replication and crash injection.
+//!
+//! Topology per run:
+//!
+//! * `feeders` producer threads, each simulating one datacenter partition:
+//!   it stamps operation ids with a [`ScalarHlc`] over the process
+//!   monotonic clock, keeps at most `window_cap` unacknowledged ids (the
+//!   §5 id-only metadata — payloads travel the data path and never touch
+//!   Eunomia), and every `batch_interval` sends each replica everything
+//!   that replica has not acknowledged.
+//! * `replicas` service threads running [`ReplicaState`]: ingest batches,
+//!   deduplicate (at-least-once delivery), ack; every `theta` the current
+//!   leader drains stable operations and publishes the stable time; the
+//!   leader is the lowest-indexed replica with a fresh liveness beat, so
+//!   killing it fails over after roughly `omega_timeout`.
+//!
+//! Throughput is counted at stabilization (operations leaving the service
+//! towards remote datacenters), the same quantity the paper plots.
+
+use crate::ThroughputTimeline;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use eunomia_core::ids::{PartitionId, ReplicaId};
+use eunomia_core::replica::{ReplicaState, ReplicatedSender};
+use eunomia_core::time::{ScalarHlc, Timestamp};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for one service-throughput run.
+#[derive(Clone, Debug)]
+pub struct EunomiaBenchConfig {
+    /// Number of feeder (partition-simulating) threads.
+    pub feeders: usize,
+    /// Number of Eunomia replicas (1 = the non-fault-tolerant service).
+    pub replicas: usize,
+    /// Measured duration.
+    pub duration: Duration,
+    /// Feeder batching interval (the paper uses 1 ms).
+    pub batch_interval: Duration,
+    /// Stabilization period θ.
+    pub theta: Duration,
+    /// Maximum unacknowledged ids per feeder (backpressure bound).
+    pub window_cap: usize,
+    /// Crash schedule: `(when, replica_index)`.
+    pub crashes: Vec<(Duration, usize)>,
+    /// Liveness timeout for leader fail-over.
+    pub omega_timeout: Duration,
+}
+
+impl Default for EunomiaBenchConfig {
+    fn default() -> Self {
+        EunomiaBenchConfig {
+            feeders: 16,
+            replicas: 1,
+            duration: Duration::from_secs(3),
+            batch_interval: Duration::from_millis(1),
+            theta: Duration::from_millis(1),
+            window_cap: 4096,
+            crashes: Vec::new(),
+            omega_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+enum ToReplica {
+    Batch {
+        partition: PartitionId,
+        ops: Vec<(Timestamp, ())>,
+        heartbeat: Option<Timestamp>,
+    },
+    Stop,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    alive: Vec<AtomicBool>,
+    beats: Vec<AtomicU64>,
+    global_stable: AtomicU64,
+    stabilized: AtomicU64,
+    epoch: Instant,
+}
+
+impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Leader = lowest-indexed replica with a fresh beat; `None` while
+    /// everyone looks dead.
+    fn leader(&self, omega_timeout: Duration) -> Option<usize> {
+        let now = self.now_ns();
+        let timeout = omega_timeout.as_nanos() as u64;
+        (0..self.alive.len()).find(|&r| {
+            self.alive[r].load(Ordering::Relaxed)
+                && now.saturating_sub(self.beats[r].load(Ordering::Relaxed)) <= timeout
+        })
+    }
+}
+
+fn feeder_loop(
+    partition: PartitionId,
+    cfg: &EunomiaBenchConfig,
+    shared: &Shared,
+    to_replicas: &[Sender<ToReplica>],
+    acks: &Receiver<(ReplicaId, Timestamp)>,
+) {
+    let mut hlc = ScalarHlc::new();
+    let mut sender: ReplicatedSender<()> = ReplicatedSender::new(cfg.replicas);
+    let mut dead = vec![false; cfg.replicas];
+    // Send-window tracking: transmit each id once and retransmit from the
+    // ack only after a timeout without ack progress (at-least-once; the
+    // prefix property holds because replicas deduplicate by timestamp).
+    let retransmit_after = cfg.batch_interval * 10 + Duration::from_millis(5);
+    let mut last_sent = vec![Timestamp::ZERO; cfg.replicas];
+    let mut last_progress = vec![Instant::now(); cfg.replicas];
+    let mut backoff = cfg.batch_interval;
+    while !shared.stop.load(Ordering::Relaxed) {
+        // Drain acks (and detect replicas the supervisor declared dead so
+        // their silence stops pinning the window).
+        while let Ok((r, ts)) = acks.try_recv() {
+            if ts > sender.ack_of(r) {
+                last_progress[r.index()] = Instant::now();
+            }
+            sender.on_ack(r, ts);
+        }
+        for (r, dead_flag) in dead.iter_mut().enumerate() {
+            if !*dead_flag && !shared.alive[r].load(Ordering::Relaxed) {
+                *dead_flag = true;
+                sender.mark_dead(ReplicaId(r as u32));
+            }
+        }
+        // Generate eagerly up to the window cap (ids only, §5).
+        let room = cfg.window_cap.saturating_sub(sender.window_len());
+        for _ in 0..room {
+            let ts = hlc.tick_local(Timestamp(shared.now_ns()));
+            sender.push(ts, ());
+        }
+        // Ship per-replica batches.
+        let physical = Timestamp(shared.now_ns());
+        let heartbeat = if sender.window_len() == 0
+            && hlc.heartbeat_due(physical, cfg.batch_interval.as_nanos() as u64)
+        {
+            Some(hlc.heartbeat(physical))
+        } else {
+            None
+        };
+        let mut sent_something = false;
+        for (r, tx) in to_replicas.iter().enumerate() {
+            if dead[r] {
+                continue;
+            }
+            let rid = ReplicaId(r as u32);
+            let floor = if last_progress[r].elapsed() > retransmit_after {
+                last_progress[r] = Instant::now();
+                sender.ack_of(rid) // Retransmit everything unacked.
+            } else {
+                sender.ack_of(rid).max(last_sent[r]) // New ids only.
+            };
+            let ops = sender.batch_above(floor);
+            if ops.is_empty() && heartbeat.is_none() {
+                continue;
+            }
+            if let Some((ts, _)) = ops.last() {
+                last_sent[r] = last_sent[r].max(*ts);
+            }
+            // A full channel means the replica is saturated; drop and rely
+            // on the retransmission timeout.
+            if tx
+                .try_send(ToReplica::Batch {
+                    partition,
+                    ops,
+                    heartbeat,
+                })
+                .is_ok()
+            {
+                sent_something = true;
+            }
+        }
+        // Adaptive pacing: a feeder whose window is full and which shipped
+        // nothing has nothing to contribute until acks arrive — back off so
+        // idle feeders do not steal CPU from the service on small hosts
+        // (the paper's feeders are separate machines).
+        if sent_something || room > 0 {
+            backoff = cfg.batch_interval;
+        } else {
+            backoff = (backoff * 2).min(cfg.batch_interval * 16);
+        }
+        std::thread::sleep(backoff);
+    }
+}
+
+fn replica_loop(
+    me: usize,
+    n_partitions: usize,
+    cfg: &EunomiaBenchConfig,
+    shared: &Shared,
+    rx: &Receiver<ToReplica>,
+    ack_txs: &[Sender<(ReplicaId, Timestamp)>],
+) {
+    let mut state: ReplicaState<()> = ReplicaState::new(ReplicaId(me as u32), n_partitions);
+    let mut next_theta = Instant::now() + cfg.theta;
+    let mut drained: Vec<(eunomia_core::buffer::OpKey, ())> = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::Relaxed) || !shared.alive[me].load(Ordering::Relaxed) {
+            return;
+        }
+        let timeout = next_theta.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(timeout) {
+            Ok(ToReplica::Batch {
+                partition,
+                ops,
+                heartbeat,
+            }) => {
+                let mut ack = state
+                    .new_batch(partition, ops)
+                    .expect("bench wiring guarantees valid partitions");
+                if let Some(hb) = heartbeat {
+                    ack = state.heartbeat(partition, hb).expect("valid partition");
+                }
+                let _ = ack_txs[partition.index()].try_send((ReplicaId(me as u32), ack));
+            }
+            Ok(ToReplica::Stop) | Err(RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+        if Instant::now() >= next_theta {
+            next_theta = Instant::now() + cfg.theta;
+            shared.beats[me].store(shared.now_ns(), Ordering::Relaxed);
+            let leader = shared.leader(cfg.omega_timeout);
+            state.set_leader(ReplicaId(leader.unwrap_or(me) as u32));
+            if leader == Some(me) {
+                drained.clear();
+                if let Some(stable) = state.leader_process_stable(&mut drained) {
+                    // Publish the stable time; count each stabilized op
+                    // exactly once across leaders via a max-CAS.
+                    let new = stable.0;
+                    let prev = shared.global_stable.fetch_max(new, Ordering::SeqCst);
+                    if prev < new {
+                        shared
+                            .stabilized
+                            .fetch_add(drained.len() as u64, Ordering::Relaxed);
+                    }
+                }
+            } else {
+                let stable = Timestamp(shared.global_stable.load(Ordering::Relaxed));
+                state.apply_stable(stable);
+            }
+        }
+    }
+}
+
+/// Runs the threaded Eunomia service benchmark.
+///
+/// Returns the per-second stabilization timeline. With `cfg.crashes`
+/// non-empty, replicas die at the scheduled offsets (the Fig. 4 setup).
+pub fn run_eunomia_service(cfg: &EunomiaBenchConfig) -> ThroughputTimeline {
+    assert!(
+        cfg.feeders > 0 && cfg.replicas > 0,
+        "need feeders and replicas"
+    );
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        alive: (0..cfg.replicas).map(|_| AtomicBool::new(true)).collect(),
+        beats: (0..cfg.replicas).map(|_| AtomicU64::new(0)).collect(),
+        global_stable: AtomicU64::new(0),
+        stabilized: AtomicU64::new(0),
+        epoch: Instant::now(),
+    });
+
+    let mut replica_txs = Vec::new();
+    let mut replica_rxs = Vec::new();
+    for _ in 0..cfg.replicas {
+        let (tx, rx) = bounded::<ToReplica>(cfg.feeders * 4);
+        replica_txs.push(tx);
+        replica_rxs.push(rx);
+    }
+    let mut ack_txs = Vec::new();
+    let mut ack_rxs = Vec::new();
+    for _ in 0..cfg.feeders {
+        let (tx, rx) = unbounded::<(ReplicaId, Timestamp)>();
+        ack_txs.push(tx);
+        ack_rxs.push(rx);
+    }
+
+    let mut handles = Vec::new();
+    for (me, rx) in replica_rxs.into_iter().enumerate() {
+        let cfg = cfg.clone();
+        let shared = shared.clone();
+        let ack_txs = ack_txs.clone();
+        handles.push(std::thread::spawn(move || {
+            replica_loop(me, cfg.feeders, &cfg, &shared, &rx, &ack_txs);
+        }));
+    }
+    for (p, rx) in ack_rxs.into_iter().enumerate() {
+        let cfg = cfg.clone();
+        let shared = shared.clone();
+        let txs = replica_txs.clone();
+        handles.push(std::thread::spawn(move || {
+            feeder_loop(PartitionId(p as u32), &cfg, &shared, &txs, &rx);
+        }));
+    }
+
+    // Sampling + crash-injection loop.
+    let start = Instant::now();
+    let mut per_second = Vec::new();
+    let mut last_count = 0u64;
+    let mut crashes = cfg.crashes.clone();
+    crashes.sort_by_key(|(t, _)| *t);
+    let mut crash_idx = 0;
+    let mut next_sample = start + Duration::from_secs(1);
+    while start.elapsed() < cfg.duration {
+        let next_crash = crashes.get(crash_idx).map(|(t, _)| start + *t);
+        let wake = match next_crash {
+            Some(c) if c < next_sample => c,
+            _ => next_sample,
+        };
+        let now = Instant::now();
+        if wake > now {
+            std::thread::sleep((wake - now).min(Duration::from_millis(50)));
+        }
+        if let Some((t, r)) = crashes.get(crash_idx) {
+            if start.elapsed() >= *t {
+                shared.alive[*r].store(false, Ordering::SeqCst);
+                crash_idx += 1;
+            }
+        }
+        if Instant::now() >= next_sample {
+            let count = shared.stabilized.load(Ordering::Relaxed);
+            per_second.push(count - last_count);
+            last_count = count;
+            next_sample += Duration::from_secs(1);
+        }
+    }
+    shared.stop.store(true, Ordering::SeqCst);
+    for tx in &replica_txs {
+        let _ = tx.try_send(ToReplica::Stop);
+    }
+    let elapsed = start.elapsed();
+    for h in handles {
+        let _ = h.join();
+    }
+    let total = shared.stabilized.load(Ordering::Relaxed);
+    ThroughputTimeline {
+        per_second,
+        total,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(feeders: usize, replicas: usize) -> EunomiaBenchConfig {
+        EunomiaBenchConfig {
+            feeders,
+            replicas,
+            duration: Duration::from_millis(800),
+            window_cap: 512,
+            ..EunomiaBenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_replica_stabilizes_operations() {
+        let t = run_eunomia_service(&quick(4, 1));
+        assert!(t.total > 1_000, "stabilized only {} ops", t.total);
+    }
+
+    #[test]
+    fn replicated_service_still_makes_progress() {
+        let t = run_eunomia_service(&quick(4, 3));
+        assert!(t.total > 1_000, "stabilized only {} ops", t.total);
+    }
+
+    #[test]
+    fn crash_of_only_replica_halts_progress() {
+        let mut cfg = quick(2, 1);
+        cfg.duration = Duration::from_millis(2300);
+        cfg.crashes = vec![(Duration::from_millis(300), 0)];
+        let t = run_eunomia_service(&cfg);
+        // Something was stabilized before the crash, and the second whole
+        // second (entirely post-crash) shows nothing.
+        assert!(t.total > 0);
+        assert!(
+            t.per_second.len() >= 2,
+            "timeline too short: {:?}",
+            t.per_second
+        );
+        assert_eq!(
+            t.per_second[1], 0,
+            "progress should stop after the crash: {:?}",
+            t.per_second
+        );
+    }
+
+    #[test]
+    fn crash_of_leader_fails_over_with_three_replicas() {
+        let mut cfg = quick(2, 3);
+        cfg.duration = Duration::from_millis(2500);
+        cfg.omega_timeout = Duration::from_millis(60);
+        cfg.crashes = vec![(Duration::from_millis(600), 0)];
+        let t = run_eunomia_service(&cfg);
+        // Ops continue to stabilize after the leader dies.
+        let tail: u64 = t.per_second.iter().skip(1).sum();
+        assert!(tail > 0, "no progress after fail-over: {:?}", t.per_second);
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-node physical clock models with offset and drift.
+//!
+//! The paper's correctness does not depend on clock synchronization, but
+//! its *performance* does: the stable time is a minimum over per-partition
+//! timestamps, so a node whose clock lags holds everyone back, and purely
+//! physical timestamping schemes must wait out the skew (§3.2). This model
+//! reproduces loosely NTP-synchronized clocks: each node's clock reads
+//! `true_time + offset + drift`, with the offset bounded by the assumed
+//! synchronization error.
+
+use crate::SimTime;
+
+/// An affine clock: `read(t) = max(0, t + offset + t * drift_ppm / 1e6)`.
+///
+/// Monotone as long as `drift_ppm > -1_000_000` (enforced), which models
+/// real oscillators (tens of ppm) with room to spare.
+#[derive(Clone, Copy, Debug)]
+pub struct ClockModel {
+    offset_ns: i64,
+    drift_ppm: f64,
+}
+
+impl Default for ClockModel {
+    fn default() -> Self {
+        Self::perfect()
+    }
+}
+
+impl ClockModel {
+    /// A perfectly synchronized, drift-free clock.
+    pub fn perfect() -> Self {
+        ClockModel {
+            offset_ns: 0,
+            drift_ppm: 0.0,
+        }
+    }
+
+    /// A clock with a fixed offset (nanoseconds, may be negative) and a
+    /// drift rate in parts-per-million.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drift_ppm <= -1_000_000` (the clock would run backwards).
+    pub fn new(offset_ns: i64, drift_ppm: f64) -> Self {
+        assert!(drift_ppm > -1_000_000.0, "clock must move forward");
+        ClockModel {
+            offset_ns,
+            drift_ppm,
+        }
+    }
+
+    /// Reads the clock at true (simulated) time `t`.
+    pub fn read(&self, t: SimTime) -> u64 {
+        let drift = (t as f64 * self.drift_ppm / 1_000_000.0) as i64;
+        let raw = t as i64 + self.offset_ns + drift;
+        raw.max(0) as u64
+    }
+
+    /// The configured offset in nanoseconds.
+    pub fn offset_ns(&self) -> i64 {
+        self.offset_ns
+    }
+
+    /// The configured drift in ppm.
+    pub fn drift_ppm(&self) -> f64 {
+        self.drift_ppm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_clock_is_identity() {
+        let c = ClockModel::perfect();
+        assert_eq!(c.read(0), 0);
+        assert_eq!(c.read(12345), 12345);
+    }
+
+    #[test]
+    fn positive_offset_leads() {
+        let c = ClockModel::new(1_000, 0.0);
+        assert_eq!(c.read(0), 1_000);
+        assert_eq!(c.read(500), 1_500);
+    }
+
+    #[test]
+    fn negative_offset_lags_and_clamps_at_zero() {
+        let c = ClockModel::new(-1_000, 0.0);
+        assert_eq!(c.read(0), 0);
+        assert_eq!(c.read(400), 0);
+        assert_eq!(c.read(1_500), 500);
+    }
+
+    #[test]
+    fn drift_accumulates() {
+        // +100 ppm over 1 second = +100 microseconds.
+        let c = ClockModel::new(0, 100.0);
+        assert_eq!(c.read(1_000_000_000), 1_000_100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock must move forward")]
+    fn absurd_negative_drift_panics() {
+        let _ = ClockModel::new(0, -1_000_000.0);
+    }
+
+    proptest! {
+        #[test]
+        fn clock_is_monotone(
+            offset in -1_000_000i64..1_000_000,
+            drift in -500.0f64..500.0,
+            t in 0u64..1_000_000_000,
+            dt in 1u64..1_000_000,
+        ) {
+            let c = ClockModel::new(offset, drift);
+            prop_assert!(c.read(t + dt) >= c.read(t));
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Network topology: regions, latency matrix, FIFO link state.
+//!
+//! Regions model datacenters; the inter-region one-way latency is half the
+//! configured round-trip time (the paper emulates 80 ms RTT between dc1
+//! and dc2/dc3 and 160 ms between dc2 and dc3 with `netem`). Intra-region
+//! messages take `intra_oneway` plus jitter. FIFO per ordered process pair
+//! is enforced by the engine by clamping each delivery to be no earlier
+//! than the previous delivery on the same link.
+
+use crate::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Identifies a simulated machine; every process runs on a node and every
+/// node belongs to a region (datacenter).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Index for per-node tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Latency configuration across regions.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// `rtt[a][b]`: round-trip time between regions `a` and `b` (ns).
+    rtt: Vec<Vec<SimTime>>,
+    /// One-way latency between nodes of the same region (ns).
+    intra_oneway: SimTime,
+    /// Uniform jitter added to every one-way latency: `[0, jitter]` (ns).
+    jitter: SimTime,
+}
+
+impl Topology {
+    /// Builds a topology from a symmetric RTT matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square, not symmetric, or has non-zero
+    /// diagonal entries.
+    pub fn new(rtt: Vec<Vec<SimTime>>, intra_oneway: SimTime, jitter: SimTime) -> Self {
+        let n = rtt.len();
+        for (i, row) in rtt.iter().enumerate() {
+            assert_eq!(row.len(), n, "RTT matrix must be square");
+            assert_eq!(row[i], 0, "diagonal must be zero");
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, rtt[j][i], "RTT matrix must be symmetric");
+            }
+        }
+        Topology {
+            rtt,
+            intra_oneway,
+            jitter,
+        }
+    }
+
+    /// A single region of `_nodes` machines (node count is informational;
+    /// nodes are added to the simulation explicitly).
+    pub fn single_region(_nodes: usize, intra_oneway: SimTime, jitter: SimTime) -> Self {
+        Topology {
+            rtt: vec![vec![0]],
+            intra_oneway,
+            jitter,
+        }
+    }
+
+    /// The paper's three-datacenter deployment: 80 ms RTT between dc0 and
+    /// both dc1/dc2, 160 ms between dc1 and dc2 (≈ Virginia / Oregon /
+    /// Ireland on EC2), with the given intra-DC one-way latency and jitter.
+    pub fn paper_three_dcs(intra_oneway: SimTime, jitter: SimTime) -> Self {
+        let ms = 1_000_000;
+        Topology::new(
+            vec![
+                vec![0, 80 * ms, 80 * ms],
+                vec![80 * ms, 0, 160 * ms],
+                vec![80 * ms, 160 * ms, 0],
+            ],
+            intra_oneway,
+            jitter,
+        )
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.rtt.len()
+    }
+
+    /// One-way base latency from region `a` to region `b`.
+    pub fn oneway(&self, a: usize, b: usize) -> SimTime {
+        if a == b {
+            self.intra_oneway
+        } else {
+            self.rtt[a][b] / 2
+        }
+    }
+
+    /// Round-trip time between regions.
+    pub fn rtt(&self, a: usize, b: usize) -> SimTime {
+        if a == b {
+            self.intra_oneway * 2
+        } else {
+            self.rtt[a][b]
+        }
+    }
+
+    /// Samples a one-way latency including jitter.
+    pub fn sample_oneway(&self, a: usize, b: usize, rng: &mut StdRng) -> SimTime {
+        let base = self.oneway(a, b);
+        if self.jitter == 0 {
+            base
+        } else {
+            base + rng.random_range(0..=self.jitter)
+        }
+    }
+
+    /// Configured jitter bound.
+    pub fn jitter(&self) -> SimTime {
+        self.jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_topology_matches_rtts() {
+        let t = Topology::paper_three_dcs(100_000, 0);
+        assert_eq!(t.regions(), 3);
+        assert_eq!(t.rtt(0, 1), 80_000_000);
+        assert_eq!(t.rtt(0, 2), 80_000_000);
+        assert_eq!(t.rtt(1, 2), 160_000_000);
+        assert_eq!(t.oneway(0, 1), 40_000_000);
+        assert_eq!(t.oneway(1, 2), 80_000_000);
+        assert_eq!(t.oneway(1, 1), 100_000);
+    }
+
+    #[test]
+    fn jitter_bounds_sampled_latency() {
+        let t = Topology::single_region(4, 1_000, 500);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let s = t.sample_oneway(0, 0, &mut rng);
+            assert!((1_000..=1_500).contains(&s));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let t = Topology::single_region(2, 1_000, 0);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(t.sample_oneway(0, 0, &mut rng), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_matrix_panics() {
+        let _ = Topology::new(vec![vec![0, 10], vec![20, 0]], 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal")]
+    fn nonzero_diagonal_panics() {
+        let _ = Topology::new(vec![vec![5]], 1, 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! Log-bucketed histogram (HDR-style) for latency recording.
+
+/// Number of linear sub-buckets per power-of-two bucket. With 32
+/// sub-buckets the worst-case relative quantization error is ~3%.
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// A histogram over `u64` values with bounded relative error.
+///
+/// Values are bucketed into power-of-two ranges, each split into
+/// `SUB_BUCKETS` (32) linear sub-buckets, giving O(1) recording, a fixed
+/// memory footprint and percentile estimates within a few percent — the
+/// same scheme HdrHistogram popularized, sized for microsecond latencies.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    pub fn new() -> Self {
+        // 64 exponent buckets x SUB_BUCKETS linear sub-buckets.
+        Histogram {
+            counts: vec![0; 64 * SUB_BUCKETS],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros();
+        let shift = exp - SUB_BITS;
+        let sub = (value >> shift) as usize & (SUB_BUCKETS - 1);
+        ((exp - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    /// Representative (upper-bound) value for a bucket index.
+    fn value_of(index: usize) -> u64 {
+        let exp = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if exp == 0 {
+            return sub;
+        }
+        let shift = (exp - 1) as u32;
+        ((SUB_BUCKETS as u64 + sub) << shift) + (1u64 << shift) - 1
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::index(value)] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += u128::from(value);
+    }
+
+    /// Records `n` observations of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::index(value)] += n;
+        self.total += n;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += u128::from(value) * u128::from(n);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of recorded values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// Estimates the `p`-th percentile (0.0..=100.0).
+    ///
+    /// The estimate is the representative value of the bucket containing
+    /// the rank, clamped to the observed min/max, so the relative error is
+    /// bounded by the sub-bucket width (~3%).
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::value_of(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Returns the CDF as `(bucket_upper_value, cumulative_fraction)` pairs
+    /// over non-empty buckets.
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.total == 0 {
+            return out;
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            out.push((
+                Self::value_of(i).clamp(self.min, self.max),
+                cum as f64 / self.total as f64,
+            ));
+        }
+        out
+    }
+
+    /// Clears all recorded data.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        self.sum = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(31));
+        assert_eq!(h.percentile(100.0), Some(31));
+        assert_eq!(h.percentile(50.0), Some(15));
+    }
+
+    #[test]
+    fn percentile_error_is_bounded() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (0..10_000).map(|i| 1 + (i * i) % 1_000_000).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            let exact = crate::exact_percentile(&samples, p).unwrap();
+            let est = h.percentile(p).unwrap();
+            let err = (est as f64 - exact as f64).abs() / exact.max(1) as f64;
+            assert!(err < 0.05, "p{p}: est {est} vs exact {exact} (err {err})");
+        }
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(123, 10);
+        for _ in 0..10 {
+            b.record(123);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.percentile(50.0), b.percentile(50.0));
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(10));
+        assert!(a.max().unwrap() >= 1_000_000 - 1_000_000 / 20);
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let mut h = Histogram::new();
+        for v in [1u64, 5, 5, 100, 10_000] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = Histogram::new();
+        h.record(7);
+        h.reset();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+    }
+
+    proptest! {
+        #[test]
+        fn index_is_monotone_and_value_brackets(v in 0u64..u64::MAX / 2) {
+            let i = Histogram::index(v);
+            let i2 = Histogram::index(v + 1);
+            prop_assert!(i2 >= i);
+            // The representative value of the bucket must be >= v and within
+            // one sub-bucket width above it.
+            let rep = Histogram::value_of(i);
+            prop_assert!(rep >= v);
+            if v >= SUB_BUCKETS as u64 {
+                let exp = 63 - v.leading_zeros();
+                let width = 1u64 << (exp - SUB_BITS);
+                prop_assert!(rep - v < width);
+            }
+        }
+
+        #[test]
+        fn max_percentile_close_to_true_max(vals in proptest::collection::vec(1u64..1_000_000_000, 1..200)) {
+            let mut h = Histogram::new();
+            for &v in &vals {
+                h.record(v);
+            }
+            let true_max = *vals.iter().max().unwrap();
+            let est = h.percentile(100.0).unwrap();
+            prop_assert!(est <= true_max);
+            prop_assert!((true_max - est) as f64 / true_max as f64 <= 0.04);
+        }
+    }
+}

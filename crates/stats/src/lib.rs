@@ -1,0 +1,120 @@
+#![warn(missing_docs)]
+
+//! Measurement utilities shared by the simulator, the threaded runtime and
+//! the benchmark harnesses.
+//!
+//! * [`Histogram`] — log-bucketed latency histogram (HDR-style: power-of-two
+//!   buckets with linear sub-buckets) supporting percentiles and CDFs.
+//! * [`TimeSeries`] — fixed-width time buckets for throughput timelines
+//!   (e.g. the failure-impact plot, Fig. 4 of the paper).
+//! * [`Summary`] — Welford online mean/variance with min/max.
+//!
+//! All values are `u64`; callers choose the unit (this workspace uses
+//! nanoseconds for latencies and operations for counters).
+//!
+//! # Examples
+//!
+//! ```
+//! use eunomia_stats::Histogram;
+//!
+//! let mut h = Histogram::new();
+//! for v in [120, 340, 560, 780, 10_000] {
+//!     h.record(v);
+//! }
+//! assert_eq!(h.count(), 5);
+//! assert!(h.percentile(50.0).unwrap() >= 340);
+//! ```
+
+mod histogram;
+mod summary;
+mod timeseries;
+
+pub use histogram::Histogram;
+pub use summary::Summary;
+pub use timeseries::TimeSeries;
+
+/// Computes the `p`-th percentile (0.0..=100.0) of an *unsorted* sample set
+/// using nearest-rank on a sorted copy.
+///
+/// Returns `None` on an empty slice. Exact, so preferred over
+/// [`Histogram::percentile`] when the full sample fits in memory.
+pub fn exact_percentile(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    Some(rank_of_sorted(&sorted, p))
+}
+
+/// Nearest-rank percentile over an already-sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn rank_of_sorted(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Builds an empirical CDF from samples: returns `(value, cumulative_fraction)`
+/// pairs at each distinct sample value, sorted ascending.
+pub fn empirical_cdf(samples: &[u64]) -> Vec<(u64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut out: Vec<(u64, f64)> = Vec::new();
+    for (i, v) in sorted.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == *v => last.1 = frac,
+            _ => out.push((*v, frac)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_percentile_basics() {
+        let data: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_percentile(&data, 50.0), Some(50));
+        assert_eq!(exact_percentile(&data, 90.0), Some(90));
+        assert_eq!(exact_percentile(&data, 100.0), Some(100));
+        assert_eq!(exact_percentile(&data, 0.0), Some(1));
+        assert_eq!(exact_percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_of_single_sample() {
+        assert_eq!(exact_percentile(&[42], 1.0), Some(42));
+        assert_eq!(exact_percentile(&[42], 99.0), Some(42));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let cdf = empirical_cdf(&[5, 1, 5, 3, 1, 9]);
+        assert_eq!(cdf.first().unwrap().0, 1);
+        assert_eq!(cdf.last().unwrap().0, 9);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        // Two of six samples are <= 1.
+        assert!((cdf[0].1 - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_of_empty_is_empty() {
+        assert!(empirical_cdf(&[]).is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Fixed-width time-bucketed counters for throughput timelines.
+
+/// Accumulates `(time, amount)` observations into fixed-width buckets.
+///
+/// Used for plots like the paper's Fig. 4 (throughput over time while
+/// replicas crash) and Fig. 7 (visibility latency over time around a
+/// straggler window). Times and widths share a unit chosen by the caller
+/// (microseconds throughout this workspace).
+#[derive(Clone, Debug)]
+pub struct TimeSeries {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    samples: Vec<u64>,
+    maxima: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width (> 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero.
+    pub fn new(bucket_width: u64) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        TimeSeries {
+            bucket_width,
+            buckets: Vec::new(),
+            samples: Vec::new(),
+            maxima: Vec::new(),
+        }
+    }
+
+    fn bucket_of(&self, time: u64) -> usize {
+        (time / self.bucket_width) as usize
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+            self.samples.resize(idx + 1, 0);
+            self.maxima.resize(idx + 1, 0);
+        }
+    }
+
+    /// Adds `amount` at `time` (e.g. one completed operation).
+    pub fn add(&mut self, time: u64, amount: u64) {
+        let idx = self.bucket_of(time);
+        self.ensure(idx);
+        self.buckets[idx] += amount;
+        self.samples[idx] += 1;
+        self.maxima[idx] = self.maxima[idx].max(amount);
+    }
+
+    /// Records a single observation of value `amount` at `time`; `mean_at`
+    /// then reports per-bucket averages (used for latency timelines).
+    pub fn observe(&mut self, time: u64, amount: u64) {
+        self.add(time, amount);
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Number of buckets (highest touched bucket + 1).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether no observation was added.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// Sum accumulated in bucket `idx` (0 for untouched buckets in range).
+    pub fn total_at(&self, idx: usize) -> u64 {
+        self.buckets.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Number of observations in bucket `idx`.
+    pub fn count_at(&self, idx: usize) -> u64 {
+        self.samples.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Mean observed value in bucket `idx`, or `None` if the bucket is empty.
+    pub fn mean_at(&self, idx: usize) -> Option<f64> {
+        let n = self.count_at(idx);
+        (n > 0).then(|| self.total_at(idx) as f64 / n as f64)
+    }
+
+    /// Largest single observation in bucket `idx`, or `None` if empty.
+    pub fn max_at(&self, idx: usize) -> Option<u64> {
+        (self.count_at(idx) > 0).then(|| self.maxima[idx])
+    }
+
+    /// Throughput for bucket `idx` in amount-per-unit-time.
+    pub fn rate_at(&self, idx: usize) -> f64 {
+        self.total_at(idx) as f64 / self.bucket_width as f64
+    }
+
+    /// Iterates `(bucket_start_time, total)` over all buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as u64 * self.bucket_width, v))
+    }
+
+    /// Total across all buckets.
+    pub fn grand_total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Total restricted to buckets whose start time lies in
+    /// `[from, to)` — used to trim warm-up and cool-down windows the way
+    /// the paper discards the first and last minute of each run.
+    pub fn total_between(&self, from: u64, to: u64) -> u64 {
+        self.iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate() {
+        let mut ts = TimeSeries::new(1000);
+        ts.add(0, 1);
+        ts.add(999, 1);
+        ts.add(1000, 5);
+        assert_eq!(ts.total_at(0), 2);
+        assert_eq!(ts.total_at(1), 5);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.grand_total(), 7);
+    }
+
+    #[test]
+    fn mean_and_rate() {
+        let mut ts = TimeSeries::new(100);
+        ts.observe(10, 4);
+        ts.observe(20, 8);
+        assert_eq!(ts.mean_at(0), Some(6.0));
+        assert_eq!(ts.count_at(0), 2);
+        assert!((ts.rate_at(0) - 12.0 / 100.0).abs() < 1e-12);
+        assert_eq!(ts.mean_at(5), None);
+    }
+
+    #[test]
+    fn trimming_window() {
+        let mut ts = TimeSeries::new(10);
+        for t in 0..100 {
+            ts.add(t, 1);
+        }
+        // Buckets starting in [10, 90): buckets 1..9 -> 80 observations.
+        assert_eq!(ts.total_between(10, 90), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_width_panics() {
+        let _ = TimeSeries::new(0);
+    }
+
+    #[test]
+    fn untouched_buckets_read_zero() {
+        let ts = TimeSeries::new(10);
+        assert_eq!(ts.total_at(3), 0);
+        assert!(ts.is_empty());
+    }
+}

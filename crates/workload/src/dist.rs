@@ -1,0 +1,267 @@
+//! Key distributions: uniform, zipfian (YCSB-style), hotspot, sequential.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A stateful key picker over a key space `0..keys`.
+#[derive(Clone, Debug)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform {
+        /// Key-space size.
+        keys: u64,
+    },
+    /// Power-law (zipfian) distribution with parameter `theta` using the
+    /// Gray et al. generator popularized by YCSB; keys are scrambled with a
+    /// multiplicative hash so rank and key id are decorrelated.
+    Zipfian {
+        /// Key-space size.
+        keys: u64,
+        /// Skew parameter in `(0, 1)`; YCSB default 0.99.
+        theta: f64,
+        /// Precomputed `zeta(keys, theta)`.
+        zetan: f64,
+        /// Precomputed `(1 - (2/n)^(1-theta)) / (1 - zeta(2)/zeta(n))`.
+        eta: f64,
+        /// `1 / (1 - theta)`.
+        alpha: f64,
+    },
+    /// A fraction of accesses hits a contiguous hot set.
+    HotSpot {
+        /// Key-space size.
+        keys: u64,
+        /// Fraction of the key space that is hot (0, 1].
+        hot_fraction: f64,
+        /// Fraction of accesses that go to the hot set (0, 1].
+        hot_access: f64,
+    },
+    /// Round-robin over the key space (for deterministic tests and
+    /// population phases).
+    Sequential {
+        /// Key-space size.
+        keys: u64,
+        /// Next key to emit.
+        next: u64,
+    },
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+/// Decorrelates zipf rank from key id (rank 0 should not always be key 0).
+fn scramble(rank: u64, keys: u64) -> u64 {
+    (rank + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) % keys
+}
+
+impl KeyDistribution {
+    /// Uniform over `keys`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero.
+    pub fn uniform(keys: u64) -> Self {
+        assert!(keys > 0, "key space must be non-empty");
+        KeyDistribution::Uniform { keys }
+    }
+
+    /// Zipfian over `keys` with skew `theta` (0 < theta < 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero or `theta` is outside `(0, 1)`.
+    pub fn zipfian(keys: u64, theta: f64) -> Self {
+        assert!(keys > 0, "key space must be non-empty");
+        assert!(
+            (0.0..1.0).contains(&theta) && theta > 0.0,
+            "theta must be in (0,1)"
+        );
+        let zetan = zeta(keys, theta);
+        let zeta2 = zeta(2, theta);
+        let eta = (1.0 - (2.0 / keys as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        KeyDistribution::Zipfian {
+            keys,
+            theta,
+            zetan,
+            eta,
+            alpha: 1.0 / (1.0 - theta),
+        }
+    }
+
+    /// Hotspot: `hot_access` of requests hit the first
+    /// `hot_fraction * keys` keys (after scrambling).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty key space or fractions outside `(0, 1]`.
+    pub fn hotspot(keys: u64, hot_fraction: f64, hot_access: f64) -> Self {
+        assert!(keys > 0, "key space must be non-empty");
+        assert!((0.0..=1.0).contains(&hot_fraction) && hot_fraction > 0.0);
+        assert!((0.0..=1.0).contains(&hot_access) && hot_access > 0.0);
+        KeyDistribution::HotSpot {
+            keys,
+            hot_fraction,
+            hot_access,
+        }
+    }
+
+    /// Sequential starting at key 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is zero.
+    pub fn sequential(keys: u64) -> Self {
+        assert!(keys > 0, "key space must be non-empty");
+        KeyDistribution::Sequential { keys, next: 0 }
+    }
+
+    /// Key-space size.
+    pub fn keys(&self) -> u64 {
+        match self {
+            KeyDistribution::Uniform { keys }
+            | KeyDistribution::Zipfian { keys, .. }
+            | KeyDistribution::HotSpot { keys, .. }
+            | KeyDistribution::Sequential { keys, .. } => *keys,
+        }
+    }
+
+    /// Samples the next key.
+    pub fn sample(&mut self, rng: &mut StdRng) -> u64 {
+        match self {
+            KeyDistribution::Uniform { keys } => rng.random_range(0..*keys),
+            KeyDistribution::Zipfian {
+                keys,
+                theta,
+                zetan,
+                eta,
+                alpha,
+            } => {
+                let n = *keys;
+                let u: f64 = rng.random();
+                let uz = u * *zetan;
+                let rank = if uz < 1.0 {
+                    0
+                } else if uz < 1.0 + 0.5f64.powf(*theta) {
+                    1
+                } else {
+                    ((n as f64) * (*eta * u - *eta + 1.0).powf(*alpha)) as u64
+                };
+                scramble(rank.min(n - 1), n)
+            }
+            KeyDistribution::HotSpot {
+                keys,
+                hot_fraction,
+                hot_access,
+            } => {
+                let hot_keys = ((*keys as f64 * *hot_fraction) as u64).max(1);
+                let rank = if rng.random::<f64>() < *hot_access {
+                    rng.random_range(0..hot_keys)
+                } else {
+                    rng.random_range(hot_keys..*keys)
+                };
+                scramble(rank, *keys)
+            }
+            KeyDistribution::Sequential { keys, next } => {
+                let k = *next;
+                *next = (*next + 1) % *keys;
+                k
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn frequencies(dist: &mut KeyDistribution, n: usize, seed: u64) -> HashMap<u64, u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut f = HashMap::new();
+        for _ in 0..n {
+            *f.entry(dist.sample(&mut rng)).or_insert(0) += 1;
+        }
+        f
+    }
+
+    #[test]
+    fn uniform_covers_key_space_evenly() {
+        let mut d = KeyDistribution::uniform(100);
+        let f = frequencies(&mut d, 100_000, 1);
+        assert!(f.len() == 100);
+        let (min, max) = f
+            .values()
+            .fold((u64::MAX, 0), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        assert!(max < 2 * min, "uniform spread too skewed: {min}..{max}");
+    }
+
+    #[test]
+    fn all_samples_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for d in [
+            &mut KeyDistribution::uniform(1000),
+            &mut KeyDistribution::zipfian(1000, 0.99),
+            &mut KeyDistribution::hotspot(1000, 0.1, 0.9),
+            &mut KeyDistribution::sequential(1000),
+        ] {
+            for _ in 0..10_000 {
+                assert!(d.sample(&mut rng) < 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_is_heavily_skewed() {
+        let mut d = KeyDistribution::zipfian(10_000, 0.99);
+        let f = frequencies(&mut d, 200_000, 3);
+        let mut counts: Vec<u64> = f.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let top10: u64 = counts.iter().take(10).sum();
+        // Under theta=0.99 the top 10 of 10k keys draw a large share;
+        // under uniform they would draw ~0.1%.
+        assert!(
+            top10 as f64 / total as f64 > 0.20,
+            "zipf not skewed enough: top10 {top10}/{total}"
+        );
+    }
+
+    #[test]
+    fn zipfian_scramble_decorellates_rank_from_key() {
+        let mut d = KeyDistribution::zipfian(10_000, 0.99);
+        let f = frequencies(&mut d, 100_000, 4);
+        let hottest = f.iter().max_by_key(|(_, &c)| c).map(|(k, _)| *k).unwrap();
+        assert_ne!(hottest, 0, "rank 0 must not map to key 0");
+    }
+
+    #[test]
+    fn hotspot_routes_hot_share() {
+        let keys = 1000u64;
+        let mut d = KeyDistribution::hotspot(keys, 0.1, 0.9);
+        // Reconstruct which keys are "hot" via the same scramble.
+        let hot: std::collections::HashSet<u64> = (0..100).map(|r| scramble(r, keys)).collect();
+        let f = frequencies(&mut d, 100_000, 5);
+        let hot_hits: u64 = f
+            .iter()
+            .filter(|(k, _)| hot.contains(k))
+            .map(|(_, &c)| c)
+            .sum();
+        let share = hot_hits as f64 / 100_000.0;
+        assert!((share - 0.9).abs() < 0.02, "hot share {share}");
+    }
+
+    #[test]
+    fn sequential_round_robins() {
+        let mut d = KeyDistribution::sequential(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq: Vec<u64> = (0..7).map(|_| d.sample(&mut rng)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_keys_panics() {
+        let _ = KeyDistribution::uniform(0);
+    }
+}

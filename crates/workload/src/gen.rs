@@ -1,0 +1,142 @@
+//! Operation stream generation.
+
+use crate::KeyDistribution;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One client operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read the given key.
+    Read(u64),
+    /// Update the given key with a payload.
+    Update(u64, bytes::Bytes),
+}
+
+impl Op {
+    /// The target key.
+    pub fn key(&self) -> u64 {
+        match self {
+            Op::Read(k) => *k,
+            Op::Update(k, _) => *k,
+        }
+    }
+
+    /// Whether this is an update.
+    pub fn is_update(&self) -> bool {
+        matches!(self, Op::Update(..))
+    }
+}
+
+/// Turns a key distribution and a read percentage into an operation
+/// stream. Values are a fixed-size payload (shared buffer — contents are
+/// irrelevant to the protocols, matching the paper's fixed 100-byte
+/// binaries).
+#[derive(Clone, Debug)]
+pub struct OpGenerator {
+    dist: KeyDistribution,
+    read_pct: u8,
+    value: bytes::Bytes,
+    generated: u64,
+    updates: u64,
+}
+
+impl OpGenerator {
+    /// Creates a generator; `read_pct` of operations are reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_pct > 100`.
+    pub fn new(dist: KeyDistribution, read_pct: u8, value_size: usize) -> Self {
+        assert!(read_pct <= 100, "read percentage must be 0-100");
+        OpGenerator {
+            dist,
+            read_pct,
+            value: bytes::Bytes::from(vec![0xABu8; value_size]),
+            generated: 0,
+            updates: 0,
+        }
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self, rng: &mut StdRng) -> Op {
+        let key = self.dist.sample(rng);
+        self.generated += 1;
+        if rng.random_range(0..100u8) < self.read_pct {
+            Op::Read(key)
+        } else {
+            self.updates += 1;
+            Op::Update(key, self.value.clone())
+        }
+    }
+
+    /// Total operations generated.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Updates among them.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The value payload size.
+    pub fn value_size(&self) -> usize {
+        self.value.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_ratio_is_respected() {
+        let mut g = OpGenerator::new(KeyDistribution::uniform(100), 90, 100);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut updates = 0;
+        for _ in 0..n {
+            if g.next_op(&mut rng).is_update() {
+                updates += 1;
+            }
+        }
+        let frac = updates as f64 / n as f64;
+        assert!((frac - 0.10).abs() < 0.01, "update fraction {frac}");
+        assert_eq!(g.generated(), n);
+        assert_eq!(g.updates(), updates);
+    }
+
+    #[test]
+    fn all_reads_and_all_writes() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut reads = OpGenerator::new(KeyDistribution::uniform(10), 100, 8);
+        let mut writes = OpGenerator::new(KeyDistribution::uniform(10), 0, 8);
+        for _ in 0..100 {
+            assert!(!reads.next_op(&mut rng).is_update());
+            assert!(writes.next_op(&mut rng).is_update());
+        }
+    }
+
+    #[test]
+    fn values_have_configured_size() {
+        let mut g = OpGenerator::new(KeyDistribution::uniform(10), 0, 100);
+        let mut rng = StdRng::seed_from_u64(13);
+        match g.next_op(&mut rng) {
+            Op::Update(_, v) => assert_eq!(v.len(), 100),
+            Op::Read(_) => panic!("expected update"),
+        }
+        assert_eq!(g.value_size(), 100);
+    }
+
+    #[test]
+    fn op_accessors() {
+        let r = Op::Read(5);
+        let u = Op::Update(6, bytes::Bytes::new());
+        assert_eq!(r.key(), 5);
+        assert_eq!(u.key(), 6);
+        assert!(!r.is_update());
+        assert!(u.is_update());
+    }
+}

@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+
+//! Workload generation — the Basho Bench equivalent.
+//!
+//! The paper's experiments use: 100 k keys, fixed 100-byte binary values,
+//! uniform and power-law key distributions, and read:write ratios of
+//! 99:1, 90:10, 75:25 and 50:50 (§7, "Workload Generator"). This crate
+//! reproduces those knobs:
+//!
+//! * [`KeyDistribution`] — uniform, zipfian (YCSB-style power law),
+//!   hotspot and sequential key pickers;
+//! * [`OpGenerator`] — turns a distribution plus a read:write mix into a
+//!   stream of [`Op`]s with fixed-size values;
+//! * [`WorkloadConfig`] — a bundle of the above with the paper's presets.
+//!
+//! # Examples
+//!
+//! ```
+//! use eunomia_workload::WorkloadConfig;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut gen = WorkloadConfig::paper(90, true).generator();
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let op = gen.next_op(&mut rng);
+//! assert!(op.key() < 100_000);
+//! ```
+
+mod dist;
+mod gen;
+
+pub use dist::KeyDistribution;
+pub use gen::{Op, OpGenerator};
+
+/// A complete workload description.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Key-space size.
+    pub keys: u64,
+    /// Percentage of reads (0–100); the rest are updates.
+    pub read_pct: u8,
+    /// Value payload size in bytes (the paper uses 100).
+    pub value_size: usize,
+    /// Whether keys follow the power-law (zipfian) distribution rather
+    /// than uniform.
+    pub power_law: bool,
+}
+
+impl WorkloadConfig {
+    /// The paper's base configuration: 100 k keys, 100-byte values.
+    pub fn paper(read_pct: u8, power_law: bool) -> Self {
+        WorkloadConfig {
+            keys: 100_000,
+            read_pct,
+            value_size: 100,
+            power_law,
+        }
+    }
+
+    /// The eight workload cells of Fig. 5: `{50:50, 75:25, 90:10, 99:1}`
+    /// crossed with `{uniform, power-law}`, labelled as in the paper.
+    pub fn figure5_cells() -> Vec<(String, WorkloadConfig)> {
+        let mut cells = Vec::new();
+        for &power_law in &[false, true] {
+            for &read_pct in &[50u8, 75, 90, 99] {
+                let suffix = if power_law { "P" } else { "U" };
+                cells.push((
+                    format!("{}:{} {}", read_pct, 100 - read_pct, suffix),
+                    WorkloadConfig::paper(read_pct, power_law),
+                ));
+            }
+        }
+        cells
+    }
+
+    /// Builds the operation generator for this config.
+    pub fn generator(&self) -> OpGenerator {
+        let dist = if self.power_law {
+            KeyDistribution::zipfian(self.keys, 0.99)
+        } else {
+            KeyDistribution::uniform(self.keys)
+        };
+        OpGenerator::new(dist, self.read_pct, self.value_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_section7() {
+        let w = WorkloadConfig::paper(90, false);
+        assert_eq!(w.keys, 100_000);
+        assert_eq!(w.value_size, 100);
+        assert_eq!(w.read_pct, 90);
+    }
+
+    #[test]
+    fn figure5_has_eight_cells() {
+        let cells = WorkloadConfig::figure5_cells();
+        assert_eq!(cells.len(), 8);
+        assert!(cells.iter().any(|(l, _)| l == "90:10 U"));
+        assert!(cells.iter().any(|(l, _)| l == "50:50 P"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Partial replication (the paper's §8 future work, Practi-style): each
+//! key is stored at only `rf` of the `M` datacenters. The §5 separation
+//! of data and metadata makes this nearly free to add — Eunomia's ordered
+//! *metadata* stream still reaches every datacenter (receivers advance
+//! `SiteTime` with metadata-only applies for keys they do not store), so
+//! causal dependency checking is untouched while the *data* path ships
+//! each update to its replica set only.
+//!
+//! Run with: `cargo run --release --example partial_replication`
+
+use eunomia::geo::cluster::build;
+use eunomia::geo::{ClusterConfig, SystemKind};
+use eunomia::kv::ring;
+use eunomia::kv::Key;
+use eunomia::sim::units;
+use eunomia_workload::WorkloadConfig;
+
+fn run(rf: Option<usize>) -> (f64, f64) {
+    let mut cfg = ClusterConfig::default();
+    cfg.duration = units::secs(25);
+    cfg.ops_per_client = Some(200);
+    cfg.replication_factor = rf;
+    cfg.workload = WorkloadConfig {
+        keys: 1_000,
+        read_pct: 60,
+        value_size: 100,
+        power_law: false,
+    };
+    let mut cluster = build(SystemKind::EunomiaKv, cfg);
+    cluster.metrics.enable_apply_log();
+    cluster.sim.run_until(units::secs(25));
+    let log = cluster.metrics.apply_log();
+    let local = log.iter().filter(|r| r.origin == r.dest).count() as f64;
+    let remote = log.iter().filter(|r| r.origin != r.dest).count() as f64;
+    (remote / local, remote * 100.0 / 1e6) // landings per update, MB shipped (100B values)
+}
+
+fn main() {
+    println!(
+        "key 7's replica set at rf=2 of 3 DCs: {:?}",
+        ring::replica_set(Key(7), 3, 2)
+    );
+    println!(
+        "key 8's replica set at rf=2 of 3 DCs: {:?}\n",
+        ring::replica_set(Key(8), 3, 2)
+    );
+
+    println!("same bounded workload, full vs partial replication:");
+    let (full_landings, full_mb) = run(None);
+    let (part_landings, part_mb) = run(Some(2));
+    println!("  full (rf=3):    {full_landings:.2} remote data landings per update (~{full_mb:.2} MB shipped)");
+    println!("  partial (rf=2): {part_landings:.2} remote data landings per update (~{part_mb:.2} MB shipped)");
+    println!(
+        "\ndata-path traffic drops ~{:.0}% while the metadata stream (and with it\n\
+         causal ordering) still reaches every datacenter — the Practi idea the\n\
+         paper's §5 data/metadata separation was built to enable.",
+        (1.0 - part_landings / full_landings) * 100.0
+    );
+}

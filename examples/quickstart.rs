@@ -1,0 +1,97 @@
+//! Quickstart: deferred update stabilization inside one datacenter.
+//!
+//! Three partitions timestamp client updates with scalar hybrid clocks
+//! (Algorithm 2) and feed the Eunomia service (Algorithm 3), which emits
+//! a single total order consistent with causality — without ever sitting
+//! in a client's critical path.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use eunomia::core::eunomia::EunomiaState;
+use eunomia::core::ids::PartitionId;
+use eunomia::core::time::{ScalarHlc, Timestamp};
+use eunomia::kv::client::ScalarClientState;
+
+fn main() {
+    const PARTITIONS: usize = 3;
+    let mut clocks = vec![ScalarHlc::new(); PARTITIONS];
+    let mut service: EunomiaState<String> = EunomiaState::new(PARTITIONS);
+
+    // A client session whose causal past travels in its clock (Alg. 1).
+    let mut alice = ScalarClientState::new();
+
+    // Simulated wall clock, microsecond ticks. Partition 2's clock runs
+    // 50 units behind to show skew tolerance.
+    let mut wall = 1_000u64;
+    let skew = [0i64, 0, -50];
+
+    let update = |clocks: &mut Vec<ScalarHlc>,
+                  service: &mut EunomiaState<String>,
+                  alice: &mut ScalarClientState,
+                  wall: u64,
+                  p: usize,
+                  what: &str| {
+        let physical = Timestamp((wall as i64 + skew[p]) as u64);
+        // Alg. 2 line 5: strictly above the client's past and this
+        // partition's previous timestamps, without waiting out skew.
+        let ts = clocks[p].tick(physical, alice.clock());
+        service
+            .add_op(
+                PartitionId(p as u32),
+                ts,
+                format!("{what} @ {}", PartitionId(p as u32)),
+            )
+            .unwrap();
+        alice.on_update_reply(ts);
+        println!("update '{what}' -> partition {p}, timestamp {ts}");
+        ts
+    };
+
+    update(
+        &mut clocks,
+        &mut service,
+        &mut alice,
+        wall,
+        0,
+        "cart := [book]",
+    );
+    wall += 10;
+    update(
+        &mut clocks,
+        &mut service,
+        &mut alice,
+        wall,
+        2,
+        "cart += pen",
+    );
+    wall += 10;
+    update(&mut clocks, &mut service, &mut alice, wall, 1, "checkout");
+
+    // Nothing can ship yet: partitions 0 and 2 might still hold earlier
+    // timestamps. Idle partitions cover themselves with heartbeats
+    // (Alg. 2 lines 10-12).
+    let mut stable = Vec::new();
+    service.process_stable(&mut stable);
+    println!("\nstable before heartbeats: {} operations", stable.len());
+
+    // Give the skewed clock time to pass its own logical bump, then let
+    // every idle partition cover itself.
+    wall += 80;
+    for p in 0..PARTITIONS {
+        let physical = Timestamp((wall as i64 + skew[p]) as u64);
+        if clocks[p].heartbeat_due(physical, 5) {
+            let hb = clocks[p].heartbeat(physical);
+            service.heartbeat(PartitionId(p as u32), hb).unwrap();
+        }
+    }
+    service.process_stable(&mut stable);
+
+    println!("\ntotal order shipped to remote datacenters:");
+    for (key, op) in &stable {
+        println!("  ts {:>6} | {}", key.ts.as_ticks(), op);
+    }
+    assert_eq!(stable.len(), 3, "all three causally related updates ship");
+    // Causality: the order respects Alice's session.
+    assert!(stable.windows(2).all(|w| w[0].0 < w[1].0));
+    println!("\ncausal total order verified — and no client ever waited for it.");
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Eunomia — unobtrusive deferred update stabilization for efficient
+//! geo-replication.
+//!
+//! Facade crate re-exporting the whole workspace. This reproduces the
+//! system of Gunawardhana, Bravo & Rodrigues, *"Unobtrusive Deferred Update
+//! Stabilization for Efficient Geo-Replication"*, USENIX ATC 2017.
+//!
+//! The interesting entry points are:
+//!
+//! * [`core`] — the Eunomia service itself: hybrid clocks, the
+//!   stabilization buffer, the fault-tolerant replica protocol, and the
+//!   sequencer baselines.
+//! * [`kv`] — the partitioned key-value store substrate (client sessions
+//!   and partition timestamping, Algorithms 1–2 of the paper).
+//! * [`geo`] — datacenter assembly: receivers, update propagation, and the
+//!   full EunomiaKV system running on the discrete-event simulator.
+//! * [`baselines`] — GentleRain, Cure, S-Seq and A-Seq built on the same
+//!   substrate for apples-to-apples comparison.
+//! * [`sim`] — the deterministic discrete-event simulator.
+//! * [`runtime`] — real multi-threaded Eunomia/sequencer services used by
+//!   the service-level benchmarks (§7.1 of the paper).
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a single-datacenter Eunomia run and
+//! `examples/geo_replication.rs` for a three-datacenter deployment.
+
+pub use eunomia_baselines as baselines;
+pub use eunomia_collections as collections;
+pub use eunomia_core as core;
+pub use eunomia_geo as geo;
+pub use eunomia_kv as kv;
+pub use eunomia_runtime as runtime;
+pub use eunomia_sim as sim;
+pub use eunomia_stats as stats;
+pub use eunomia_workload as workload;

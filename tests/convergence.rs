@@ -1,0 +1,103 @@
+//! Convergence: with a bounded workload and time to quiesce, every update
+//! reaches every datacenter, so last-writer-wins leaves all replicas of
+//! the key space identical (the determinism of the LWW rank itself is
+//! unit-tested in `eunomia-kv`).
+
+use eunomia::geo::cluster::build;
+use eunomia::geo::{ClusterConfig, SystemKind};
+use eunomia::sim::units;
+use eunomia_workload::WorkloadConfig;
+use std::collections::{HashMap, HashSet};
+
+#[test]
+fn every_update_reaches_every_datacenter() {
+    let mut cfg = ClusterConfig::default();
+    cfg.duration = units::secs(30);
+    cfg.ops_per_client = Some(300);
+    cfg.workload = WorkloadConfig {
+        keys: 200,
+        read_pct: 50,
+        value_size: 16,
+        power_law: false,
+    };
+    let n_dcs = cfg.n_dcs;
+    let mut cluster = build(SystemKind::EunomiaKv, cfg);
+    cluster.metrics.enable_apply_log();
+    // Clients stop after their budget; the rest of the run drains
+    // replication queues.
+    cluster.sim.run_until(units::secs(30));
+    let log = cluster.metrics.apply_log();
+
+    // Every (origin, ts, key) triple — a unique update — must land at
+    // every DC. (Updates from different partitions of one origin can share
+    // a timestamp, but then they touch different keys.)
+    let mut seen: HashMap<(u16, u64, u64), HashSet<u16>> = HashMap::new();
+    for rec in &log {
+        seen.entry((rec.origin, rec.ts, rec.key))
+            .or_default()
+            .insert(rec.dest);
+    }
+    assert!(!seen.is_empty());
+    let mut missing = 0usize;
+    for ((origin, ts, _key), dests) in &seen {
+        if dests.len() != n_dcs {
+            missing += 1;
+            assert!(
+                missing < 5,
+                "update (dc{origin}, ts {ts}) reached only {dests:?} of {n_dcs} DCs"
+            );
+        }
+    }
+    assert_eq!(
+        missing, 0,
+        "{missing} updates failed to reach all datacenters"
+    );
+
+    // Final LWW winner per key must be identical at every destination:
+    // compute winner per (key, dest) and compare across dests.
+    let mut winner: HashMap<(u16, u64), (u64, u16)> = HashMap::new();
+    for rec in &log {
+        let slot = winner.entry((rec.dest, rec.key)).or_insert((0, 0));
+        let rank = (rec.ts, rec.origin);
+        if rank > *slot {
+            *slot = rank;
+        }
+    }
+    let keys: HashSet<u64> = winner.keys().map(|(_, k)| *k).collect();
+    for key in keys {
+        let w0 = winner.get(&(0, key));
+        for dc in 1..n_dcs as u16 {
+            assert_eq!(
+                w0,
+                winner.get(&(dc, key)),
+                "LWW winner for key {key} differs between dc0 and dc{dc}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eventual_baseline_also_converges() {
+    let mut cfg = ClusterConfig::small_test();
+    cfg.duration = units::secs(20);
+    cfg.ops_per_client = Some(200);
+    let n_dcs = cfg.n_dcs;
+    let mut cluster = build(SystemKind::Eventual, cfg);
+    cluster.metrics.enable_apply_log();
+    cluster.sim.run_until(units::secs(20));
+    let log = cluster.metrics.apply_log();
+    let mut seen: HashMap<(u16, u64, u64), HashSet<u16>> = HashMap::new();
+    for rec in &log {
+        seen.entry((rec.origin, rec.ts, rec.key))
+            .or_default()
+            .insert(rec.dest);
+    }
+    assert!(!seen.is_empty());
+    for ((origin, ts, _key), dests) in &seen {
+        assert_eq!(
+            dests.len(),
+            n_dcs,
+            "update (dc{origin}, ts {ts}) reached only {dests:?}"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The paper's headline comparative claims, asserted as tests on scaled-
+//! down runs. These check *shapes* (orderings, floors, factors), never
+//! absolute numbers.
+
+use eunomia::baselines::{gs, seq};
+use eunomia::geo::{run_system, ClusterConfig, SystemKind};
+use eunomia::sim::units;
+use eunomia_workload::WorkloadConfig;
+
+fn quick(seed: u64, read_pct: u8) -> ClusterConfig {
+    let mut cfg = ClusterConfig::default();
+    cfg.duration = units::secs(12);
+    cfg.warmup = units::secs(2);
+    cfg.cooldown = units::secs(1);
+    cfg.seed = seed;
+    cfg.workload = WorkloadConfig::paper(read_pct, false);
+    cfg
+}
+
+/// §7.2.1: EunomiaKV's throughput is comparable to eventual consistency,
+/// and both global-stabilization baselines sit clearly below, with Cure
+/// below GentleRain.
+#[test]
+fn throughput_ordering_matches_figure5() {
+    let ev = run_system(SystemKind::Eventual, quick(1, 90));
+    let eu = run_system(SystemKind::EunomiaKv, quick(1, 90));
+    let gr = gs::run(gs::StabilizationMode::Scalar, quick(1, 90));
+    let cu = gs::run(gs::StabilizationMode::Vector, quick(1, 90));
+    assert!(
+        eu.throughput > 0.90 * ev.throughput,
+        "EunomiaKV must track eventual: {} vs {}",
+        eu.throughput,
+        ev.throughput
+    );
+    assert!(
+        gr.throughput < 0.97 * eu.throughput,
+        "GentleRain must pay for global stabilization: {} vs {}",
+        gr.throughput,
+        eu.throughput
+    );
+    assert!(
+        cu.throughput < gr.throughput,
+        "Cure's vectors must cost more than GentleRain's scalar: {} vs {}",
+        cu.throughput,
+        gr.throughput
+    );
+}
+
+/// §7.2.2 / Fig. 6 left: visibility extra delay ordering at the 40 ms
+/// pair, including GentleRain's ~40 ms floor (the farthest-DC penalty of
+/// the scalar).
+#[test]
+fn visibility_ordering_matches_figure6() {
+    let eu = run_system(SystemKind::EunomiaKv, quick(2, 90));
+    let gr = gs::run(gs::StabilizationMode::Scalar, quick(2, 90));
+    let cu = gs::run(gs::StabilizationMode::Vector, quick(2, 90));
+    let p90 = |r: &eunomia::geo::harness::RunReport| {
+        r.visibility_percentile_ms(0, 1, 90.0)
+            .expect("visibility samples")
+    };
+    let (e, g, c) = (p90(&eu), p90(&gr), p90(&cu));
+    assert!(
+        e < c && c < g,
+        "expected EunomiaKV < Cure < GentleRain, got {e} < {c} < {g}"
+    );
+    assert!(e < 15.0, "EunomiaKV p90 extra should be ~ms-scale, got {e}");
+    let g_min = gr.visibility_percentile_ms(0, 1, 1.0).unwrap();
+    assert!(
+        g_min > 35.0,
+        "GentleRain cannot beat the farthest-DC latency gap (~40 ms), got min {g_min}"
+    );
+}
+
+/// §2 / Fig. 1: the synchronous sequencer costs throughput; the same work
+/// done off the critical path (A-Seq) costs almost nothing.
+#[test]
+fn sequencer_penalty_matches_figure1() {
+    let ev = run_system(SystemKind::Eventual, quick(3, 50));
+    let ss = seq::run(seq::SeqMode::Synchronous, quick(3, 50));
+    let aa = seq::run(seq::SeqMode::Asynchronous, quick(3, 50));
+    let s_pen = 1.0 - ss.throughput / ev.throughput;
+    let a_pen = 1.0 - aa.throughput / ev.throughput;
+    assert!(s_pen > 0.05, "S-Seq penalty too small: {s_pen}");
+    assert!(
+        a_pen < s_pen / 2.0,
+        "A-Seq must recover most of the penalty: {a_pen} vs {s_pen}"
+    );
+    // And sequencer visibility is near-optimal (trivial dependency check).
+    let p90 = ss.visibility_percentile_ms(0, 1, 90.0).unwrap();
+    assert!(
+        p90 < 10.0,
+        "S-Seq visibility should be near-optimal, got {p90} ms"
+    );
+}
+
+/// §7.2.3 / Fig. 7: a straggler delays visibility of its datacenter's
+/// updates by roughly the straggling interval, and healing restores it.
+#[test]
+fn straggler_shifts_visibility_by_the_interval() {
+    let mut cfg = quick(4, 75);
+    cfg.duration = units::secs(15);
+    cfg.straggler = Some(eunomia::geo::config::StragglerConfig {
+        dc: 2,
+        partition: 0,
+        from: units::secs(5),
+        to: units::secs(10),
+        interval: units::ms(100),
+    });
+    let r = run_system(SystemKind::EunomiaKv, cfg);
+    let healthy = r
+        .metrics
+        .visibility_extras(2, 1, units::secs(1), units::secs(5));
+    let strangled = r
+        .metrics
+        .visibility_extras(2, 1, units::secs(6), units::secs(10));
+    let healed = r
+        .metrics
+        .visibility_extras(2, 1, units::secs(12), units::secs(15));
+    let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len().max(1) as f64 / 1e6;
+    assert!(
+        mean(&strangled) > 50.0,
+        "straggling mean {} ms too low",
+        mean(&strangled)
+    );
+    assert!(
+        mean(&healthy) < 15.0,
+        "healthy mean {} ms too high",
+        mean(&healthy)
+    );
+    assert!(
+        mean(&healed) < 15.0,
+        "healed mean {} ms too high",
+        mean(&healed)
+    );
+}
+
+/// Determinism across the whole zoo: identical seeds, identical results.
+#[test]
+fn all_systems_are_deterministic() {
+    let a = run_system(SystemKind::EunomiaKv, quick(5, 75));
+    let b = run_system(SystemKind::EunomiaKv, quick(5, 75));
+    assert_eq!(a.total_ops, b.total_ops);
+    let ga = gs::run(gs::StabilizationMode::Scalar, quick(5, 75));
+    let gb = gs::run(gs::StabilizationMode::Scalar, quick(5, 75));
+    assert_eq!(ga.total_ops, gb.total_ops);
+    let sa = seq::run(seq::SeqMode::Synchronous, quick(5, 75));
+    let sb = seq::run(seq::SeqMode::Synchronous, quick(5, 75));
+    assert_eq!(sa.total_ops, sb.total_ops);
+}
