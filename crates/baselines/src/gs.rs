@@ -555,7 +555,8 @@ pub fn build(
 }
 
 /// Builds, runs and reports a GentleRain/Cure deployment.
-pub fn run(mode: StabilizationMode, cfg: ClusterConfig) -> RunReport {
+/// Crate-private: external callers go through `eunomia_geo::run`.
+pub(crate) fn run(mode: StabilizationMode, cfg: ClusterConfig) -> RunReport {
     let (mut sim, metrics, cfg) = build(mode, cfg);
     sim.run_until(cfg.duration);
     make_report(mode.label(), &metrics, &cfg)

@@ -19,44 +19,63 @@
 //! All four run under the shared [`eunomia_geo::ClusterConfig`] and report
 //! through [`eunomia_geo::harness::RunReport`], so every figure harness
 //! compares like with like.
+//!
+//! There is no separate entry point for baselines: [`install`] registers
+//! them into `eunomia-geo`'s system registry, after which
+//! `eunomia_geo::run(SystemId, &Scenario)` drives all six systems
+//! uniformly. The `eunomia` facade and `eunomia_bench::BenchArgs::parse`
+//! call [`install`] automatically.
 
 pub mod gs;
 pub mod msg;
 pub mod seq;
 
 use eunomia_geo::harness::RunReport;
-use eunomia_geo::ClusterConfig;
+use eunomia_geo::{register_runner, ClusterConfig, SystemId};
+use std::sync::Once;
 
-/// The four baseline systems.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BaselineKind {
-    /// Global stabilization with a single scalar (favours throughput).
-    GentleRain,
-    /// Global stabilization with a vector clock (favours visibility).
-    Cure,
-    /// Synchronous sequencer per datacenter (in the client critical path).
-    SSeq,
-    /// Asynchronous (bogus) sequencer variant: same work, off the critical
-    /// path, no causality.
-    ASeq,
-}
-
-/// Label used in reports and harness output.
-pub fn label(kind: BaselineKind) -> &'static str {
-    match kind {
-        BaselineKind::GentleRain => "GentleRain",
-        BaselineKind::Cure => "Cure",
-        BaselineKind::SSeq => "S-Seq",
-        BaselineKind::ASeq => "A-Seq",
+fn run_baseline(id: SystemId, cfg: &ClusterConfig) -> RunReport {
+    match id {
+        SystemId::GentleRain => gs::run(gs::StabilizationMode::Scalar, cfg.clone()),
+        SystemId::Cure => gs::run(gs::StabilizationMode::Vector, cfg.clone()),
+        SystemId::SSeq => seq::run(seq::SeqMode::Synchronous, cfg.clone()),
+        SystemId::ASeq => seq::run(seq::SeqMode::Asynchronous, cfg.clone()),
+        native => unreachable!("{native} is assembled by eunomia-geo"),
     }
 }
 
-/// Builds, runs and reports a baseline system under `cfg`.
-pub fn run_baseline(kind: BaselineKind, cfg: ClusterConfig) -> RunReport {
-    match kind {
-        BaselineKind::GentleRain => gs::run(gs::StabilizationMode::Scalar, cfg),
-        BaselineKind::Cure => gs::run(gs::StabilizationMode::Vector, cfg),
-        BaselineKind::SSeq => seq::run(seq::SeqMode::Synchronous, cfg),
-        BaselineKind::ASeq => seq::run(seq::SeqMode::Asynchronous, cfg),
+/// Registers GentleRain, Cure, S-Seq and A-Seq in `eunomia-geo`'s system
+/// registry so `eunomia_geo::run` can dispatch to them. Idempotent and
+/// cheap; call it once at startup (the `eunomia` facade's `run` and
+/// `eunomia_bench::BenchArgs::parse` already do).
+pub fn install() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        for id in [
+            SystemId::GentleRain,
+            SystemId::Cure,
+            SystemId::SSeq,
+            SystemId::ASeq,
+        ] {
+            register_runner(id, run_baseline);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eunomia_geo::Scenario;
+
+    #[test]
+    fn install_makes_every_system_runnable_through_geo() {
+        install();
+        install(); // idempotent
+        let sc = Scenario::small_test();
+        for id in SystemId::all() {
+            let report = eunomia_geo::run(id, &sc);
+            assert!(report.total_ops > 100, "{id}: {} ops", report.total_ops);
+            assert_eq!(report.system, id.label());
+        }
     }
 }

@@ -481,7 +481,8 @@ pub fn build(
 }
 
 /// Builds, runs and reports an S-Seq or A-Seq deployment.
-pub fn run(mode: SeqMode, cfg: ClusterConfig) -> RunReport {
+/// Crate-private: external callers go through `eunomia_geo::run`.
+pub(crate) fn run(mode: SeqMode, cfg: ClusterConfig) -> RunReport {
     let (mut sim, metrics, cfg) = build(mode, cfg);
     sim.run_until(cfg.duration);
     make_report(mode.label(), &metrics, &cfg)

@@ -7,14 +7,16 @@
 //! sweeps the batching interval on the threaded service and, on the
 //! simulator, shows the visibility cost of larger batches.
 
-use eunomia_bench::{banner, fmt_ms, geo_config, print_table, BenchArgs};
-use eunomia_geo::{run_system, SystemKind};
+use eunomia_bench::{banner, fmt_ms, paper_scenario, print_table, BenchArgs};
+use eunomia_geo::{run, SystemId};
 use eunomia_runtime::service::{run_eunomia_service, EunomiaBenchConfig};
 use eunomia_sim::units;
 use std::time::Duration;
 
 fn main() {
     let args = BenchArgs::parse();
+    // This ablation exercises EunomiaKV only; --system must include it.
+    args.systems(&[SystemId::EunomiaKv]);
     let secs = args.secs(3, 2);
     banner(
         "Ablation: metadata batching interval",
@@ -49,10 +51,13 @@ fn main() {
 
     let mut rows = Vec::new();
     for interval_us in [200u64, 500, 1000, 2000, 5000] {
-        let mut cfg = geo_config(args.secs(20, 8), args.seed);
-        cfg.batch_interval = units::us(interval_us);
-        cfg.heartbeat_delta = units::us(interval_us);
-        let r = run_system(SystemKind::EunomiaKv, cfg);
+        let scenario = paper_scenario(args.secs(20, 8), args.seed)
+            .named(format!("batch-{interval_us}us"))
+            .with(|cfg| {
+                cfg.batch_interval = units::us(interval_us);
+                cfg.heartbeat_delta = units::us(interval_us);
+            });
+        let r = run(SystemId::EunomiaKv, &scenario);
         rows.push(vec![
             format!("{:.1} ms", interval_us as f64 / 1000.0),
             format!("{:.0}", r.throughput),

@@ -8,14 +8,23 @@
 //! floors are minima over skewed clocks); only the physical-clock design
 //! pays in client latency.
 
-use eunomia_baselines::gs;
-use eunomia_bench::{banner, fmt_ms, geo_config, print_table, BenchArgs};
-use eunomia_geo::{run_system, SystemKind};
+use eunomia_bench::{banner, fmt_ms, paper_scenario, print_table, BenchArgs};
+use eunomia_geo::{Sweep, SystemId};
 use eunomia_sim::units;
 use eunomia_workload::WorkloadConfig;
 
 fn main() {
     let args = BenchArgs::parse();
+    // A paired EunomiaKV-vs-GentleRain comparison: --system must pick
+    // at least one of them, and both columns always run (the table
+    // pairs them per skew level).
+    if args
+        .systems(&[SystemId::EunomiaKv, SystemId::GentleRain])
+        .len()
+        < 2
+    {
+        eprintln!("note: this ablation always runs EunomiaKV and GentleRain side by side");
+    }
     let secs = args.secs(25, 8);
     banner(
         "Ablation: clock skew",
@@ -25,32 +34,42 @@ fn main() {
          stabilization minima",
     );
 
-    let mut rows = Vec::new();
-    for skew_us in [0u64, 500, 5_000, 50_000] {
-        let mk = |seed_off: u64| {
-            let mut cfg = geo_config(secs, args.seed + seed_off);
-            cfg.workload = WorkloadConfig::paper(75, false);
-            cfg.clock_skew = units::us(skew_us);
-            cfg.drift_ppm = 0.0;
-            cfg
-        };
-        let eu = run_system(SystemKind::EunomiaKv, mk(1));
-        let gr = gs::run(gs::StabilizationMode::Scalar, mk(2));
-        let update_p99 = |r: &eunomia_geo::harness::RunReport| {
-            r.metrics
-                .with(|m| m.update_latency.percentile(99.0))
-                .map(units::to_ms)
-        };
-        rows.push(vec![
-            format!("{:.1} ms", skew_us as f64 / 1000.0),
-            fmt_ms(update_p99(&eu)),
-            fmt_ms(update_p99(&gr)),
-            fmt_ms(eu.visibility_percentile_ms(0, 1, 90.0)),
-            fmt_ms(gr.visibility_percentile_ms(0, 1, 90.0)),
-            format!("{:.0}", eu.throughput),
-            format!("{:.0}", gr.throughput),
-        ]);
-    }
+    let skews = [0u64, 500, 5_000, 50_000];
+    let results = Sweep::new()
+        .systems([SystemId::EunomiaKv, SystemId::GentleRain])
+        .scenarios(skews.iter().enumerate().map(|(i, &skew_us)| {
+            paper_scenario(secs, args.seed + i as u64)
+                .named(format!("{:.1} ms", skew_us as f64 / 1000.0))
+                .workload(WorkloadConfig::paper(75, false))
+                .with(|cfg| {
+                    cfg.clock_skew = units::us(skew_us);
+                    cfg.drift_ppm = 0.0;
+                })
+        }))
+        .run();
+
+    let update_p99 = |r: &eunomia_geo::harness::RunReport| {
+        r.metrics
+            .with(|m| m.update_latency.percentile(99.0))
+            .map(units::to_ms)
+    };
+    let rows: Vec<Vec<String>> = results
+        .scenarios()
+        .iter()
+        .map(|sc| {
+            let eu = results.get(SystemId::EunomiaKv, sc).expect("cell ran");
+            let gr = results.get(SystemId::GentleRain, sc).expect("cell ran");
+            vec![
+                sc.clone(),
+                fmt_ms(update_p99(eu)),
+                fmt_ms(update_p99(gr)),
+                fmt_ms(eu.visibility_percentile_ms(0, 1, 90.0)),
+                fmt_ms(gr.visibility_percentile_ms(0, 1, 90.0)),
+                format!("{:.0}", eu.throughput),
+                format!("{:.0}", gr.throughput),
+            ]
+        })
+        .collect();
     print_table(
         &[
             "skew (+/-)",

@@ -10,12 +10,14 @@
 //!
 //! This ablation quantifies that trade at 50:50 and 90:10.
 
-use eunomia_bench::{banner, fmt_ms, geo_config, print_table, BenchArgs};
-use eunomia_geo::{run_system, ClusterConfig, SystemKind};
+use eunomia_bench::{banner, fmt_ms, paper_scenario, print_table, BenchArgs};
+use eunomia_geo::{run, SystemId};
 use eunomia_workload::WorkloadConfig;
 
 fn main() {
     let args = BenchArgs::parse();
+    // This ablation exercises EunomiaKV only; --system must include it.
+    args.systems(&[SystemId::EunomiaKv]);
     let secs = args.secs(30, 10);
     banner(
         "Ablation: receiver discipline",
@@ -27,10 +29,16 @@ fn main() {
     let mut rows = Vec::new();
     for read_pct in [90u8, 50] {
         for pipelined in [false, true] {
-            let mut cfg: ClusterConfig = geo_config(secs, args.seed);
-            cfg.workload = WorkloadConfig::paper(read_pct, false);
-            cfg.pipelined_receiver = pipelined;
-            let r = run_system(SystemKind::EunomiaKv, cfg);
+            let scenario = paper_scenario(secs, args.seed)
+                .named(format!(
+                    "{}:{}-{}",
+                    read_pct,
+                    100 - read_pct,
+                    if pipelined { "pipelined" } else { "faithful" }
+                ))
+                .workload(WorkloadConfig::paper(read_pct, false))
+                .with(|cfg| cfg.pipelined_receiver = pipelined);
+            let r = run(SystemId::EunomiaKv, &scenario);
             rows.push(vec![
                 format!("{}:{}", read_pct, 100 - read_pct),
                 if pipelined {

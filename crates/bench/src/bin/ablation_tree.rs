@@ -8,12 +8,14 @@
 //! to one batching interval of delay. This ablation measures both sides of
 //! the trade at two datacenter sizes.
 
-use eunomia_bench::{banner, fmt_ms, geo_config, print_table, BenchArgs};
-use eunomia_geo::{run_system, SystemKind};
+use eunomia_bench::{banner, fmt_ms, paper_scenario, print_table, BenchArgs};
+use eunomia_geo::{run, SystemId};
 use eunomia_workload::WorkloadConfig;
 
 fn main() {
     let args = BenchArgs::parse();
+    // This ablation exercises EunomiaKV only; --system must include it.
+    args.systems(&[SystemId::EunomiaKv]);
     let secs = args.secs(20, 8);
     banner(
         "Ablation: metadata propagation tree (§5)",
@@ -25,11 +27,17 @@ fn main() {
     let mut rows = Vec::new();
     for partitions in [8usize, 32] {
         for arity in [None, Some(4), Some(2)] {
-            let mut cfg = geo_config(secs, args.seed);
-            cfg.partitions_per_dc = partitions;
-            cfg.metadata_tree_arity = arity;
-            cfg.workload = WorkloadConfig::paper(90, false);
-            let r = run_system(SystemKind::EunomiaKv, cfg);
+            let scenario = paper_scenario(secs, args.seed)
+                .named(match arity {
+                    None => format!("{partitions}p-direct"),
+                    Some(a) => format!("{partitions}p-tree{a}"),
+                })
+                .workload(WorkloadConfig::paper(90, false))
+                .with(|cfg| {
+                    cfg.partitions_per_dc = partitions;
+                    cfg.metadata_tree_arity = arity;
+                });
+            let r = run(SystemId::EunomiaKv, &scenario);
             let msgs = r.metrics.service_messages() as f64 / (secs as f64 * 3.0);
             rows.push(vec![
                 format!("{partitions}"),

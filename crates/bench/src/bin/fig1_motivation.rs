@@ -8,9 +8,8 @@
 //! and reported once. Workload: 50:50 uniform (updates stress both the
 //! sequencer round trip and the stabilization machinery).
 
-use eunomia_baselines::{gs, seq};
-use eunomia_bench::{banner, fmt_delta_pct, fmt_ms, geo_config, print_table, BenchArgs};
-use eunomia_geo::{run_system, SystemKind};
+use eunomia_bench::{banner, fmt_delta_pct, fmt_ms, paper_scenario, print_table, BenchArgs};
+use eunomia_geo::{run, Sweep, SystemId};
 use eunomia_sim::units;
 use eunomia_workload::WorkloadConfig;
 
@@ -23,53 +22,73 @@ fn main() {
         "GentleRain/Cure visibility grows with the interval; their throughput \
          penalty shrinks with it but Cure keeps a per-op vector cost (paper: \
          -11.6% even at 100 ms); S-Seq pays ~-15% from the synchronous \
-         sequencer while A-Seq shows the penalty vanishes off the critical path",
+         sequencer while A-Seq shows the penalty vanishes off the critical \
+         path",
     );
 
-    let base = |seed| {
-        let mut cfg = geo_config(secs, seed);
-        cfg.workload = WorkloadConfig::paper(50, false);
-        cfg
-    };
+    let base = |seed| paper_scenario(secs, seed).workload(WorkloadConfig::paper(50, false));
 
-    let eventual = run_system(SystemKind::Eventual, base(args.seed));
+    let eventual = run(SystemId::Eventual, &base(args.seed));
     println!("baseline (Eventual): {:.0} ops/s\n", eventual.throughput);
 
-    let mut rows = Vec::new();
-    for interval_ms in [1u64, 10, 20, 50, 100] {
-        let mut cfg = base(args.seed + interval_ms);
-        cfg.stab_aggregation_interval = units::ms(interval_ms);
-        let gr = gs::run(gs::StabilizationMode::Scalar, cfg.clone());
-        let cu = gs::run(gs::StabilizationMode::Vector, cfg);
-        rows.push(vec![
-            format!("{interval_ms}"),
-            fmt_ms(gr.visibility_percentile_ms(0, 1, 90.0)),
-            fmt_ms(cu.visibility_percentile_ms(0, 1, 90.0)),
-            fmt_delta_pct(gr.throughput, eventual.throughput),
-            fmt_delta_pct(cu.throughput, eventual.throughput),
-        ]);
-    }
-    print_table(
-        &[
-            "interval_ms",
-            "GentleRain vis p90 (ms)",
-            "Cure vis p90 (ms)",
-            "GentleRain thpt",
-            "Cure thpt",
-        ],
-        &rows,
-    );
+    // [GentleRain, Cure] x [stabilization interval] grid. Filtered
+    // non-fatally: `--system sseq` legitimately selects only the
+    // sequencer half of this figure.
+    let gs_systems: Vec<SystemId> = [SystemId::GentleRain, SystemId::Cure]
+        .into_iter()
+        .filter(|&s| args.wants(s))
+        .collect();
+    if !gs_systems.is_empty() {
+        let intervals = [1u64, 10, 20, 50, 100];
+        let results = Sweep::new()
+            .systems(gs_systems.iter().copied())
+            .scenarios(intervals.iter().map(|&ms| {
+                base(args.seed + ms)
+                    .named(format!("{ms}"))
+                    .with(|c| c.stab_aggregation_interval = units::ms(ms))
+            }))
+            .run();
 
-    println!();
-    let sseq = seq::run(seq::SeqMode::Synchronous, base(args.seed + 1000));
-    let aseq = seq::run(seq::SeqMode::Asynchronous, base(args.seed + 2000));
+        let mut headers = vec!["interval_ms".to_string()];
+        for s in &gs_systems {
+            headers.push(format!("{s} vis p90 (ms)"));
+        }
+        for s in &gs_systems {
+            headers.push(format!("{s} thpt"));
+        }
+        let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+        let rows: Vec<Vec<String>> = results
+            .scenarios()
+            .iter()
+            .map(|sc| {
+                let mut row = vec![sc.clone()];
+                for &s in &gs_systems {
+                    let r = results.get(s, sc).expect("cell ran");
+                    row.push(fmt_ms(r.visibility_percentile_ms(0, 1, 90.0)));
+                }
+                for &s in &gs_systems {
+                    let r = results.get(s, sc).expect("cell ran");
+                    row.push(fmt_delta_pct(r.throughput, eventual.throughput));
+                }
+                row
+            })
+            .collect();
+        print_table(&header_refs, &rows);
+        println!();
+    }
     let mut rows = Vec::new();
-    for r in [&sseq, &aseq] {
+    for (id, seed_off) in [(SystemId::SSeq, 1000u64), (SystemId::ASeq, 2000)] {
+        if !args.wants(id) {
+            continue;
+        }
+        let r = run(id, &base(args.seed + seed_off));
         rows.push(vec![
             r.system.clone(),
             fmt_ms(r.visibility_percentile_ms(0, 1, 90.0)),
             fmt_delta_pct(r.throughput, eventual.throughput),
         ]);
     }
-    print_table(&["system", "vis p90 (ms)", "thpt vs eventual"], &rows);
+    if !rows.is_empty() {
+        print_table(&["system", "vis p90 (ms)", "thpt vs eventual"], &rows);
+    }
 }

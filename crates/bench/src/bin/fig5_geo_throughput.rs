@@ -8,9 +8,8 @@
 //! when read-heavy) while GentleRain and always-lower Cure sit clearly
 //! below, and everything degrades as the update fraction grows.
 
-use eunomia_baselines::gs;
-use eunomia_bench::{banner, fmt_delta_pct, geo_config, print_table, BenchArgs};
-use eunomia_geo::{run_system, SystemKind};
+use eunomia_bench::{banner, paper_scenario, BenchArgs};
+use eunomia_geo::{Sweep, SystemId};
 use eunomia_workload::WorkloadConfig;
 
 fn main() {
@@ -23,39 +22,32 @@ fn main() {
          throughput falls as updates increase",
     );
 
-    let mut rows = Vec::new();
-    let mut eunomia_drops = Vec::new();
-    for (label, workload) in WorkloadConfig::figure5_cells() {
-        let with_workload = |seed_off: u64| {
-            let mut cfg = geo_config(secs, args.seed + seed_off);
-            cfg.workload = workload.clone();
-            cfg
-        };
-        let ev = run_system(SystemKind::Eventual, with_workload(1));
-        let eu = run_system(SystemKind::EunomiaKv, with_workload(2));
-        let gr = gs::run(gs::StabilizationMode::Scalar, with_workload(3));
-        let cu = gs::run(gs::StabilizationMode::Vector, with_workload(4));
-        eunomia_drops.push(eu.throughput / ev.throughput - 1.0);
-        rows.push(vec![
-            label,
-            format!("{:.0}", ev.throughput),
-            format!("{:.0}", eu.throughput),
-            format!("{:.0}", gr.throughput),
-            format!("{:.0}", cu.throughput),
-            fmt_delta_pct(eu.throughput, ev.throughput),
-        ]);
+    let systems = args.systems(&[
+        SystemId::Eventual,
+        SystemId::EunomiaKv,
+        SystemId::GentleRain,
+        SystemId::Cure,
+    ]);
+    let results = Sweep::new()
+        .systems(systems.iter().copied())
+        .scenarios(WorkloadConfig::figure5_cells().into_iter().enumerate().map(
+            |(i, (label, workload))| {
+                paper_scenario(secs, args.seed + i as u64)
+                    .named(label)
+                    .workload(workload)
+            },
+        ))
+        .run();
+
+    print!("{}", results.throughput_table(Some(SystemId::Eventual)));
+
+    if systems.contains(&SystemId::Eventual) && systems.contains(&SystemId::EunomiaKv) {
+        let drops: Vec<f64> = results
+            .scenarios()
+            .iter()
+            .filter_map(|sc| results.delta_vs(SystemId::EunomiaKv, SystemId::Eventual, sc))
+            .collect();
+        let avg = drops.iter().sum::<f64>() / drops.len().max(1) as f64 * 100.0;
+        println!("\nEunomiaKV average drop vs eventual: {avg:.1}% (paper: -4.7%)");
     }
-    print_table(
-        &[
-            "workload",
-            "Eventual",
-            "EunomiaKV",
-            "GentleRain",
-            "Cure",
-            "EunomiaKV vs Eventual",
-        ],
-        &rows,
-    );
-    let avg = eunomia_drops.iter().sum::<f64>() / eunomia_drops.len() as f64 * 100.0;
-    println!("\nEunomiaKV average drop vs eventual: {avg:.1}% (paper: -4.7%)");
 }

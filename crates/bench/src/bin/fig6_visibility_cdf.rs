@@ -10,10 +10,9 @@
 //! datacenter, while on the right plot (where the origin *is* the
 //! farthest) its floor disappears and only stabilization lag remains.
 
-use eunomia_baselines::gs;
-use eunomia_bench::{banner, fmt_ms, geo_config, print_table, BenchArgs};
+use eunomia_bench::{banner, fmt_ms, paper_scenario, print_table, BenchArgs};
 use eunomia_geo::harness::RunReport;
-use eunomia_geo::{run_system, SystemKind};
+use eunomia_geo::{Sweep, SystemId};
 use eunomia_workload::WorkloadConfig;
 
 fn main() {
@@ -26,30 +25,35 @@ fn main() {
          there (scalar waits on the farthest DC) but not on dc1->dc2",
     );
 
-    let base = |seed_off: u64| {
-        let mut cfg = geo_config(secs, args.seed + seed_off);
-        cfg.workload = WorkloadConfig::paper(90, false);
-        cfg
-    };
-    let eu = run_system(SystemKind::EunomiaKv, base(1));
-    let gr = gs::run(gs::StabilizationMode::Scalar, base(2));
-    let cu = gs::run(gs::StabilizationMode::Vector, base(3));
+    let systems = args.systems(&[SystemId::EunomiaKv, SystemId::GentleRain, SystemId::Cure]);
+    let results = Sweep::new()
+        .systems(systems.iter().copied())
+        .scenario(
+            paper_scenario(secs, args.seed)
+                .named("fig6")
+                .workload(WorkloadConfig::paper(90, false)),
+        )
+        .run();
+    let report = |id: SystemId| results.get(id, "fig6").expect("cell ran");
 
     for (title, origin, dest) in [
         ("dc0 -> dc1 (40 ms one-way; paper's left plot)", 0u16, 1u16),
         ("dc1 -> dc2 (80 ms one-way; paper's right plot)", 1, 2),
     ] {
         println!("\n{title}");
+        let headers: Vec<String> = std::iter::once("percentile".to_string())
+            .chain(systems.iter().map(|s| s.to_string()))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
         let mut rows = Vec::new();
         for p in [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
-            rows.push(vec![
-                format!("p{p:.0}"),
-                fmt_ms(eu.visibility_percentile_ms(origin, dest, p)),
-                fmt_ms(gr.visibility_percentile_ms(origin, dest, p)),
-                fmt_ms(cu.visibility_percentile_ms(origin, dest, p)),
-            ]);
+            let mut row = vec![format!("p{p:.0}")];
+            for &s in &systems {
+                row.push(fmt_ms(report(s).visibility_percentile_ms(origin, dest, p)));
+            }
+            rows.push(row);
         }
-        print_table(&["percentile", "EunomiaKV", "GentleRain", "Cure"], &rows);
+        print_table(&header_refs, &rows);
         let frac_within = |r: &RunReport, ms: f64| {
             let cdf = r.visibility_cdf_ms(origin, dest);
             cdf.iter()
@@ -57,11 +61,13 @@ fn main() {
                 .last()
                 .map_or(0.0, |(_, f)| *f)
         };
+        let within: Vec<String> = systems
+            .iter()
+            .map(|&s| format!("{s} {:.0}%", frac_within(report(s), 15.0) * 100.0))
+            .collect();
         println!(
-            "within 15 ms extra: EunomiaKV {:.0}%, GentleRain {:.0}%, Cure {:.0}% (paper left plot: ~95% / 0% / <50%)",
-            frac_within(&eu, 15.0) * 100.0,
-            frac_within(&gr, 15.0) * 100.0,
-            frac_within(&cu, 15.0) * 100.0,
+            "within 15 ms extra: {} (paper left plot: EunomiaKV ~95% / GentleRain 0% / Cure <50%)",
+            within.join(", ")
         );
     }
 }

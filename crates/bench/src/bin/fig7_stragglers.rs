@@ -13,10 +13,9 @@
 //! partition absorb the interval into *operation latency* — visible in
 //! the mean update latency during the straggle window.
 
-use eunomia_baselines::seq;
-use eunomia_bench::{banner, geo_config, print_table, BenchArgs};
+use eunomia_bench::{banner, paper_scenario, print_table, BenchArgs};
 use eunomia_geo::config::StragglerConfig;
-use eunomia_geo::{run_system, SystemKind};
+use eunomia_geo::{run, Scenario, SystemId};
 use eunomia_sim::{units, SimTime};
 use eunomia_workload::WorkloadConfig;
 
@@ -33,61 +32,75 @@ fn main() {
     );
 
     let bucket = units::secs(2);
-    let mk_cfg = |interval_ms: u64, seed_off: u64| {
-        let mut cfg = geo_config(phase * 3, args.seed + seed_off);
-        cfg.workload = WorkloadConfig::paper(75, false);
-        cfg.warmup = units::secs(2);
-        cfg.cooldown = 0;
-        cfg.straggler = Some(StragglerConfig {
-            dc: 2,
-            partition: 0,
-            from: units::secs(phase),
-            to: units::secs(phase * 2),
-            interval: units::ms(interval_ms),
-        });
-        cfg
+    let mk_scenario = |interval_ms: u64, seed_off: u64| -> Scenario {
+        paper_scenario(phase * 3, args.seed + seed_off)
+            .named(format!("straggler-{interval_ms}ms"))
+            .workload(WorkloadConfig::paper(75, false))
+            .with(|cfg| {
+                cfg.warmup = units::secs(2);
+                cfg.cooldown = 0;
+                cfg.straggler = Some(StragglerConfig {
+                    dc: 2,
+                    partition: 0,
+                    from: units::secs(phase),
+                    to: units::secs(phase * 2),
+                    interval: units::ms(interval_ms),
+                });
+            })
     };
 
-    // EunomiaKV runs, one per straggling interval.
-    let mut runs = Vec::new();
-    for (i, interval_ms) in [10u64, 100, 1000].iter().enumerate() {
-        runs.push((
-            *interval_ms,
-            run_system(SystemKind::EunomiaKv, mk_cfg(*interval_ms, i as u64)),
-        ));
-    }
-
-    println!("\nEunomiaKV: mean visibility extra (ms) for dc2-origin updates at dc1, 2 s buckets");
+    // This figure compares EunomiaKV's straggler response with S-Seq's;
+    // --system restricts to either half (the helper aborts if neither
+    // was selected).
+    let selected = args.systems(&[SystemId::EunomiaKv, SystemId::SSeq]);
     let n_buckets = (phase * 3) / 2;
-    let mut rows = Vec::new();
-    for b in 0..n_buckets {
-        let from = b * bucket;
-        let to = from + bucket;
-        let mut row = vec![format!("{}", b * 2)];
-        for (_, r) in &runs {
-            let extras = r.metrics.visibility_extras(2, 1, from, to);
-            if extras.is_empty() {
-                row.push("-".into());
-            } else {
-                let mean = extras.iter().sum::<u64>() as f64 / extras.len() as f64;
-                row.push(format!("{:.1}", units::to_ms(mean as SimTime)));
-            }
-        }
-        let mut mark = String::new();
-        if b * 2 == phase {
-            mark.push_str(" <- straggler starts");
-        }
-        if b * 2 == phase * 2 {
-            mark.push_str(" <- straggler healed");
-        }
-        row.push(mark);
-        rows.push(row);
-    }
-    print_table(&["t (s)", "10 ms", "100 ms", "1000 ms", ""], &rows);
 
+    if selected.contains(&SystemId::EunomiaKv) {
+        // EunomiaKV runs, one per straggling interval.
+        let mut runs = Vec::new();
+        for (i, interval_ms) in [10u64, 100, 1000].iter().enumerate() {
+            runs.push((
+                *interval_ms,
+                run(SystemId::EunomiaKv, &mk_scenario(*interval_ms, i as u64)),
+            ));
+        }
+
+        println!(
+            "\nEunomiaKV: mean visibility extra (ms) for dc2-origin updates at dc1, 2 s buckets"
+        );
+        let mut rows = Vec::new();
+        for b in 0..n_buckets {
+            let from = b * bucket;
+            let to = from + bucket;
+            let mut row = vec![format!("{}", b * 2)];
+            for (_, r) in &runs {
+                let extras = r.metrics.visibility_extras(2, 1, from, to);
+                if extras.is_empty() {
+                    row.push("-".into());
+                } else {
+                    let mean = extras.iter().sum::<u64>() as f64 / extras.len() as f64;
+                    row.push(format!("{:.1}", units::to_ms(mean as SimTime)));
+                }
+            }
+            let mut mark = String::new();
+            if b * 2 == phase {
+                mark.push_str(" <- straggler starts");
+            }
+            if b * 2 == phase * 2 {
+                mark.push_str(" <- straggler healed");
+            }
+            row.push(mark);
+            rows.push(row);
+        }
+        print_table(&["t (s)", "10 ms", "100 ms", "1000 ms", ""], &rows);
+    }
+
+    if !selected.contains(&SystemId::SSeq) {
+        return;
+    }
     // Sequencer comparison (1000 ms straggler): visibility flat, client
     // update latency absorbs the interval.
-    let sseq = seq::run(seq::SeqMode::Synchronous, mk_cfg(1000, 100));
+    let sseq = run(SystemId::SSeq, &mk_scenario(1000, 100));
     println!("\nS-Seq with the 1000 ms straggler: visibility stays flat; latency absorbs it");
     let mut rows = Vec::new();
     for b in 0..n_buckets {

@@ -1,5 +1,5 @@
 //! Benchmark harness support: argument parsing, table output, and shared
-//! experiment configuration.
+//! experiment scenarios.
 //!
 //! Each figure of the paper has a dedicated binary in `src/bin/`
 //! (`fig1_motivation` … `fig7_stragglers`) that prints the same rows or
@@ -11,13 +11,19 @@
 //!
 //! * `--quick` — scale durations down for a fast smoke run;
 //! * `--seconds N` — override the per-run measured duration;
-//! * `--seed N` — change the deterministic seed.
+//! * `--seed N` — change the deterministic seed;
+//! * `--system NAME` — restrict the run to one system (repeatable, or
+//!   comma-separated; names parse via `SystemId::from_str`);
+//! * `--list-systems` — print every system id and exit.
+//!
+//! `BenchArgs::parse` also installs the baseline runners into
+//! `eunomia-geo`'s system registry, so after parsing, any binary can call
+//! `eunomia_geo::run` with any [`SystemId`].
 
-use eunomia_geo::ClusterConfig;
-use eunomia_sim::units;
+use eunomia_geo::{Scenario, SystemId};
 
 /// Parsed command-line options shared by all harness binaries.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct BenchArgs {
     /// Scale durations down for a smoke run.
     pub quick: bool,
@@ -25,15 +31,20 @@ pub struct BenchArgs {
     pub seconds: Option<u64>,
     /// Deterministic seed.
     pub seed: u64,
+    /// `--system` restrictions; `None` means "whatever the figure runs".
+    pub systems: Option<Vec<SystemId>>,
 }
 
 impl BenchArgs {
-    /// Parses `std::env::args()`. Unknown flags abort with a usage hint.
+    /// Parses `std::env::args()` and installs the baseline runners.
+    /// Unknown flags abort with a usage hint.
     pub fn parse() -> Self {
+        eunomia_baselines::install();
         let mut out = BenchArgs {
             quick: false,
             seconds: None,
             seed: 42,
+            systems: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -49,6 +60,28 @@ impl BenchArgs {
                     let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
                     out.seed = v.parse().unwrap_or_else(|_| usage("bad --seed"));
                 }
+                "--system" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--system needs a name"));
+                    let list = out.systems.get_or_insert_with(Vec::new);
+                    for name in v.split(',').filter(|s| !s.is_empty()) {
+                        match name.parse::<SystemId>() {
+                            Ok(id) => {
+                                if !list.contains(&id) {
+                                    list.push(id);
+                                }
+                            }
+                            Err(e) => usage(&e.to_string()),
+                        }
+                    }
+                }
+                "--list-systems" => {
+                    for id in SystemId::all() {
+                        println!("{id}");
+                    }
+                    std::process::exit(0);
+                }
                 other => usage(&format!("unknown flag {other}")),
             }
         }
@@ -60,11 +93,45 @@ impl BenchArgs {
         self.seconds
             .unwrap_or(if self.quick { quick } else { full })
     }
+
+    /// The systems this binary should run: `default` filtered by any
+    /// `--system` restriction (order of `default` is preserved). Aborts
+    /// if the restriction selects none of them.
+    pub fn systems(&self, default: &[SystemId]) -> Vec<SystemId> {
+        match &self.systems {
+            None => default.to_vec(),
+            Some(sel) => {
+                let picked: Vec<SystemId> = default
+                    .iter()
+                    .copied()
+                    .filter(|s| sel.contains(s))
+                    .collect();
+                if picked.is_empty() {
+                    usage(&format!(
+                        "--system selected none of this figure's systems ({})",
+                        default
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ));
+                }
+                picked
+            }
+        }
+    }
+
+    /// Whether `id` survives the `--system` restriction.
+    pub fn wants(&self, id: SystemId) -> bool {
+        self.systems.as_ref().is_none_or(|sel| sel.contains(&id))
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: <bin> [--quick] [--seconds N] [--seed N]");
+    eprintln!(
+        "usage: <bin> [--quick] [--seconds N] [--seed N] [--system NAME]... [--list-systems]"
+    );
     std::process::exit(2);
 }
 
@@ -76,43 +143,16 @@ pub fn banner(fig: &str, title: &str, expectation: &str) {
     println!("==================================================================");
 }
 
-/// Prints an aligned ASCII table.
+/// Prints an aligned ASCII table (shared renderer from `eunomia-geo`).
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let line = |cells: Vec<String>| {
-        let mut s = String::new();
-        for (i, c) in cells.iter().enumerate() {
-            if i > 0 {
-                s.push_str("  ");
-            }
-            s.push_str(&format!("{:<width$}", c, width = widths[i]));
-        }
-        println!("{}", s.trim_end());
-    };
-    line(headers.iter().map(|h| h.to_string()).collect());
-    line(widths.iter().map(|w| "-".repeat(*w)).collect());
-    for row in rows {
-        line(row.clone());
-    }
+    print!("{}", eunomia_geo::format_table(headers, rows));
 }
 
-/// The standard geo-replication experiment configuration: the paper's
-/// 3-DC deployment with `secs` simulated seconds (10% warm-up/cool-down
+/// The standard geo-replication experiment scenario: the paper's 3-DC
+/// deployment with `secs` simulated seconds (10% warm-up/cool-down
 /// trims, mirroring the paper's discarded first/last minute).
-pub fn geo_config(secs: u64, seed: u64) -> ClusterConfig {
-    let mut cfg = ClusterConfig::default();
-    cfg.duration = units::secs(secs);
-    cfg.warmup = units::secs((secs / 10).max(2));
-    cfg.cooldown = units::secs((secs / 10).max(1));
-    cfg.seed = seed;
-    cfg
+pub fn paper_scenario(secs: u64, seed: u64) -> Scenario {
+    Scenario::paper_three_dc().seconds(secs).seed(seed)
 }
 
 /// Formats an optional millisecond value.
@@ -134,35 +174,49 @@ pub fn fmt_delta_pct(value: f64, baseline: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eunomia_sim::units;
 
-    #[test]
-    fn secs_resolution_order() {
-        let explicit = BenchArgs {
-            quick: true,
-            seconds: Some(7),
-            seed: 1,
-        };
-        assert_eq!(explicit.secs(30, 10), 7);
-        let quick = BenchArgs {
-            quick: true,
-            seconds: None,
-            seed: 1,
-        };
-        assert_eq!(quick.secs(30, 10), 10);
-        let full = BenchArgs {
+    fn args(systems: Option<Vec<SystemId>>) -> BenchArgs {
+        BenchArgs {
             quick: false,
             seconds: None,
             seed: 1,
-        };
-        assert_eq!(full.secs(30, 10), 30);
+            systems,
+        }
     }
 
     #[test]
-    fn geo_config_trims_ten_percent() {
-        let cfg = geo_config(30, 9);
-        assert_eq!(cfg.duration, units::secs(30));
-        assert_eq!(cfg.warmup, units::secs(3));
-        assert_eq!(cfg.seed, 9);
+    fn secs_resolution_order() {
+        let mut a = args(None);
+        a.quick = true;
+        a.seconds = Some(7);
+        assert_eq!(a.secs(30, 10), 7);
+        a.seconds = None;
+        assert_eq!(a.secs(30, 10), 10);
+        a.quick = false;
+        assert_eq!(a.secs(30, 10), 30);
+    }
+
+    #[test]
+    fn paper_scenario_trims_ten_percent() {
+        let sc = paper_scenario(30, 9);
+        assert_eq!(sc.cfg().duration, units::secs(30));
+        assert_eq!(sc.cfg().warmup, units::secs(3));
+        assert_eq!(sc.cfg().seed, 9);
+    }
+
+    #[test]
+    fn system_restriction_filters_preserving_order() {
+        let def = [SystemId::Eventual, SystemId::EunomiaKv, SystemId::Cure];
+        assert_eq!(args(None).systems(&def), def.to_vec());
+        let restricted = args(Some(vec![SystemId::Cure, SystemId::Eventual]));
+        assert_eq!(
+            restricted.systems(&def),
+            vec![SystemId::Eventual, SystemId::Cure]
+        );
+        assert!(restricted.wants(SystemId::Cure));
+        assert!(!restricted.wants(SystemId::SSeq));
+        assert!(args(None).wants(SystemId::SSeq));
     }
 
     #[test]

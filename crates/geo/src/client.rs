@@ -5,10 +5,11 @@
 //! returned timestamp into its session clock and immediately issues the
 //! next operation — the paper's Basho Bench clients with zero think time.
 
-use crate::config::{ClusterConfig, SystemKind};
+use crate::config::ClusterConfig;
 use crate::metrics::GeoMetrics;
 use crate::msg::Msg;
 use crate::registry::SharedRegistry;
+use crate::system::SystemId;
 use eunomia_core::ids::DcId;
 use eunomia_core::time::VectorTime;
 use eunomia_kv::client::ClientState;
@@ -22,7 +23,7 @@ pub struct ClientProc {
     session: ClientState,
     gen: OpGenerator,
     dc: usize,
-    kind: SystemKind,
+    kind: SystemId,
     cfg: Rc<ClusterConfig>,
     reg: SharedRegistry,
     metrics: GeoMetrics,
@@ -35,7 +36,7 @@ impl ClientProc {
     /// Creates a client homed at datacenter `dc`.
     pub fn new(
         dc: usize,
-        kind: SystemKind,
+        kind: SystemId,
         cfg: Rc<ClusterConfig>,
         reg: SharedRegistry,
         metrics: GeoMetrics,
@@ -77,9 +78,10 @@ impl ClientProc {
                 self.pending_is_update = true;
                 let deps = match self.kind {
                     // §4: the update carries the client's whole causal past.
-                    SystemKind::EunomiaKv => self.session.vclock().clone(),
+                    SystemId::EunomiaKv => self.session.vclock().clone(),
                     // Eventual consistency tracks nothing.
-                    SystemKind::Eventual => VectorTime::new(self.cfg.n_dcs),
+                    SystemId::Eventual => VectorTime::new(self.cfg.n_dcs),
+                    other => unreachable!("geo clients only drive native systems, not {other}"),
                 };
                 ctx.send(target, Msg::Update { key, value, deps });
             }
@@ -109,13 +111,13 @@ impl Process<Msg> for ClientProc {
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: ProcessId, msg: Msg) {
         match msg {
             Msg::ReadReply { vts, .. } => {
-                if self.kind == SystemKind::EunomiaKv {
+                if self.kind == SystemId::EunomiaKv {
                     self.session.on_read_reply(&vts);
                 }
                 self.complete(ctx);
             }
             Msg::UpdateReply { vts } => {
-                if self.kind == SystemKind::EunomiaKv {
+                if self.kind == SystemId::EunomiaKv {
                     self.session.on_update_reply(vts);
                 }
                 self.complete(ctx);

@@ -2,13 +2,14 @@
 //! receivers on the simulator and wires the registry.
 
 use crate::client::ClientProc;
-use crate::config::{ClusterConfig, SystemKind};
+use crate::config::ClusterConfig;
 use crate::eunomia_proc::ReplicaProc;
 use crate::metrics::GeoMetrics;
 use crate::msg::Msg;
 use crate::partition::PartitionProc;
 use crate::receiver::ReceiverProc;
 use crate::registry::{self, SharedRegistry};
+use crate::system::SystemId;
 use eunomia_core::ids::ReplicaId;
 use eunomia_sim::{ClockModel, ProcessId, Simulation};
 use rand::rngs::StdRng;
@@ -50,15 +51,25 @@ fn draw_clock(cfg: &ClusterConfig, rng: &mut StdRng) -> ClockModel {
     ClockModel::new(offset, drift)
 }
 
-/// Builds a full deployment of `kind` per `cfg`.
+/// Builds a full deployment of one of the *native* systems (Eventual or
+/// EunomiaKV) per `cfg`. Baseline systems are assembled by
+/// `eunomia-baselines`; use [`crate::run`] for the unified entry point.
 ///
 /// Node placement: every partition, Eunomia replica, receiver and client
 /// gets its own simulated node in its datacenter's region; partitions and
 /// replicas get clocks drawn within the configured skew/drift bounds
 /// (clients and receivers never read physical clocks).
-pub fn build(kind: SystemKind, cfg: ClusterConfig) -> Cluster {
+pub fn build(id: SystemId, cfg: ClusterConfig) -> Cluster {
+    assert!(
+        id.is_native(),
+        "cluster::build assembles only the native systems (Eventual, EunomiaKV); \
+         {id} is built by eunomia-baselines"
+    );
     let cfg = Rc::new(cfg);
     let metrics = GeoMetrics::new(cfg.n_dcs);
+    if cfg.apply_log {
+        metrics.enable_apply_log();
+    }
     let reg = registry::shared();
     let mut sim: Simulation<Msg> = Simulation::new(cfg.topology(), cfg.seed);
     let mut clock_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_C10C);
@@ -72,13 +83,13 @@ pub fn build(kind: SystemKind, cfg: ClusterConfig) -> Cluster {
         let mut dc_parts = Vec::new();
         for p in 0..cfg.partitions_per_dc {
             let node = sim.add_node_with_clock(dc, draw_clock(&cfg, &mut clock_rng));
-            let proc = PartitionProc::new(dc, p, kind, cfg.clone(), reg.clone(), metrics.clone());
+            let proc = PartitionProc::new(dc, p, id, cfg.clone(), reg.clone(), metrics.clone());
             dc_parts.push(sim.add_process_on(node, Box::new(proc)));
         }
         partitions.push(dc_parts);
 
         let mut dc_replicas = Vec::new();
-        if kind == SystemKind::EunomiaKv {
+        if id == SystemId::EunomiaKv {
             for r in 0..cfg.replicas.max(1) {
                 let node = sim.add_node_with_clock(dc, draw_clock(&cfg, &mut clock_rng));
                 let proc = ReplicaProc::new(
@@ -93,18 +104,19 @@ pub fn build(kind: SystemKind, cfg: ClusterConfig) -> Cluster {
         }
         eunomia.push(dc_replicas);
 
-        if kind == SystemKind::EunomiaKv {
+        if id == SystemId::EunomiaKv {
             let node = sim.add_node(dc);
             let proc = ReceiverProc::new(dc, cfg.clone(), reg.clone(), metrics.clone());
-            receivers.push(sim.add_process_on(node, Box::new(proc)));
+            receivers.push(Some(sim.add_process_on(node, Box::new(proc))));
         } else {
-            // Placeholder id, never messaged in Eventual mode.
-            receivers.push(ProcessId(u32::MAX));
+            // Eventual runs no receiver; the registry slot stays empty so
+            // a stray receiver-bound send fails loudly.
+            receivers.push(None);
         }
 
         for _ in 0..cfg.clients_per_dc {
             let node = sim.add_node(dc);
-            let proc = ClientProc::new(dc, kind, cfg.clone(), reg.clone(), metrics.clone());
+            let proc = ClientProc::new(dc, id, cfg.clone(), reg.clone(), metrics.clone());
             clients.push(sim.add_process_on(node, Box::new(proc)));
         }
     }
@@ -114,6 +126,13 @@ pub fn build(kind: SystemKind, cfg: ClusterConfig) -> Cluster {
         r.partitions = partitions;
         r.eunomia = eunomia.clone();
         r.receivers = receivers;
+    }
+
+    // Scheduled fault injection: crash the named Eunomia replicas.
+    for crash in &cfg.crashes {
+        if let Some(&pid) = eunomia.get(crash.dc).and_then(|dc| dc.get(crash.replica)) {
+            sim.crash_at(pid, crash.at);
+        }
     }
 
     Cluster {

@@ -1,17 +1,10 @@
-//! Deployment, cost-model and workload configuration.
+//! Deployment, cost-model and workload configuration, with the validated
+//! [`ClusterConfigBuilder`] construction path.
 
+use crate::system::SystemId;
 use eunomia_sim::{units, SimTime};
 use eunomia_workload::WorkloadConfig;
-
-/// Which system to assemble over the substrate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SystemKind {
-    /// Eventually consistent multi-cluster store: remote updates apply on
-    /// arrival, no causality metadata. The paper's normalization baseline.
-    Eventual,
-    /// EunomiaKV: the paper's system (§3–§5).
-    EunomiaKv,
-}
+use std::fmt;
 
 /// CPU service costs (nanoseconds) charged by the busy-server model.
 ///
@@ -101,6 +94,17 @@ pub struct StragglerConfig {
     pub interval: SimTime,
 }
 
+/// A scheduled crash of one Eunomia replica (fault-injection runs).
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicaCrash {
+    /// Datacenter of the replica.
+    pub dc: usize,
+    /// Replica index within the datacenter (`0` is the initial leader).
+    pub replica: usize,
+    /// Crash time (sim time).
+    pub at: SimTime,
+}
+
 /// Full cluster configuration.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -175,6 +179,13 @@ pub struct ClusterConfig {
     /// (default) sends every partition's batches straight to the Eunomia
     /// replicas; `Some(k)` makes partition 0 the root relay.
     pub metadata_tree_arity: Option<usize>,
+    /// Record every update landing (local and remote applies) in the
+    /// metrics sink's apply log. Needed by convergence/causality
+    /// analyses; off by default (the log grows with every apply).
+    pub apply_log: bool,
+    /// Scheduled Eunomia replica crashes (fault-injection runs; ignored
+    /// by systems that run no Eunomia replicas).
+    pub crashes: Vec<ReplicaCrash>,
 }
 
 impl Default for ClusterConfig {
@@ -208,6 +219,8 @@ impl Default for ClusterConfig {
             pipelined_receiver: false,
             replication_factor: None,
             metadata_tree_arity: None,
+            apply_log: false,
+            crashes: Vec::new(),
         }
     }
 }
@@ -220,26 +233,136 @@ impl ClusterConfig {
 
     /// Costs adjusted for the system being run: the eventual store pays no
     /// vector handling (it keeps no causality metadata).
-    pub fn costs_for(&self, kind: SystemKind) -> CostModel {
+    pub fn costs_for(&self, id: SystemId) -> CostModel {
         let mut c = self.costs;
-        if kind == SystemKind::Eventual {
+        if id == SystemId::Eventual {
             c.vector_entry_ns = 0;
         }
         c
     }
 
-    /// Builds the simulator topology for this config.
-    pub fn topology(&self) -> eunomia_sim::Topology {
+    /// Builds the simulator topology, or explains why the config cannot
+    /// describe one.
+    pub fn try_topology(&self) -> Result<eunomia_sim::Topology, ConfigError> {
         match &self.rtt_matrix {
-            Some(m) => eunomia_sim::Topology::new(m.clone(), self.intra_oneway, self.jitter),
+            Some(m) => {
+                validate_rtt_matrix(m, self.n_dcs)?;
+                Ok(eunomia_sim::Topology::new(
+                    m.clone(),
+                    self.intra_oneway,
+                    self.jitter,
+                ))
+            }
             None => {
-                assert_eq!(
-                    self.n_dcs, 3,
-                    "default topology is the paper's 3-DC deployment"
-                );
-                eunomia_sim::Topology::paper_three_dcs(self.intra_oneway, self.jitter)
+                if self.n_dcs != 3 {
+                    return Err(ConfigError::TopologyMismatch { n_dcs: self.n_dcs });
+                }
+                Ok(eunomia_sim::Topology::paper_three_dcs(
+                    self.intra_oneway,
+                    self.jitter,
+                ))
             }
         }
+    }
+
+    /// Builds the simulator topology for this config.
+    ///
+    /// # Panics
+    /// Panics on an invalid config — construct configs through
+    /// [`ClusterConfigBuilder`] (or [`validate`](Self::validate) first)
+    /// and this cannot fire.
+    pub fn topology(&self) -> eunomia_sim::Topology {
+        self.try_topology().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checks every cross-field invariant the simulator and the report
+    /// trimming rely on. [`ClusterConfigBuilder::build`] and every
+    /// [`Scenario`](crate::Scenario) constructor call this, so a config
+    /// that reaches [`run`](crate::run) is always valid.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_dcs == 0 {
+            return Err(ConfigError::Zero("n_dcs"));
+        }
+        if self.partitions_per_dc == 0 {
+            return Err(ConfigError::Zero("partitions_per_dc"));
+        }
+        if self.clients_per_dc == 0 {
+            return Err(ConfigError::Zero("clients_per_dc"));
+        }
+        if self.replicas == 0 {
+            return Err(ConfigError::Zero("replicas"));
+        }
+        if self.duration == 0 {
+            return Err(ConfigError::Zero("duration"));
+        }
+        if self.warmup + self.cooldown >= self.duration {
+            return Err(ConfigError::WindowEmpty {
+                warmup: self.warmup,
+                cooldown: self.cooldown,
+                duration: self.duration,
+            });
+        }
+        if let Some(m) = &self.rtt_matrix {
+            validate_rtt_matrix(m, self.n_dcs)?;
+        } else if self.n_dcs != 3 {
+            return Err(ConfigError::TopologyMismatch { n_dcs: self.n_dcs });
+        }
+        if self.workload.read_pct > 100 {
+            return Err(ConfigError::ReadPct(self.workload.read_pct));
+        }
+        if self.workload.keys == 0 {
+            return Err(ConfigError::Zero("workload.keys"));
+        }
+        if let Some(rf) = self.replication_factor {
+            if rf == 0 || rf > self.n_dcs {
+                return Err(ConfigError::ReplicationFactor {
+                    rf,
+                    n_dcs: self.n_dcs,
+                });
+            }
+        }
+        if let Some(arity) = self.metadata_tree_arity {
+            if arity < 2 {
+                return Err(ConfigError::TreeArity(arity));
+            }
+        }
+        if let Some(s) = &self.straggler {
+            if s.dc >= self.n_dcs || s.partition >= self.partitions_per_dc {
+                return Err(ConfigError::StragglerOutOfRange {
+                    dc: s.dc,
+                    partition: s.partition,
+                });
+            }
+            if s.from >= s.to {
+                return Err(ConfigError::StragglerWindow {
+                    from: s.from,
+                    to: s.to,
+                });
+            }
+            if s.from >= self.duration {
+                return Err(ConfigError::FaultAfterEnd {
+                    what: "straggler window",
+                    at: s.from,
+                    duration: self.duration,
+                });
+            }
+        }
+        for c in &self.crashes {
+            if c.dc >= self.n_dcs || c.replica >= self.replicas {
+                return Err(ConfigError::CrashOutOfRange {
+                    dc: c.dc,
+                    replica: c.replica,
+                });
+            }
+            if c.at >= self.duration {
+                return Err(ConfigError::FaultAfterEnd {
+                    what: "replica crash",
+                    at: c.at,
+                    duration: self.duration,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// A small, fast configuration for tests (2 DCs, few clients, short
@@ -264,6 +387,272 @@ impl ClusterConfig {
     }
 }
 
+fn validate_rtt_matrix(m: &[Vec<SimTime>], n_dcs: usize) -> Result<(), ConfigError> {
+    if m.len() != n_dcs || m.iter().any(|row| row.len() != n_dcs) {
+        return Err(ConfigError::RttMatrixShape {
+            rows: m.len(),
+            cols: m.iter().map(|r| r.len()).max().unwrap_or(0),
+            n_dcs,
+        });
+    }
+    for (i, row) in m.iter().enumerate() {
+        if row[i] != 0 {
+            return Err(ConfigError::RttMatrixDiagonal { dc: i });
+        }
+        for (j, &v) in row.iter().enumerate() {
+            if m[j][i] != v {
+                return Err(ConfigError::RttMatrixAsymmetric { a: i, b: j });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Why a [`ClusterConfig`] is not runnable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// A field that must be positive is zero.
+    Zero(&'static str),
+    /// `warmup + cooldown` leaves no measurement window.
+    WindowEmpty {
+        /// Configured warm-up trim.
+        warmup: SimTime,
+        /// Configured cool-down trim.
+        cooldown: SimTime,
+        /// Configured total duration.
+        duration: SimTime,
+    },
+    /// No RTT matrix given and `n_dcs` is not the paper's 3.
+    TopologyMismatch {
+        /// Configured datacenter count.
+        n_dcs: usize,
+    },
+    /// RTT matrix is not `n_dcs` x `n_dcs`.
+    RttMatrixShape {
+        /// Matrix row count.
+        rows: usize,
+        /// Widest row length.
+        cols: usize,
+        /// Configured datacenter count.
+        n_dcs: usize,
+    },
+    /// RTT matrix has a non-zero self-distance.
+    RttMatrixDiagonal {
+        /// Offending datacenter.
+        dc: usize,
+    },
+    /// RTT matrix is not symmetric.
+    RttMatrixAsymmetric {
+        /// First datacenter of the asymmetric pair.
+        a: usize,
+        /// Second datacenter of the asymmetric pair.
+        b: usize,
+    },
+    /// Read percentage above 100.
+    ReadPct(u8),
+    /// Replication factor outside `1..=n_dcs`.
+    ReplicationFactor {
+        /// Configured replication factor.
+        rf: usize,
+        /// Configured datacenter count.
+        n_dcs: usize,
+    },
+    /// Metadata tree arity below 2.
+    TreeArity(usize),
+    /// Straggler names a datacenter/partition that does not exist.
+    StragglerOutOfRange {
+        /// Configured straggler datacenter.
+        dc: usize,
+        /// Configured straggler partition.
+        partition: usize,
+    },
+    /// Straggler window is empty or inverted.
+    StragglerWindow {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+    },
+    /// Crash schedule names a replica that does not exist.
+    CrashOutOfRange {
+        /// Configured crash datacenter.
+        dc: usize,
+        /// Configured crash replica index.
+        replica: usize,
+    },
+    /// A straggler window or crash is scheduled at/after the run ends,
+    /// so a fault-named scenario would silently measure a fault-free
+    /// run (e.g. `Scenario::straggler(..).seconds(10)` shrinking the
+    /// run below the window).
+    FaultAfterEnd {
+        /// Which schedule is out of range.
+        what: &'static str,
+        /// Scheduled start time.
+        at: SimTime,
+        /// Configured run duration.
+        duration: SimTime,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Zero(field) => write!(f, "{field} must be > 0"),
+            ConfigError::WindowEmpty {
+                warmup,
+                cooldown,
+                duration,
+            } => write!(
+                f,
+                "warmup ({warmup}) + cooldown ({cooldown}) must be < duration ({duration}): \
+                 no measurement window remains"
+            ),
+            ConfigError::TopologyMismatch { n_dcs } => write!(
+                f,
+                "no rtt_matrix given and n_dcs = {n_dcs}: the default topology is the \
+                 paper's 3-DC deployment; provide an {n_dcs}x{n_dcs} matrix"
+            ),
+            ConfigError::RttMatrixShape { rows, cols, n_dcs } => write!(
+                f,
+                "rtt_matrix must be square {n_dcs}x{n_dcs}, got {rows}x{cols}"
+            ),
+            ConfigError::RttMatrixDiagonal { dc } => {
+                write!(f, "rtt_matrix[{dc}][{dc}] must be 0 (self-distance)")
+            }
+            ConfigError::RttMatrixAsymmetric { a, b } => {
+                write!(f, "rtt_matrix must be symmetric: [{a}][{b}] != [{b}][{a}]")
+            }
+            ConfigError::ReadPct(pct) => write!(f, "workload.read_pct = {pct} exceeds 100"),
+            ConfigError::ReplicationFactor { rf, n_dcs } => write!(
+                f,
+                "replication_factor = {rf} must be in 1..={n_dcs} (n_dcs)"
+            ),
+            ConfigError::TreeArity(a) => {
+                write!(f, "metadata_tree_arity = {a} must be >= 2")
+            }
+            ConfigError::StragglerOutOfRange { dc, partition } => write!(
+                f,
+                "straggler names dc {dc} partition {partition}, outside the deployment"
+            ),
+            ConfigError::StragglerWindow { from, to } => {
+                write!(f, "straggler window [{from}, {to}) is empty")
+            }
+            ConfigError::CrashOutOfRange { dc, replica } => write!(
+                f,
+                "crash schedule names dc {dc} replica {replica}, outside the deployment"
+            ),
+            ConfigError::FaultAfterEnd { what, at, duration } => write!(
+                f,
+                "{what} starts at {at} but the run ends at {duration}: \
+                 the fault would never fire"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validated construction of [`ClusterConfig`]: set fields, then
+/// [`build`](Self::build) checks every cross-field invariant and returns
+/// `Result` instead of letting a bad config panic mid-run.
+///
+/// ```
+/// use eunomia_geo::ClusterConfigBuilder;
+/// let cfg = ClusterConfigBuilder::new()
+///     .partitions_per_dc(4)
+///     .clients_per_dc(2)
+///     .seed(7)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.partitions_per_dc, 4);
+/// assert!(ClusterConfigBuilder::new().replicas(0).build().is_err());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $name:ident: $ty:ty),+ $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $name(mut self, v: $ty) -> Self {
+            self.cfg.$name = v;
+            self
+        }
+    )+};
+}
+
+impl ClusterConfigBuilder {
+    /// Starts from [`ClusterConfig::default`] (the paper's deployment).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts from an existing configuration.
+    pub fn from_config(cfg: ClusterConfig) -> Self {
+        ClusterConfigBuilder { cfg }
+    }
+
+    builder_setters! {
+        /// Number of datacenters.
+        n_dcs: usize,
+        /// Logical partitions per datacenter.
+        partitions_per_dc: usize,
+        /// Closed-loop clients per datacenter.
+        clients_per_dc: usize,
+        /// Symmetric RTT matrix (ns); `None` selects the paper's 3-DC topology.
+        rtt_matrix: Option<Vec<Vec<SimTime>>>,
+        /// Simulation duration.
+        duration: SimTime,
+        /// Warm-up trim.
+        warmup: SimTime,
+        /// Cool-down trim.
+        cooldown: SimTime,
+        /// Partition -> Eunomia batching interval.
+        batch_interval: SimTime,
+        /// Partition heartbeat threshold.
+        heartbeat_delta: SimTime,
+        /// Eunomia `PROCESS_STABLE` period.
+        theta: SimTime,
+        /// Eunomia replica count.
+        replicas: usize,
+        /// Clock skew bound.
+        clock_skew: SimTime,
+        /// Clock drift bound (ppm).
+        drift_ppm: f64,
+        /// Straggler injection.
+        straggler: Option<StragglerConfig>,
+        /// Workload.
+        workload: WorkloadConfig,
+        /// Deterministic seed.
+        seed: u64,
+        /// Per-client operation budget.
+        ops_per_client: Option<u64>,
+        /// Pipelined-receiver extension.
+        pipelined_receiver: bool,
+        /// Partial replication factor.
+        replication_factor: Option<usize>,
+        /// Metadata fan-in tree arity.
+        metadata_tree_arity: Option<usize>,
+        /// Record the apply log.
+        apply_log: bool,
+        /// Replica crash schedule.
+        crashes: Vec<ReplicaCrash>,
+    }
+
+    /// Escape hatch for the long tail of fields without a setter.
+    pub fn tweak(mut self, f: impl FnOnce(&mut ClusterConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ClusterConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,8 +671,91 @@ mod tests {
     #[test]
     fn eventual_pays_no_vector_costs() {
         let c = ClusterConfig::default();
-        assert_eq!(c.costs_for(SystemKind::Eventual).vector_entry_ns, 0);
-        assert!(c.costs_for(SystemKind::EunomiaKv).vector_entry_ns > 0);
+        assert_eq!(c.costs_for(SystemId::Eventual).vector_entry_ns, 0);
+        assert!(c.costs_for(SystemId::EunomiaKv).vector_entry_ns > 0);
+    }
+
+    #[test]
+    fn builder_rejects_bad_configs() {
+        // warmup + cooldown >= duration.
+        let err = ClusterConfigBuilder::new()
+            .duration(units::secs(10))
+            .warmup(units::secs(8))
+            .cooldown(units::secs(2))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::WindowEmpty { .. }), "{err}");
+
+        // Non-square RTT matrix.
+        let err = ClusterConfigBuilder::new()
+            .n_dcs(2)
+            .rtt_matrix(Some(vec![vec![0, 1, 2], vec![1, 0, 3]]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::RttMatrixShape { .. }), "{err}");
+
+        // Asymmetric RTT matrix.
+        let err = ClusterConfigBuilder::new()
+            .n_dcs(2)
+            .rtt_matrix(Some(vec![vec![0, 5], vec![6, 0]]))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, ConfigError::RttMatrixAsymmetric { .. }),
+            "{err}"
+        );
+
+        // Zero replicas.
+        let err = ClusterConfigBuilder::new().replicas(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::Zero("replicas"));
+
+        // n_dcs != 3 without a matrix.
+        let err = ClusterConfigBuilder::new().n_dcs(5).build().unwrap_err();
+        assert!(matches!(err, ConfigError::TopologyMismatch { .. }), "{err}");
+
+        // Crash schedule outside the deployment.
+        let err = ClusterConfigBuilder::new()
+            .replicas(2)
+            .crashes(vec![ReplicaCrash {
+                dc: 0,
+                replica: 5,
+                at: units::secs(1),
+            }])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::CrashOutOfRange { .. }), "{err}");
+
+        // Faults scheduled after the run ends would silently never fire.
+        let err = ClusterConfigBuilder::new()
+            .crashes(vec![ReplicaCrash {
+                dc: 0,
+                replica: 0,
+                at: units::secs(100),
+            }])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::FaultAfterEnd { .. }), "{err}");
+        let err = ClusterConfigBuilder::new()
+            .straggler(Some(StragglerConfig {
+                dc: 0,
+                partition: 0,
+                from: units::secs(70),
+                to: units::secs(80),
+                interval: units::ms(10),
+            }))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::FaultAfterEnd { .. }), "{err}");
+    }
+
+    #[test]
+    fn builder_accepts_the_presets() {
+        assert!(ClusterConfigBuilder::new().build().is_ok());
+        assert!(
+            ClusterConfigBuilder::from_config(ClusterConfig::small_test())
+                .build()
+                .is_ok()
+        );
     }
 
     #[test]

@@ -1,7 +1,11 @@
-//! Run-and-report helpers shared by tests, examples and benchmarks.
+//! Run reports shared by every system, native and baseline.
+//!
+//! The run entry point itself lives in [`crate::system`] (`run(SystemId,
+//! &Scenario)`); this module holds the [`RunReport`] all systems produce
+//! and the [`make_report`] helper the baseline crate reuses so every
+//! figure compares like with like.
 
-use crate::cluster::{build, Cluster};
-use crate::config::{ClusterConfig, SystemKind};
+use crate::config::ClusterConfig;
 use crate::metrics::GeoMetrics;
 use eunomia_sim::{units, SimTime};
 
@@ -19,7 +23,7 @@ pub struct RunReport {
     pub p50_latency_ms: f64,
     /// 99th percentile client operation latency (ms).
     pub p99_latency_ms: f64,
-    /// Metrics sink for deeper analysis (visibility CDFs etc.).
+    /// Metrics sink for deeper analysis (visibility CDFs, apply log).
     pub metrics: GeoMetrics,
     /// Measurement window used.
     pub window: (SimTime, SimTime),
@@ -48,35 +52,9 @@ impl RunReport {
     }
 }
 
-/// Label for a system kind.
-pub fn label(kind: SystemKind) -> &'static str {
-    match kind {
-        SystemKind::Eventual => "Eventual",
-        SystemKind::EunomiaKv => "EunomiaKV",
-    }
-}
-
-/// Builds and runs a full deployment, returning the report.
-pub fn run_system(kind: SystemKind, cfg: ClusterConfig) -> RunReport {
-    let mut cluster = build(kind, cfg);
-    run_built(&mut cluster);
-    report(kind, &cluster)
-}
-
-/// Runs an already-built cluster to its configured duration.
-pub fn run_built(cluster: &mut Cluster) {
-    let duration = cluster.cfg.duration;
-    cluster.sim.run_until(duration);
-}
-
-/// Extracts the report from a finished cluster run.
-pub fn report(kind: SystemKind, cluster: &Cluster) -> RunReport {
-    make_report(label(kind), &cluster.metrics, &cluster.cfg)
-}
-
-/// Builds a [`RunReport`] from any system's metrics — also used by the
-/// baseline systems in `eunomia-baselines`, which share the metrics sink
-/// and configuration types.
+/// Builds a [`RunReport`] from a finished run's metrics — used by the
+/// native dispatcher and by the baseline systems in `eunomia-baselines`,
+/// which share the metrics sink and configuration types.
 pub fn make_report(system: &str, metrics: &GeoMetrics, cfg: &ClusterConfig) -> RunReport {
     let (from, to) = cfg.measure_window();
     let metrics = metrics.clone();
@@ -99,11 +77,12 @@ pub fn make_report(system: &str, metrics: &GeoMetrics, cfg: &ClusterConfig) -> R
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::scenario::Scenario;
+    use crate::system::{run, SystemId};
 
     #[test]
     fn small_eventual_run_completes_ops() {
-        let report = run_system(SystemKind::Eventual, ClusterConfig::small_test());
+        let report = run(SystemId::Eventual, &Scenario::small_test());
         assert!(report.total_ops > 100, "ops: {}", report.total_ops);
         assert!(report.throughput > 0.0);
         assert!(report.p50_latency_ms > 0.0);
@@ -111,7 +90,7 @@ mod tests {
 
     #[test]
     fn small_eunomia_run_completes_ops_and_visibility() {
-        let report = run_system(SystemKind::EunomiaKv, ClusterConfig::small_test());
+        let report = run(SystemId::EunomiaKv, &Scenario::small_test());
         assert!(report.total_ops > 100, "ops: {}", report.total_ops);
         // Remote updates became visible in both directions.
         let v01 = report.metrics.visibility_extras(0, 1, 0, u64::MAX);
@@ -125,8 +104,8 @@ mod tests {
 
     #[test]
     fn identical_seeds_reproduce_identical_runs() {
-        let a = run_system(SystemKind::EunomiaKv, ClusterConfig::small_test());
-        let b = run_system(SystemKind::EunomiaKv, ClusterConfig::small_test());
+        let a = run(SystemId::EunomiaKv, &Scenario::small_test());
+        let b = run(SystemId::EunomiaKv, &Scenario::small_test());
         assert_eq!(a.total_ops, b.total_ops);
         assert_eq!(
             a.metrics.visibility_extras(0, 1, 0, u64::MAX),

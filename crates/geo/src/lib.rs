@@ -18,11 +18,24 @@
 //! * [`receiver::ReceiverProc`] — the per-datacenter receiver running the
 //!   FLUSH loop of Algorithm 5 (one outstanding APPLY, exactly as
 //!   published; a pipelined extension exists for the ablation bench);
-//! * [`cluster`] — wiring; [`harness`] — run-and-report helpers.
+//! * [`cluster`] — wiring; [`harness`] — the shared [`RunReport`].
 //!
 //! The same crate also builds the **Eventual** baseline (no causality:
 //! remote updates apply on arrival), which is the paper's normalization
 //! reference.
+//!
+//! # The unified run API
+//!
+//! Every experiment goes through one entry point:
+//!
+//! * [`SystemId`] names all six systems of the paper's evaluation;
+//! * [`Scenario`] is a named, validated [`ClusterConfig`] (presets:
+//!   paper 3-DC, small-test, wide 5-DC, straggler, partial replication);
+//! * [`run`] dispatches `(SystemId, &Scenario)` to the right assembly —
+//!   the four baselines register themselves via
+//!   `eunomia_baselines::install()`;
+//! * [`Sweep`] runs a `[system x scenario]` grid and renders shared
+//!   comparison tables.
 
 pub mod client;
 pub mod cluster;
@@ -34,8 +47,16 @@ pub mod msg;
 pub mod partition;
 pub mod receiver;
 pub mod registry;
+pub mod scenario;
+pub mod system;
+pub mod table;
 
-pub use config::{ClusterConfig, CostModel, StragglerConfig, SystemKind};
-pub use harness::{run_system, RunReport};
+pub use config::{
+    ClusterConfig, ClusterConfigBuilder, ConfigError, CostModel, ReplicaCrash, StragglerConfig,
+};
+pub use harness::RunReport;
 pub use metrics::GeoMetrics;
 pub use msg::Msg;
+pub use scenario::{Scenario, Sweep, SweepCell, SweepResults};
+pub use system::{register_runner, run, SystemId, SystemRunner};
+pub use table::format_table;

@@ -8,10 +8,11 @@
 //! partitions immediately; remote updates are applied when the receiver
 //! says so (EunomiaKV) or on arrival (Eventual).
 
-use crate::config::{ClusterConfig, CostModel, SystemKind};
+use crate::config::{ClusterConfig, CostModel};
 use crate::metrics::GeoMetrics;
 use crate::msg::{BundleEntry, Msg, OpMeta};
 use crate::registry::SharedRegistry;
+use crate::system::SystemId;
 use eunomia_core::ids::{DcId, PartitionId, ReplicaId};
 use eunomia_core::replica::ReplicatedSender;
 use eunomia_core::time::Timestamp;
@@ -28,7 +29,7 @@ pub struct PartitionProc {
     state: PartitionState,
     dc: usize,
     pidx: usize,
-    kind: SystemKind,
+    kind: SystemId,
     cfg: Rc<ClusterConfig>,
     costs: CostModel,
     reg: SharedRegistry,
@@ -57,7 +58,7 @@ impl PartitionProc {
     pub fn new(
         dc: usize,
         pidx: usize,
-        kind: SystemKind,
+        kind: SystemId,
         cfg: Rc<ClusterConfig>,
         reg: SharedRegistry,
         metrics: GeoMetrics,
@@ -220,7 +221,7 @@ impl PartitionProc {
 
 impl Process<Msg> for PartitionProc {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-        if self.kind == SystemKind::EunomiaKv {
+        if self.kind == SystemId::EunomiaKv {
             ctx.set_timer(self.cfg.batch_interval, TIMER_BATCH);
         }
     }
@@ -243,7 +244,7 @@ impl Process<Msg> for PartitionProc {
                         vts: local.update.vts.clone(),
                     },
                 );
-                if self.kind == SystemKind::EunomiaKv {
+                if self.kind == SystemId::EunomiaKv {
                     self.sender.push(
                         local.id.ts,
                         OpMeta {
@@ -293,12 +294,12 @@ impl Process<Msg> for PartitionProc {
                 let origin = update.origin;
                 let ts = update.vts.get(origin);
                 match self.kind {
-                    SystemKind::Eventual => {
+                    SystemId::Eventual => {
                         ctx.consume(self.costs.apply_ns);
                         self.log_apply(ctx, &update);
                         self.state.apply_now(update);
                     }
-                    SystemKind::EunomiaKv => {
+                    SystemId::EunomiaKv => {
                         ctx.consume(self.costs.stage_ns);
                         self.data_arrival.insert((origin, ts), ctx.now());
                         self.pending_log.insert((origin, ts), update.clone());
@@ -314,6 +315,7 @@ impl Process<Msg> for PartitionProc {
                             ctx.send(receiver, Msg::ApplyOk { origin, id });
                         }
                     }
+                    other => unreachable!("geo partitions only run native systems, not {other}"),
                 }
             }
             Msg::Apply { origin, id } => {

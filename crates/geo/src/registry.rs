@@ -15,8 +15,10 @@ pub struct Registry {
     pub partitions: Vec<Vec<ProcessId>>,
     /// `eunomia[dc][replica]` — Eunomia replica processes.
     pub eunomia: Vec<Vec<ProcessId>>,
-    /// `receivers[dc]` — receiver processes.
-    pub receivers: Vec<ProcessId>,
+    /// `receivers[dc]` — receiver processes. `None` for systems that run
+    /// no receiver (Eventual), so a stray send cannot silently target a
+    /// bogus id.
+    pub receivers: Vec<Option<ProcessId>>,
     /// `aggregators[dc]` — global-stabilization aggregators (baselines).
     pub aggregators: Vec<ProcessId>,
     /// `sequencers[dc]` — per-datacenter sequencers (baselines).
@@ -45,8 +47,15 @@ impl Registry {
     }
 
     /// The receiver of `dc`.
+    ///
+    /// # Panics
+    /// Panics if `dc` runs no receiver (e.g. under Eventual, which
+    /// applies remote updates on arrival): any send to it would be a
+    /// protocol bug, so it fails loudly instead of targeting a
+    /// placeholder id.
     pub fn receiver(&self, dc: usize) -> ProcessId {
         self.receivers[dc]
+            .unwrap_or_else(|| panic!("dc {dc} runs no receiver; stray receiver-bound message"))
     }
 
     /// Number of datacenters registered.
@@ -79,9 +88,17 @@ mod tests {
         let reg = shared();
         let held = reg.clone();
         reg.borrow_mut().partitions = vec![vec![ProcessId(3)]];
-        reg.borrow_mut().receivers = vec![ProcessId(9)];
+        reg.borrow_mut().receivers = vec![Some(ProcessId(9))];
         assert_eq!(held.borrow().partition(0, 0), ProcessId(3));
         assert_eq!(held.borrow().receiver(0), ProcessId(9));
         assert_eq!(held.borrow().n_dcs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs no receiver")]
+    fn missing_receiver_fails_loudly() {
+        let reg = shared();
+        reg.borrow_mut().receivers = vec![None];
+        reg.borrow().receiver(0);
     }
 }

@@ -1,0 +1,508 @@
+//! Named experiment scenarios and the `[system x scenario]` sweep
+//! driver.
+//!
+//! A [`Scenario`] is a validated [`ClusterConfig`] with a name — the unit
+//! every figure harness, example and integration test feeds to
+//! [`run`](crate::run). Presets cover the deployments the paper (and
+//! this reproduction's extensions) use; [`Scenario::with`] derives
+//! variants for parameter sweeps while keeping validation on.
+//!
+//! [`Sweep`] runs a grid of systems against a list of scenarios and
+//! collects [`RunReport`]s, collapsing the per-figure hand-rolled loops
+//! into one driver with shared table rendering.
+
+use crate::config::{ClusterConfig, ConfigError, StragglerConfig};
+use crate::harness::RunReport;
+use crate::system::{run, SystemId};
+use crate::table::format_table;
+use eunomia_sim::units;
+use eunomia_workload::WorkloadConfig;
+
+/// A named, validated experiment configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    name: String,
+    cfg: ClusterConfig,
+}
+
+impl Scenario {
+    /// Wraps an explicit configuration under a name, validating it.
+    pub fn custom(name: impl Into<String>, cfg: ClusterConfig) -> Result<Scenario, ConfigError> {
+        cfg.validate()?;
+        Ok(Scenario {
+            name: name.into(),
+            cfg,
+        })
+    }
+
+    /// The paper's deployment: 3 DCs (80/80/160 ms RTT), 8 partitions
+    /// and 4 clients per DC, 90:10 uniform workload, 60 s.
+    pub fn paper_three_dc() -> Scenario {
+        Scenario {
+            name: "paper-3dc".into(),
+            cfg: ClusterConfig::default(),
+        }
+    }
+
+    /// A small, fast deployment for tests: 2 DCs (20 ms RTT), 2
+    /// partitions and 2 clients per DC, 5 s.
+    pub fn small_test() -> Scenario {
+        Scenario {
+            name: "small-test".into(),
+            cfg: ClusterConfig::small_test(),
+        }
+    }
+
+    /// A wide 5-DC deployment (30–200 ms RTTs, roughly US/EU/APAC
+    /// distances) with the pipelined-receiver extension on — the
+    /// stress-test for vector-clock visibility beyond the paper's three
+    /// sites.
+    pub fn wide_five_dc() -> Scenario {
+        let ms = units::ms(1);
+        let rtts: Vec<Vec<u64>> = vec![
+            //   A         B         C         D         E
+            vec![0, 30 * ms, 90 * ms, 150 * ms, 200 * ms],
+            vec![30 * ms, 0, 70 * ms, 130 * ms, 180 * ms],
+            vec![90 * ms, 70 * ms, 0, 80 * ms, 140 * ms],
+            vec![150 * ms, 130 * ms, 80 * ms, 0, 90 * ms],
+            vec![200 * ms, 180 * ms, 140 * ms, 90 * ms, 0],
+        ];
+        let cfg = ClusterConfig {
+            n_dcs: 5,
+            rtt_matrix: Some(rtts),
+            partitions_per_dc: 4,
+            clients_per_dc: 3,
+            pipelined_receiver: true,
+            ..ClusterConfig::default()
+        };
+        Scenario {
+            name: "wide-5dc".into(),
+            cfg,
+        }
+    }
+
+    /// The §7.2.3 straggler schedule on the paper's 3-DC deployment: one
+    /// partition of dc2 contacts its local Eunomia only every `interval`
+    /// during the middle third of the run.
+    pub fn straggler(interval: eunomia_sim::SimTime) -> Scenario {
+        let cfg = ClusterConfig::default();
+        let third = cfg.duration / 3;
+        let cfg = ClusterConfig {
+            straggler: Some(StragglerConfig {
+                dc: 2,
+                partition: 0,
+                from: third,
+                to: 2 * third,
+                interval,
+            }),
+            warmup: units::secs(2),
+            cooldown: 0,
+            workload: WorkloadConfig::paper(75, false),
+            ..cfg
+        };
+        Scenario {
+            name: format!("straggler-{}ms", interval / units::ms(1)),
+            cfg,
+        }
+    }
+
+    /// Partial replication (§8 future work, Practi-style): each key
+    /// stored at only `rf` of the 3 datacenters, bounded workload so the
+    /// run quiesces, apply log on for landing analysis.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= rf <= 3` — the preset is parameterized, so it
+    /// validates like every other construction path.
+    pub fn partial_replication(rf: usize) -> Scenario {
+        let cfg = ClusterConfig {
+            replication_factor: Some(rf),
+            apply_log: true,
+            workload: WorkloadConfig {
+                keys: 400,
+                read_pct: 50,
+                value_size: 16,
+                power_law: false,
+            },
+            ..ClusterConfig::default()
+        };
+        Scenario::custom(format!("partial-rf{rf}"), cfg)
+            .unwrap_or_else(|e| panic!("partial_replication({rf}): {e}"))
+    }
+
+    /// Every named preset (with representative parameters) — what
+    /// `--list-systems`-style tooling and docs enumerate.
+    pub fn presets() -> Vec<Scenario> {
+        vec![
+            Scenario::paper_three_dc(),
+            Scenario::small_test(),
+            Scenario::wide_five_dc(),
+            Scenario::straggler(units::ms(100)),
+            Scenario::partial_replication(2),
+        ]
+    }
+
+    /// The scenario's name (used in tables and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying validated configuration.
+    pub fn cfg(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Renames the scenario.
+    pub fn named(mut self, name: impl Into<String>) -> Scenario {
+        self.name = name.into();
+        self
+    }
+
+    /// Re-times the run: `secs` simulated seconds with the 10%
+    /// warm-up/cool-down trims every harness uses (mirroring the paper's
+    /// discarded first/last minute).
+    pub fn seconds(self, secs: u64) -> Scenario {
+        self.with(|c| {
+            c.duration = units::secs(secs);
+            c.warmup = units::secs((secs / 10).max(2));
+            c.cooldown = units::secs((secs / 10).max(1));
+        })
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(self, seed: u64) -> Scenario {
+        self.with(|c| c.seed = seed)
+    }
+
+    /// Sets the workload.
+    pub fn workload(self, w: WorkloadConfig) -> Scenario {
+        self.with(|c| c.workload = w)
+    }
+
+    /// Derives a variant, revalidating the result.
+    ///
+    /// # Panics
+    /// Panics if the tweak breaks an invariant — sweeps in harnesses want
+    /// loud, immediate failure. Use [`try_with`](Self::try_with) to
+    /// handle the error instead.
+    pub fn with(self, f: impl FnOnce(&mut ClusterConfig)) -> Scenario {
+        match self.try_with(f) {
+            Ok(s) => s,
+            Err((name, e)) => panic!("scenario {name:?}: invalid tweak: {e}"),
+        }
+    }
+
+    /// Derives a variant; on an invalid result returns the scenario name
+    /// and the validation error.
+    pub fn try_with(
+        mut self,
+        f: impl FnOnce(&mut ClusterConfig),
+    ) -> Result<Scenario, (String, ConfigError)> {
+        f(&mut self.cfg);
+        match self.cfg.validate() {
+            Ok(()) => Ok(self),
+            Err(e) => Err((self.name, e)),
+        }
+    }
+}
+
+/// One completed cell of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// The system that ran.
+    pub system: SystemId,
+    /// The scenario name it ran under.
+    pub scenario: String,
+    /// The run's report.
+    pub report: RunReport,
+}
+
+/// Runs a `[system x scenario]` grid through [`run`](crate::run).
+///
+/// ```no_run
+/// use eunomia_geo::{Scenario, Sweep, SystemId};
+/// let results = Sweep::new()
+///     .systems([SystemId::Eventual, SystemId::EunomiaKv])
+///     .scenario(Scenario::small_test())
+///     .run();
+/// println!("{}", results.throughput_table(Some(SystemId::Eventual)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Sweep {
+    systems: Vec<SystemId>,
+    scenarios: Vec<Scenario>,
+}
+
+impl Sweep {
+    /// An empty sweep; add systems and scenarios, then [`run`](Self::run).
+    pub fn new() -> Sweep {
+        Sweep::default()
+    }
+
+    /// Replaces the system list.
+    pub fn systems(mut self, systems: impl IntoIterator<Item = SystemId>) -> Sweep {
+        self.systems = systems.into_iter().collect();
+        self
+    }
+
+    /// Appends scenarios.
+    pub fn scenarios(mut self, scenarios: impl IntoIterator<Item = Scenario>) -> Sweep {
+        self.scenarios.extend(scenarios);
+        self
+    }
+
+    /// Appends one scenario.
+    pub fn scenario(mut self, scenario: Scenario) -> Sweep {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Runs the full grid (scenario-major order). Systems default to
+    /// [`SystemId::all`] when none were given.
+    ///
+    /// # Panics
+    /// Panics if the sweep has no scenarios, if two scenarios share a
+    /// name (results are keyed by name — rename variants with
+    /// [`Scenario::named`]), or if a baseline system has no registered
+    /// runner (see [`run`](crate::run)).
+    pub fn run(&self) -> SweepResults {
+        assert!(!self.scenarios.is_empty(), "sweep has no scenarios");
+        for (i, a) in self.scenarios.iter().enumerate() {
+            for b in &self.scenarios[i + 1..] {
+                assert!(
+                    a.name() != b.name(),
+                    "two sweep scenarios share the name {:?}: results are keyed by \
+                     name, so the later one would be unreachable — rename it with \
+                     Scenario::named",
+                    a.name()
+                );
+            }
+        }
+        let systems: Vec<SystemId> = if self.systems.is_empty() {
+            SystemId::all().to_vec()
+        } else {
+            self.systems.clone()
+        };
+        let mut cells = Vec::with_capacity(systems.len() * self.scenarios.len());
+        for scenario in &self.scenarios {
+            for &system in &systems {
+                cells.push(SweepCell {
+                    system,
+                    scenario: scenario.name().to_string(),
+                    report: run(system, scenario),
+                });
+            }
+        }
+        SweepResults { cells }
+    }
+}
+
+/// The collected grid of reports from [`Sweep::run`].
+#[derive(Clone, Debug)]
+pub struct SweepResults {
+    cells: Vec<SweepCell>,
+}
+
+impl SweepResults {
+    /// All cells, in scenario-major run order.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// The report for one grid cell.
+    pub fn get(&self, system: SystemId, scenario: &str) -> Option<&RunReport> {
+        self.cells
+            .iter()
+            .find(|c| c.system == system && c.scenario == scenario)
+            .map(|c| &c.report)
+    }
+
+    /// Distinct systems, in run order.
+    pub fn systems(&self) -> Vec<SystemId> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.system) {
+                out.push(c.system);
+            }
+        }
+        out
+    }
+
+    /// Distinct scenario names, in run order.
+    pub fn scenarios(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !out.iter().any(|s| s == &c.scenario) {
+                out.push(c.scenario.clone());
+            }
+        }
+        out
+    }
+
+    /// Throughput of `system` under `scenario` relative to `baseline`
+    /// under the same scenario, as a signed fraction (-0.05 = 5% below).
+    pub fn delta_vs(&self, system: SystemId, baseline: SystemId, scenario: &str) -> Option<f64> {
+        let s = self.get(system, scenario)?.throughput;
+        let b = self.get(baseline, scenario)?.throughput;
+        if b <= 0.0 {
+            return None;
+        }
+        Some(s / b - 1.0)
+    }
+
+    /// The shared throughput table: one row per scenario, one column per
+    /// system (ops/s). With a `baseline`, every other system also shows
+    /// its signed percentage delta against it.
+    pub fn throughput_table(&self, baseline: Option<SystemId>) -> String {
+        let systems = self.systems();
+        let mut headers: Vec<String> = vec!["scenario".to_string()];
+        headers.extend(systems.iter().map(|s| s.to_string()));
+        let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<String>> = self
+            .scenarios()
+            .iter()
+            .map(|sc| {
+                let mut row = vec![sc.clone()];
+                for &sys in &systems {
+                    let cell = match self.get(sys, sc) {
+                        None => "-".to_string(),
+                        Some(r) => match baseline {
+                            Some(b) if b != sys => match self.delta_vs(sys, b, sc) {
+                                Some(d) => {
+                                    format!("{:.0} ({:+.1}%)", r.throughput, d * 100.0)
+                                }
+                                None => format!("{:.0}", r.throughput),
+                            },
+                            _ => format!("{:.0}", r.throughput),
+                        },
+                    };
+                    row.push(cell);
+                }
+                row
+            })
+            .collect();
+        format_table(&header_refs, &rows)
+    }
+
+    /// The shared comparison table for a single scenario: one row per
+    /// system with throughput, delta vs `baseline`, client latency and
+    /// remote-visibility p90 for the `(origin, dest)` DC pair.
+    pub fn summary_table(&self, baseline: SystemId, origin: u16, dest: u16) -> String {
+        let scenario = self.scenarios().first().cloned().unwrap_or_default();
+        let base = self.get(baseline, &scenario).map(|r| r.throughput);
+        let rows: Vec<Vec<String>> = self
+            .systems()
+            .iter()
+            .map(|&sys| {
+                let Some(r) = self.get(sys, &scenario) else {
+                    return vec![
+                        sys.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ];
+                };
+                let delta = match base {
+                    Some(b) if b > 0.0 && sys != baseline => {
+                        format!("{:+.1}%", (r.throughput / b - 1.0) * 100.0)
+                    }
+                    _ => "-".to_string(),
+                };
+                let vis = if sys.is_causal() {
+                    r.visibility_percentile_ms(origin, dest, 90.0)
+                        .map(|v| format!("{v:.2}"))
+                        .unwrap_or_else(|| "-".into())
+                } else {
+                    "n/a (no causality)".to_string()
+                };
+                vec![
+                    sys.to_string(),
+                    format!("{:.0}", r.throughput),
+                    delta,
+                    format!("{:.2}", r.p99_latency_ms),
+                    vis,
+                ]
+            })
+            .collect();
+        format_table(
+            &[
+                "system",
+                "ops/s",
+                "vs baseline",
+                "op p99 (ms)",
+                &format!("vis p90 dc{origin}->dc{dest} (ms)"),
+            ],
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_all_validate() {
+        for preset in Scenario::presets() {
+            assert!(
+                preset.cfg().validate().is_ok(),
+                "preset {} invalid",
+                preset.name()
+            );
+        }
+    }
+
+    #[test]
+    fn with_revalidates_and_panics_on_bad_tweaks() {
+        let ok = Scenario::small_test().seconds(8).seed(9);
+        assert_eq!(ok.cfg().seed, 9);
+        assert_eq!(ok.cfg().duration, units::secs(8));
+        let err = Scenario::small_test()
+            .try_with(|c| c.replicas = 0)
+            .unwrap_err();
+        assert_eq!(err.0, "small-test");
+    }
+
+    #[test]
+    #[should_panic(expected = "share the name")]
+    fn sweep_rejects_duplicate_scenario_names() {
+        Sweep::new()
+            .systems([SystemId::Eventual])
+            .scenario(Scenario::small_test())
+            .scenario(Scenario::small_test().seed(7))
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "partial_replication(0)")]
+    fn parameterized_preset_validates() {
+        Scenario::partial_replication(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never fire")]
+    fn retiming_a_straggler_scenario_below_its_window_fails_loudly() {
+        // .seconds(10) shrinks the run below the [20s, 40s) window the
+        // preset computed from the 60 s default — must not silently
+        // measure a fault-free run under a fault-named label.
+        Scenario::straggler(units::ms(100)).seconds(10);
+    }
+
+    #[test]
+    fn sweep_grid_runs_native_systems() {
+        let results = Sweep::new()
+            .systems([SystemId::Eventual, SystemId::EunomiaKv])
+            .scenario(Scenario::small_test())
+            .scenario(Scenario::small_test().named("variant").seed(7))
+            .run();
+        assert_eq!(results.cells().len(), 4);
+        assert_eq!(results.systems().len(), 2);
+        assert_eq!(results.scenarios(), vec!["small-test", "variant"]);
+        assert!(results.get(SystemId::EunomiaKv, "variant").is_some());
+        let table = results.throughput_table(Some(SystemId::Eventual));
+        assert!(table.contains("EunomiaKV"), "{table}");
+        assert!(table.contains('%'), "{table}");
+        let summary = results.summary_table(SystemId::Eventual, 0, 1);
+        assert!(summary.contains("n/a (no causality)"), "{summary}");
+    }
+}

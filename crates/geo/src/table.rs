@@ -1,0 +1,65 @@
+//! Plain-text aligned table rendering shared by the sweep results, the
+//! figure harnesses and the examples.
+
+/// Renders an aligned ASCII table (headers, separator, rows).
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            } else {
+                widths.push(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let push_line = |cells: &[String], out: &mut String| {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            let width = widths.get(i).copied().unwrap_or(c.len());
+            line.push_str(&format!("{c:<width$}"));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    };
+    push_line(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
+    push_line(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        &mut out,
+    );
+    for row in rows {
+        push_line(row, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::format_table;
+
+    #[test]
+    fn aligns_columns_and_trims_trailing_space() {
+        let out = format_table(
+            &["a", "long_header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer_cell".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].ends_with('1'));
+        for l in &lines {
+            assert_eq!(*l, l.trim_end());
+        }
+    }
+}

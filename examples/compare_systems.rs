@@ -1,51 +1,53 @@
 //! Side-by-side comparison of every system in the workspace on one
 //! workload: the two axes the paper trades off — throughput vs eventual
-//! consistency, and remote-update visibility.
+//! consistency, and remote-update visibility. `for s in SystemId::all()`
+//! drives the whole zoo through the one `run` entry point.
 //!
 //! Run with: `cargo run --release --example compare_systems`
 
-use eunomia::baselines::{run_baseline, BaselineKind};
-use eunomia::geo::{run_system, ClusterConfig, SystemKind};
-use eunomia::sim::units;
+use eunomia::{run, Scenario, SystemId};
 use eunomia_workload::WorkloadConfig;
 
-fn cfg() -> ClusterConfig {
-    let mut c = ClusterConfig::default();
-    c.duration = units::secs(15);
-    c.warmup = units::secs(3);
-    c.cooldown = units::secs(1);
-    c.workload = WorkloadConfig::paper(90, false);
-    c
-}
-
 fn main() {
+    let scenario = Scenario::paper_three_dc()
+        .seconds(15)
+        .workload(WorkloadConfig::paper(90, false))
+        .with(|c| {
+            c.warmup = eunomia::sim::units::secs(3);
+            c.cooldown = eunomia::sim::units::secs(1);
+        });
     println!("3 DCs (80/80/160 ms RTT), 90:10 uniform, 15 s sim each...\n");
-    let eventual = run_system(SystemKind::Eventual, cfg());
-    let reports = vec![
-        run_system(SystemKind::EunomiaKv, cfg()),
-        run_baseline(BaselineKind::GentleRain, cfg()),
-        run_baseline(BaselineKind::Cure, cfg()),
-        run_baseline(BaselineKind::SSeq, cfg()),
-        run_baseline(BaselineKind::ASeq, cfg()),
-    ];
+
+    let mut reports = Vec::new();
+    for s in SystemId::all() {
+        reports.push((s, run(s, &scenario)));
+    }
+    let eventual_tput = reports
+        .iter()
+        .find(|(s, _)| *s == SystemId::Eventual)
+        .map(|(_, r)| r.throughput)
+        .expect("Eventual is in all()");
 
     println!(
-        "{:<12} {:>9} {:>10} {:>14} {:>16}",
+        "{:<12} {:>9} {:>10} {:>14} {:>18}",
         "system", "ops/s", "vs event.", "op p99 (ms)", "vis p90 (ms)"
     );
-    println!("{:-<65}", "");
-    println!(
-        "{:<12} {:>9.0} {:>10} {:>14.2} {:>16}",
-        eventual.system, eventual.throughput, "-", eventual.p99_latency_ms, "n/a (no causality)"
-    );
-    for r in &reports {
-        let delta = (r.throughput / eventual.throughput - 1.0) * 100.0;
-        let vis = r
-            .visibility_percentile_ms(0, 1, 90.0)
-            .map(|v| format!("{v:.2}"))
-            .unwrap_or_else(|| "-".into());
+    println!("{:-<68}", "");
+    for (s, r) in &reports {
+        let delta = if *s == SystemId::Eventual {
+            "-".to_string()
+        } else {
+            format!("{:+.1}%", (r.throughput / eventual_tput - 1.0) * 100.0)
+        };
+        let vis = if s.is_causal() {
+            r.visibility_percentile_ms(0, 1, 90.0)
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "-".into())
+        } else {
+            "n/a (no causality)".to_string()
+        };
         println!(
-            "{:<12} {:>9.0} {:>9.1}% {:>14.2} {:>16}",
+            "{:<12} {:>9.0} {:>10} {:>14.2} {:>18}",
             r.system, r.throughput, delta, r.p99_latency_ms, vis
         );
     }

@@ -1,11 +1,13 @@
-//! Driving EunomiaKV with a custom workload and deployment: a 5-datacenter
-//! ring-ish topology, a hotspot key distribution, larger values, replica
-//! fault tolerance and a tuned stabilization period.
+//! Driving EunomiaKV with a custom workload and deployment: the wide
+//! 5-datacenter preset, a hotspot key distribution, larger values,
+//! replica fault tolerance and a tuned stabilization period — all built
+//! through the *validated* configuration path, so a typo'd deployment
+//! fails at construction instead of panicking mid-run.
 //!
 //! Run with: `cargo run --release --example custom_workload`
 
-use eunomia::geo::{run_system, ClusterConfig, SystemKind};
 use eunomia::sim::units;
+use eunomia::{run, ClusterConfigBuilder, Scenario, SystemId};
 use eunomia_workload::{KeyDistribution, OpGenerator, WorkloadConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,42 +21,35 @@ fn main() {
     println!("hotspot samples: {sample:?}");
     println!("one op: {:?}\n", generator.next_op(&mut rng).key());
 
-    // A 5-DC deployment with an explicit RTT matrix (ms).
-    let ms = units::ms(1);
-    let rtts: Vec<Vec<u64>> = vec![
-        //  A      B       C       D       E
-        vec![0, 30 * ms, 90 * ms, 150 * ms, 200 * ms],
-        vec![30 * ms, 0, 70 * ms, 130 * ms, 180 * ms],
-        vec![90 * ms, 70 * ms, 0, 80 * ms, 140 * ms],
-        vec![150 * ms, 130 * ms, 80 * ms, 0, 90 * ms],
-        vec![200 * ms, 180 * ms, 140 * ms, 90 * ms, 0],
-    ];
-    let mut cfg = ClusterConfig::default();
-    cfg.n_dcs = 5;
-    cfg.rtt_matrix = Some(rtts);
-    cfg.partitions_per_dc = 4;
-    cfg.clients_per_dc = 3;
-    cfg.replicas = 2; // fault-tolerant Eunomia per DC
-    cfg.theta = units::ms(2); // stabilization period
-    cfg.batch_interval = units::ms(2);
-    cfg.heartbeat_delta = units::ms(2);
-    cfg.duration = units::secs(15);
-    cfg.warmup = units::secs(3);
-    cfg.cooldown = units::secs(1);
-    // With 5 DCs each receiver absorbs four remote streams; the faithful
-    // Alg. 5 receiver serializes applies, so keep the mix read-heavy and
-    // enable the pipelined-receiver extension (one in-flight apply per
-    // origin instead of one overall — see the `ablation_receiver` bench).
-    cfg.pipelined_receiver = true;
-    cfg.workload = WorkloadConfig {
-        keys: 10_000,
-        read_pct: 90,
-        value_size: 256,
-        power_law: true,
-    };
+    // Start from the wide 5-DC preset and tune it through the builder.
+    // `build()` re-checks every invariant (matrix shape, window, ranges).
+    let cfg = ClusterConfigBuilder::from_config(Scenario::wide_five_dc().cfg().clone())
+        .replicas(2) // fault-tolerant Eunomia per DC
+        .theta(units::ms(2)) // stabilization period
+        .batch_interval(units::ms(2))
+        .heartbeat_delta(units::ms(2))
+        .duration(units::secs(15))
+        .warmup(units::secs(3))
+        .cooldown(units::secs(1))
+        .workload(WorkloadConfig {
+            keys: 10_000,
+            read_pct: 90,
+            value_size: 256,
+            power_law: true,
+        })
+        .build()
+        .expect("deployment validates");
+    let scenario = Scenario::custom("wide-5dc-hotspot", cfg).unwrap();
+
+    // The validation in action: an asymmetric matrix is refused.
+    let broken = ClusterConfigBuilder::new()
+        .n_dcs(2)
+        .rtt_matrix(Some(vec![vec![0, 10], vec![20, 0]]))
+        .build();
+    println!("validation demo: {}\n", broken.unwrap_err());
 
     println!("running 5-DC EunomiaKV (2 Eunomia replicas per DC, power-law keys)...");
-    let report = run_system(SystemKind::EunomiaKv, cfg);
+    let report = run(SystemId::EunomiaKv, &scenario);
     println!(
         "\nthroughput {:.0} ops/s | client p50 {:.2} ms p99 {:.2} ms",
         report.throughput, report.p50_latency_ms, report.p99_latency_ms

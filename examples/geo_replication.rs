@@ -4,22 +4,24 @@
 //!
 //! Run with: `cargo run --release --example geo_replication`
 
-use eunomia::geo::{run_system, ClusterConfig, SystemKind};
 use eunomia::sim::units;
+use eunomia::{run, Scenario, SystemId};
 use eunomia_workload::WorkloadConfig;
 
 fn main() {
-    let mut cfg = ClusterConfig::default();
-    cfg.duration = units::secs(20);
-    cfg.warmup = units::secs(4);
-    cfg.cooldown = units::secs(2);
-    cfg.workload = WorkloadConfig::paper(90, false);
-
+    let scenario = Scenario::paper_three_dc()
+        .seconds(20)
+        .workload(WorkloadConfig::paper(90, false))
+        .with(|c| {
+            c.warmup = units::secs(4);
+            c.cooldown = units::secs(2);
+        });
+    let cfg = scenario.cfg();
     println!(
         "running EunomiaKV: {} DCs x {} partitions, {} clients/DC, 90:10 uniform, 20 s sim...",
         cfg.n_dcs, cfg.partitions_per_dc, cfg.clients_per_dc
     );
-    let report = run_system(SystemKind::EunomiaKv, cfg);
+    let report = run(SystemId::EunomiaKv, &scenario);
 
     println!(
         "\nthroughput: {:.0} ops/s across all datacenters",

@@ -8,28 +8,31 @@
 //!
 //! Run with: `cargo run --release --example partial_replication`
 
-use eunomia::geo::cluster::build;
-use eunomia::geo::{ClusterConfig, SystemKind};
 use eunomia::kv::ring;
 use eunomia::kv::Key;
 use eunomia::sim::units;
+use eunomia::{run, Scenario, SystemId};
 use eunomia_workload::WorkloadConfig;
 
-fn run(rf: Option<usize>) -> (f64, f64) {
-    let mut cfg = ClusterConfig::default();
-    cfg.duration = units::secs(25);
-    cfg.ops_per_client = Some(200);
-    cfg.replication_factor = rf;
-    cfg.workload = WorkloadConfig {
-        keys: 1_000,
-        read_pct: 60,
-        value_size: 100,
-        power_law: false,
-    };
-    let mut cluster = build(SystemKind::EunomiaKv, cfg);
-    cluster.metrics.enable_apply_log();
-    cluster.sim.run_until(units::secs(25));
-    let log = cluster.metrics.apply_log();
+fn run_rf(rf: Option<usize>) -> (f64, f64) {
+    let scenario = Scenario::partial_replication(rf.unwrap_or(3))
+        .named(match rf {
+            None => "full".to_string(),
+            Some(rf) => format!("partial-rf{rf}"),
+        })
+        .with(|c| {
+            c.replication_factor = rf;
+            c.duration = units::secs(25);
+            c.ops_per_client = Some(200);
+            c.workload = WorkloadConfig {
+                keys: 1_000,
+                read_pct: 60,
+                value_size: 100,
+                power_law: false,
+            };
+        });
+    let report = run(SystemId::EunomiaKv, &scenario);
+    let log = report.metrics.apply_log();
     let local = log.iter().filter(|r| r.origin == r.dest).count() as f64;
     let remote = log.iter().filter(|r| r.origin != r.dest).count() as f64;
     (remote / local, remote * 100.0 / 1e6) // landings per update, MB shipped (100B values)
@@ -46,8 +49,8 @@ fn main() {
     );
 
     println!("same bounded workload, full vs partial replication:");
-    let (full_landings, full_mb) = run(None);
-    let (part_landings, part_mb) = run(Some(2));
+    let (full_landings, full_mb) = run_rf(None);
+    let (part_landings, part_mb) = run_rf(Some(2));
     println!("  full (rf=3):    {full_landings:.2} remote data landings per update (~{full_mb:.2} MB shipped)");
     println!("  partial (rf=2): {part_landings:.2} remote data landings per update (~{part_mb:.2} MB shipped)");
     println!(

@@ -7,15 +7,52 @@
 //! system of Gunawardhana, Bravo & Rodrigues, *"Unobtrusive Deferred Update
 //! Stabilization for Efficient Geo-Replication"*, USENIX ATC 2017.
 //!
-//! The interesting entry points are:
+//! # The one API: `run(SystemId, &Scenario)`
+//!
+//! The paper's evaluation compares six systems on one substrate
+//! (§7.2) — and so does this workspace, through a single entry point:
+//!
+//! * [`SystemId`] names every system: `Eventual`, `EunomiaKv`,
+//!   `GentleRain`, `Cure`, `SSeq`, `ASeq`. It implements
+//!   `Display`/`FromStr` (so `"cure".parse()` works) and
+//!   [`SystemId::all`] drives whole-zoo comparisons.
+//! * [`Scenario`] is a *named, validated* cluster configuration.
+//!   Presets: [`Scenario::paper_three_dc`] (the paper's 3-DC
+//!   deployment), [`Scenario::small_test`], [`Scenario::wide_five_dc`],
+//!   [`Scenario::straggler`], [`Scenario::partial_replication`]. Derive
+//!   variants with [`Scenario::with`]; invalid configurations are
+//!   rejected at construction (see [`ClusterConfigBuilder`]), not
+//!   mid-run.
+//! * [`run`] builds, runs and reports — any system, any scenario:
+//!
+//! ```no_run
+//! use eunomia::{run, Scenario, SystemId};
+//!
+//! let scenario = Scenario::paper_three_dc().seconds(30).seed(42);
+//! for id in SystemId::all() {
+//!     let report = run(id, &scenario);
+//!     println!("{:<12} {:>8.0} ops/s", report.system, report.throughput);
+//! }
+//! ```
+//!
+//! * [`Sweep`] runs a `[system x scenario]` grid and renders the shared
+//!   comparison tables used by every figure harness.
+//!
+//! The four baseline systems live in [`baselines`] and register
+//! themselves into [`geo`]'s system registry; this crate's [`run`]
+//! installs them automatically (standalone `eunomia_geo` users call
+//! `eunomia_baselines::install()` once).
+//!
+//! # Layers
 //!
 //! * [`core`] — the Eunomia service itself: hybrid clocks, the
 //!   stabilization buffer, the fault-tolerant replica protocol, and the
 //!   sequencer baselines.
 //! * [`kv`] — the partitioned key-value store substrate (client sessions
 //!   and partition timestamping, Algorithms 1–2 of the paper).
-//! * [`geo`] — datacenter assembly: receivers, update propagation, and the
-//!   full EunomiaKV system running on the discrete-event simulator.
+//! * [`geo`] — datacenter assembly: receivers, update propagation, the
+//!   full EunomiaKV system on the discrete-event simulator, and the
+//!   `SystemId`/`Scenario` run API.
 //! * [`baselines`] — GentleRain, Cure, S-Seq and A-Seq built on the same
 //!   substrate for apples-to-apples comparison.
 //! * [`sim`] — the deterministic discrete-event simulator.
@@ -24,8 +61,10 @@
 //!
 //! # Quickstart
 //!
-//! See `examples/quickstart.rs` for a single-datacenter Eunomia run and
-//! `examples/geo_replication.rs` for a three-datacenter deployment.
+//! See `examples/quickstart.rs` for the one-call entry point,
+//! `examples/compare_systems.rs` for the whole zoo on one workload, and
+//! `examples/geo_replication.rs` for visibility analysis of the paper's
+//! 3-DC deployment.
 
 pub use eunomia_baselines as baselines;
 pub use eunomia_collections as collections;
@@ -36,3 +75,22 @@ pub use eunomia_runtime as runtime;
 pub use eunomia_sim as sim;
 pub use eunomia_stats as stats;
 pub use eunomia_workload as workload;
+
+pub use eunomia_geo::{
+    ClusterConfig, ClusterConfigBuilder, ConfigError, ReplicaCrash, RunReport, Scenario, Sweep,
+    SweepResults, SystemId,
+};
+
+/// Builds, runs and reports `id` under `scenario` — with the baseline
+/// runners installed, so all six systems work out of the box.
+pub fn run(id: SystemId, scenario: &Scenario) -> RunReport {
+    eunomia_baselines::install();
+    eunomia_geo::run(id, scenario)
+}
+
+/// A [`Sweep`] with the baseline runners installed — use this instead of
+/// `Sweep::run` when driving baselines through the facade.
+pub fn sweep(sweep: &Sweep) -> SweepResults {
+    eunomia_baselines::install();
+    sweep.run()
+}

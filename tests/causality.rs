@@ -12,18 +12,14 @@
 //!    at `m`, for every other datacenter `d` the applied prefix of `d`'s
 //!    stream already covers the update's dependency entry `vts[d]`.
 
-use eunomia::geo::cluster::build;
-use eunomia::geo::{ClusterConfig, SystemKind};
 use eunomia::sim::units;
+use eunomia::{run, Scenario, SystemId};
 use eunomia_workload::WorkloadConfig;
 use std::collections::HashMap;
 
-fn run_logged(cfg: ClusterConfig) -> Vec<eunomia::geo::metrics::ApplyRecord> {
-    let mut cluster = build(SystemKind::EunomiaKv, cfg);
-    cluster.metrics.enable_apply_log();
-    let duration = cluster.cfg.duration;
-    cluster.sim.run_until(duration);
-    cluster.metrics.apply_log()
+fn run_logged(scenario: Scenario) -> Vec<eunomia::geo::metrics::ApplyRecord> {
+    let scenario = scenario.with(|cfg| cfg.apply_log = true);
+    run(SystemId::EunomiaKv, &scenario).metrics.apply_log()
 }
 
 fn check_causal_order(log: &[eunomia::geo::metrics::ApplyRecord], n_dcs: usize) {
@@ -78,95 +74,109 @@ fn check_causal_order(log: &[eunomia::geo::metrics::ApplyRecord], n_dcs: usize) 
 
 #[test]
 fn eunomia_kv_is_causally_consistent() {
-    let mut cfg = ClusterConfig::small_test();
-    cfg.duration = units::secs(8);
-    let log = run_logged(cfg);
+    let sc = Scenario::small_test().with(|cfg| cfg.duration = units::secs(8));
+    let log = run_logged(sc);
     check_causal_order(&log, 2);
 }
 
 #[test]
 fn eunomia_kv_is_causally_consistent_three_dcs_write_heavy() {
-    let mut cfg = ClusterConfig::default();
-    cfg.duration = units::secs(8);
-    cfg.warmup = units::secs(1);
-    cfg.cooldown = 0;
-    cfg.workload = WorkloadConfig {
-        keys: 500,
-        read_pct: 50,
-        value_size: 16,
-        power_law: false,
-    };
-    let log = run_logged(cfg);
+    let sc = Scenario::paper_three_dc()
+        .workload(WorkloadConfig {
+            keys: 500,
+            read_pct: 50,
+            value_size: 16,
+            power_law: false,
+        })
+        .with(|cfg| {
+            cfg.duration = units::secs(8);
+            cfg.warmup = units::secs(1);
+            cfg.cooldown = 0;
+        });
+    let log = run_logged(sc);
     check_causal_order(&log, 3);
 }
 
 #[test]
 fn eunomia_kv_stays_causal_under_clock_skew_and_straggler() {
-    let mut cfg = ClusterConfig::default();
-    cfg.duration = units::secs(8);
-    cfg.clock_skew = units::ms(20);
-    cfg.drift_ppm = 200.0;
-    cfg.workload = WorkloadConfig {
-        keys: 200,
-        read_pct: 60,
-        value_size: 16,
-        power_law: true,
-    };
-    cfg.straggler = Some(eunomia::geo::config::StragglerConfig {
-        dc: 1,
-        partition: 0,
-        from: units::secs(2),
-        to: units::secs(5),
-        interval: units::ms(200),
-    });
-    let log = run_logged(cfg);
+    let sc = Scenario::paper_three_dc()
+        .workload(WorkloadConfig {
+            keys: 200,
+            read_pct: 60,
+            value_size: 16,
+            power_law: true,
+        })
+        .with(|cfg| {
+            cfg.duration = units::secs(8);
+            cfg.warmup = units::secs(1);
+            cfg.cooldown = 0;
+            cfg.clock_skew = units::ms(20);
+            cfg.drift_ppm = 200.0;
+            cfg.straggler = Some(eunomia::geo::config::StragglerConfig {
+                dc: 1,
+                partition: 0,
+                from: units::secs(2),
+                to: units::secs(5),
+                interval: units::ms(200),
+            });
+        });
+    let log = run_logged(sc);
     check_causal_order(&log, 3);
 }
 
 #[test]
 fn pipelined_receiver_extension_preserves_causality() {
-    let mut cfg = ClusterConfig::default();
-    cfg.duration = units::secs(6);
-    cfg.pipelined_receiver = true;
-    cfg.workload = WorkloadConfig {
-        keys: 300,
-        read_pct: 50,
-        value_size: 16,
-        power_law: false,
-    };
-    let log = run_logged(cfg);
+    let sc = Scenario::paper_three_dc()
+        .workload(WorkloadConfig {
+            keys: 300,
+            read_pct: 50,
+            value_size: 16,
+            power_law: false,
+        })
+        .with(|cfg| {
+            cfg.duration = units::secs(6);
+            cfg.warmup = units::secs(1);
+            cfg.cooldown = 0;
+            cfg.pipelined_receiver = true;
+        });
+    let log = run_logged(sc);
     check_causal_order(&log, 3);
 }
 
 #[test]
 fn metadata_tree_preserves_causality_and_cuts_messages() {
-    let mut direct = ClusterConfig::default();
-    direct.duration = units::secs(6);
-    direct.workload = WorkloadConfig {
-        keys: 300,
-        read_pct: 60,
-        value_size: 16,
-        power_law: false,
-    };
-    let mut tree = direct.clone();
-    tree.metadata_tree_arity = Some(2);
+    let direct = Scenario::paper_three_dc()
+        .named("direct")
+        .workload(WorkloadConfig {
+            keys: 300,
+            read_pct: 60,
+            value_size: 16,
+            power_law: false,
+        })
+        .with(|cfg| {
+            cfg.duration = units::secs(6);
+            cfg.warmup = units::secs(1);
+            cfg.cooldown = 0;
+        });
+    let tree = direct
+        .clone()
+        .named("tree")
+        .with(|cfg| cfg.metadata_tree_arity = Some(2));
 
     let log = run_logged(tree.clone());
     check_causal_order(&log, 3);
 
     // The tree must shrink the message stream into the service.
-    let mut c_direct = build(SystemKind::EunomiaKv, direct);
-    c_direct.sim.run_until(units::secs(6));
-    let mut c_tree = build(SystemKind::EunomiaKv, tree);
-    c_tree.sim.run_until(units::secs(6));
+    let r_direct = run(SystemId::EunomiaKv, &direct);
+    let r_tree = run(SystemId::EunomiaKv, &tree);
     let (md, mt) = (
-        c_direct.metrics.service_messages(),
-        c_tree.metrics.service_messages(),
+        r_direct.metrics.service_messages(),
+        r_tree.metrics.service_messages(),
     );
     assert!(
         mt * 3 < md,
         "tree should cut service messages by ~the partition count: direct {md}, tree {mt}"
     );
     // And deliver the same operations overall.
-    assert!(c_tree.metrics.completed_ops() > 1000);
+    assert!(r_tree.metrics.completed_ops() > 1000);
 }

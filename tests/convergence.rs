@@ -3,30 +3,29 @@
 //! the key space identical (the determinism of the LWW rank itself is
 //! unit-tested in `eunomia-kv`).
 
-use eunomia::geo::cluster::build;
-use eunomia::geo::{ClusterConfig, SystemKind};
 use eunomia::sim::units;
+use eunomia::{run, Scenario, SystemId};
 use eunomia_workload::WorkloadConfig;
 use std::collections::{HashMap, HashSet};
 
 #[test]
 fn every_update_reaches_every_datacenter() {
-    let mut cfg = ClusterConfig::default();
-    cfg.duration = units::secs(30);
-    cfg.ops_per_client = Some(300);
-    cfg.workload = WorkloadConfig {
-        keys: 200,
-        read_pct: 50,
-        value_size: 16,
-        power_law: false,
-    };
-    let n_dcs = cfg.n_dcs;
-    let mut cluster = build(SystemKind::EunomiaKv, cfg);
-    cluster.metrics.enable_apply_log();
+    let sc = Scenario::paper_three_dc()
+        .workload(WorkloadConfig {
+            keys: 200,
+            read_pct: 50,
+            value_size: 16,
+            power_law: false,
+        })
+        .with(|cfg| {
+            cfg.duration = units::secs(30);
+            cfg.ops_per_client = Some(300);
+            cfg.apply_log = true;
+        });
+    let n_dcs = sc.cfg().n_dcs;
     // Clients stop after their budget; the rest of the run drains
     // replication queues.
-    cluster.sim.run_until(units::secs(30));
-    let log = cluster.metrics.apply_log();
+    let log = run(SystemId::EunomiaKv, &sc).metrics.apply_log();
 
     // Every (origin, ts, key) triple — a unique update — must land at
     // every DC. (Updates from different partitions of one origin can share
@@ -78,14 +77,13 @@ fn every_update_reaches_every_datacenter() {
 
 #[test]
 fn eventual_baseline_also_converges() {
-    let mut cfg = ClusterConfig::small_test();
-    cfg.duration = units::secs(20);
-    cfg.ops_per_client = Some(200);
-    let n_dcs = cfg.n_dcs;
-    let mut cluster = build(SystemKind::Eventual, cfg);
-    cluster.metrics.enable_apply_log();
-    cluster.sim.run_until(units::secs(20));
-    let log = cluster.metrics.apply_log();
+    let sc = Scenario::small_test().with(|cfg| {
+        cfg.duration = units::secs(20);
+        cfg.ops_per_client = Some(200);
+        cfg.apply_log = true;
+    });
+    let n_dcs = sc.cfg().n_dcs;
+    let log = run(SystemId::Eventual, &sc).metrics.apply_log();
     let mut seen: HashMap<(u16, u64, u64), HashSet<u16>> = HashMap::new();
     for rec in &log {
         seen.entry((rec.origin, rec.ts, rec.key))

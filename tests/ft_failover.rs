@@ -3,44 +3,51 @@
 //! A 3-replica Eunomia service loses its leader mid-run: the Ω elector
 //! promotes the next replica, partitions keep feeding everyone, and the
 //! update stream keeps stabilizing — with no causality violation and no
-//! update lost or duplicated across the fail-over.
+//! update lost or duplicated across the fail-over. Crashes are part of
+//! the scenario (`cfg.crashes`), so the whole test drives the unified
+//! `run(SystemId, &Scenario)` entry point.
 
-use eunomia::geo::cluster::build;
-use eunomia::geo::{ClusterConfig, SystemKind};
 use eunomia::sim::units;
+use eunomia::{run, ReplicaCrash, Scenario, SystemId};
 use eunomia_workload::WorkloadConfig;
 use std::collections::HashMap;
 
-fn crash_config() -> ClusterConfig {
-    let mut cfg = ClusterConfig::default();
-    cfg.duration = units::secs(12);
-    cfg.replicas = 3;
-    cfg.omega_interval = units::ms(5);
-    cfg.omega_timeout = units::ms(25);
-    cfg.workload = WorkloadConfig {
-        keys: 300,
-        read_pct: 70,
-        value_size: 16,
-        power_law: false,
-    };
-    cfg
+fn crash_scenario(crash: ReplicaCrash) -> Scenario {
+    Scenario::paper_three_dc()
+        .named("replica-crash")
+        .workload(WorkloadConfig {
+            keys: 300,
+            read_pct: 70,
+            value_size: 16,
+            power_law: false,
+        })
+        .with(move |cfg| {
+            cfg.duration = units::secs(12);
+            cfg.warmup = units::secs(2);
+            cfg.cooldown = units::secs(1);
+            cfg.replicas = 3;
+            cfg.omega_interval = units::ms(5);
+            cfg.omega_timeout = units::ms(25);
+            cfg.crashes = vec![crash];
+        })
 }
 
 #[test]
 fn leader_crash_does_not_stop_stabilization() {
-    let mut cluster = build(SystemKind::EunomiaKv, crash_config());
-    cluster.metrics.enable_apply_log();
     // Crash dc0's replica 0 (initial leader) at t = 4 s.
-    let leader = cluster.replicas[0][0];
-    cluster.sim.crash_at(leader, units::secs(4));
-    cluster.sim.run_until(units::secs(12));
+    let sc = crash_scenario(ReplicaCrash {
+        dc: 0,
+        replica: 0,
+        at: units::secs(4),
+    });
+    let report = run(SystemId::EunomiaKv, &sc);
 
     // dc0-origin updates keep becoming visible at dc1 well after the crash.
-    let before = cluster
+    let before = report
         .metrics
         .visibility_extras(0, 1, 0, units::secs(4))
         .len();
-    let after = cluster
+    let after = report
         .metrics
         .visibility_extras(0, 1, units::secs(6), units::secs(12))
         .len();
@@ -53,17 +60,19 @@ fn leader_crash_does_not_stop_stabilization() {
 
 #[test]
 fn failover_neither_loses_nor_duplicates_updates() {
-    let mut cfg = crash_config();
-    cfg.ops_per_client = Some(250);
-    cfg.duration = units::secs(25);
-    let n_dcs = cfg.n_dcs;
-    let mut cluster = build(SystemKind::EunomiaKv, cfg);
-    cluster.metrics.enable_apply_log();
-    let leader = cluster.replicas[0][0];
-    cluster.sim.crash_at(leader, units::secs(2));
-    cluster.sim.run_until(units::secs(25));
+    let sc = crash_scenario(ReplicaCrash {
+        dc: 0,
+        replica: 0,
+        at: units::secs(2),
+    })
+    .with(|cfg| {
+        cfg.ops_per_client = Some(250);
+        cfg.duration = units::secs(25);
+        cfg.apply_log = true;
+    });
+    let n_dcs = sc.cfg().n_dcs;
+    let log = run(SystemId::EunomiaKv, &sc).metrics.apply_log();
 
-    let log = cluster.metrics.apply_log();
     // Exactly-once landing per destination for every update.
     let mut count: HashMap<(u16, u64, u64, u16), u32> = HashMap::new();
     for rec in &log {
@@ -92,12 +101,14 @@ fn failover_neither_loses_nor_duplicates_updates() {
 
 #[test]
 fn crash_of_a_follower_is_invisible() {
-    let mut cluster = build(SystemKind::EunomiaKv, crash_config());
     // Crash dc0's replica 2 (a follower) early.
-    let follower = cluster.replicas[0][2];
-    cluster.sim.crash_at(follower, units::secs(2));
-    cluster.sim.run_until(units::secs(12));
-    let after = cluster
+    let sc = crash_scenario(ReplicaCrash {
+        dc: 0,
+        replica: 2,
+        at: units::secs(2),
+    });
+    let report = run(SystemId::EunomiaKv, &sc);
+    let after = report
         .metrics
         .visibility_extras(0, 1, units::secs(3), units::secs(12));
     assert!(

@@ -1,20 +1,22 @@
 //! The paper's headline comparative claims, asserted as tests on scaled-
 //! down runs. These check *shapes* (orderings, floors, factors), never
-//! absolute numbers.
+//! absolute numbers. All six systems run through the one
+//! `run(SystemId, &Scenario)` entry point.
 
-use eunomia::baselines::{gs, seq};
-use eunomia::geo::{run_system, ClusterConfig, SystemKind};
 use eunomia::sim::units;
+use eunomia::{run, Scenario, SystemId};
 use eunomia_workload::WorkloadConfig;
 
-fn quick(seed: u64, read_pct: u8) -> ClusterConfig {
-    let mut cfg = ClusterConfig::default();
-    cfg.duration = units::secs(12);
-    cfg.warmup = units::secs(2);
-    cfg.cooldown = units::secs(1);
-    cfg.seed = seed;
-    cfg.workload = WorkloadConfig::paper(read_pct, false);
-    cfg
+fn quick(seed: u64, read_pct: u8) -> Scenario {
+    Scenario::paper_three_dc()
+        .named(format!("quick-{seed}-{read_pct}"))
+        .seed(seed)
+        .workload(WorkloadConfig::paper(read_pct, false))
+        .with(|cfg| {
+            cfg.duration = units::secs(12);
+            cfg.warmup = units::secs(2);
+            cfg.cooldown = units::secs(1);
+        })
 }
 
 /// §7.2.1: EunomiaKV's throughput is comparable to eventual consistency,
@@ -22,10 +24,11 @@ fn quick(seed: u64, read_pct: u8) -> ClusterConfig {
 /// below GentleRain.
 #[test]
 fn throughput_ordering_matches_figure5() {
-    let ev = run_system(SystemKind::Eventual, quick(1, 90));
-    let eu = run_system(SystemKind::EunomiaKv, quick(1, 90));
-    let gr = gs::run(gs::StabilizationMode::Scalar, quick(1, 90));
-    let cu = gs::run(gs::StabilizationMode::Vector, quick(1, 90));
+    let sc = quick(1, 90);
+    let ev = run(SystemId::Eventual, &sc);
+    let eu = run(SystemId::EunomiaKv, &sc);
+    let gr = run(SystemId::GentleRain, &sc);
+    let cu = run(SystemId::Cure, &sc);
     assert!(
         eu.throughput > 0.90 * ev.throughput,
         "EunomiaKV must track eventual: {} vs {}",
@@ -51,10 +54,11 @@ fn throughput_ordering_matches_figure5() {
 /// the scalar).
 #[test]
 fn visibility_ordering_matches_figure6() {
-    let eu = run_system(SystemKind::EunomiaKv, quick(2, 90));
-    let gr = gs::run(gs::StabilizationMode::Scalar, quick(2, 90));
-    let cu = gs::run(gs::StabilizationMode::Vector, quick(2, 90));
-    let p90 = |r: &eunomia::geo::harness::RunReport| {
+    let sc = quick(2, 90);
+    let eu = run(SystemId::EunomiaKv, &sc);
+    let gr = run(SystemId::GentleRain, &sc);
+    let cu = run(SystemId::Cure, &sc);
+    let p90 = |r: &eunomia::RunReport| {
         r.visibility_percentile_ms(0, 1, 90.0)
             .expect("visibility samples")
     };
@@ -75,9 +79,10 @@ fn visibility_ordering_matches_figure6() {
 /// done off the critical path (A-Seq) costs almost nothing.
 #[test]
 fn sequencer_penalty_matches_figure1() {
-    let ev = run_system(SystemKind::Eventual, quick(3, 50));
-    let ss = seq::run(seq::SeqMode::Synchronous, quick(3, 50));
-    let aa = seq::run(seq::SeqMode::Asynchronous, quick(3, 50));
+    let sc = quick(3, 50);
+    let ev = run(SystemId::Eventual, &sc);
+    let ss = run(SystemId::SSeq, &sc);
+    let aa = run(SystemId::ASeq, &sc);
     let s_pen = 1.0 - ss.throughput / ev.throughput;
     let a_pen = 1.0 - aa.throughput / ev.throughput;
     assert!(s_pen > 0.05, "S-Seq penalty too small: {s_pen}");
@@ -97,16 +102,17 @@ fn sequencer_penalty_matches_figure1() {
 /// updates by roughly the straggling interval, and healing restores it.
 #[test]
 fn straggler_shifts_visibility_by_the_interval() {
-    let mut cfg = quick(4, 75);
-    cfg.duration = units::secs(15);
-    cfg.straggler = Some(eunomia::geo::config::StragglerConfig {
-        dc: 2,
-        partition: 0,
-        from: units::secs(5),
-        to: units::secs(10),
-        interval: units::ms(100),
+    let sc = quick(4, 75).with(|cfg| {
+        cfg.duration = units::secs(15);
+        cfg.straggler = Some(eunomia::geo::config::StragglerConfig {
+            dc: 2,
+            partition: 0,
+            from: units::secs(5),
+            to: units::secs(10),
+            interval: units::ms(100),
+        });
     });
-    let r = run_system(SystemKind::EunomiaKv, cfg);
+    let r = run(SystemId::EunomiaKv, &sc);
     let healthy = r
         .metrics
         .visibility_extras(2, 1, units::secs(1), units::secs(5));
@@ -137,13 +143,10 @@ fn straggler_shifts_visibility_by_the_interval() {
 /// Determinism across the whole zoo: identical seeds, identical results.
 #[test]
 fn all_systems_are_deterministic() {
-    let a = run_system(SystemKind::EunomiaKv, quick(5, 75));
-    let b = run_system(SystemKind::EunomiaKv, quick(5, 75));
-    assert_eq!(a.total_ops, b.total_ops);
-    let ga = gs::run(gs::StabilizationMode::Scalar, quick(5, 75));
-    let gb = gs::run(gs::StabilizationMode::Scalar, quick(5, 75));
-    assert_eq!(ga.total_ops, gb.total_ops);
-    let sa = seq::run(seq::SeqMode::Synchronous, quick(5, 75));
-    let sb = seq::run(seq::SeqMode::Synchronous, quick(5, 75));
-    assert_eq!(sa.total_ops, sb.total_ops);
+    let sc = quick(5, 75);
+    for id in [SystemId::EunomiaKv, SystemId::GentleRain, SystemId::SSeq] {
+        let a = run(id, &sc);
+        let b = run(id, &sc);
+        assert_eq!(a.total_ops, b.total_ops, "{id} not deterministic");
+    }
 }

@@ -1,39 +1,34 @@
 //! The partial-replication extension (the paper's §8 names it, Practi-
 //! style, as future work): data ships only to each key's replica set,
 //! metadata still flows everywhere so receivers can keep `SiteTime`
-//! advancing with metadata-only applies.
+//! advancing with metadata-only applies. Runs go through the
+//! `partial-replication` scenario preset and the unified `run` entry
+//! point.
 
-use eunomia::geo::cluster::build;
-use eunomia::geo::{ClusterConfig, SystemKind};
 use eunomia::kv::ring;
 use eunomia::kv::Key;
 use eunomia::sim::units;
-use eunomia_workload::WorkloadConfig;
+use eunomia::{run, Scenario, SystemId};
 use std::collections::{HashMap, HashSet};
 
-fn partial_cfg() -> ClusterConfig {
-    let mut cfg = ClusterConfig::default();
-    cfg.duration = units::secs(10);
-    cfg.replication_factor = Some(2);
-    cfg.workload = WorkloadConfig {
-        keys: 400,
-        read_pct: 50,
-        value_size: 16,
-        power_law: false,
-    };
-    cfg
+fn partial_scenario() -> Scenario {
+    // The preset already sets rf = 2, a bounded-friendly workload and the
+    // apply log; shorten it for the test.
+    Scenario::partial_replication(2).with(|cfg| {
+        cfg.duration = units::secs(10);
+        cfg.warmup = units::secs(2);
+        cfg.cooldown = units::secs(1);
+    })
 }
 
 #[test]
 fn data_lands_exactly_on_replica_sets() {
-    let mut cfg = partial_cfg();
-    cfg.ops_per_client = Some(250);
-    cfg.duration = units::secs(25);
-    let n_dcs = cfg.n_dcs;
-    let mut cluster = build(SystemKind::EunomiaKv, cfg);
-    cluster.metrics.enable_apply_log();
-    cluster.sim.run_until(units::secs(25));
-    let log = cluster.metrics.apply_log();
+    let sc = partial_scenario().with(|cfg| {
+        cfg.ops_per_client = Some(250);
+        cfg.duration = units::secs(25);
+    });
+    let n_dcs = sc.cfg().n_dcs;
+    let log = run(SystemId::EunomiaKv, &sc).metrics.apply_log();
     assert!(!log.is_empty());
 
     // (a) No update ever lands at a datacenter outside its replica set.
@@ -66,10 +61,9 @@ fn data_lands_exactly_on_replica_sets() {
 
 #[test]
 fn per_origin_apply_order_holds_under_partial_replication() {
-    let mut cluster = build(SystemKind::EunomiaKv, partial_cfg());
-    cluster.metrics.enable_apply_log();
-    cluster.sim.run_until(units::secs(10));
-    let log = cluster.metrics.apply_log();
+    let log = run(SystemId::EunomiaKv, &partial_scenario())
+        .metrics
+        .apply_log();
     // Remote applies from each origin at each destination stay in
     // timestamp order even though some of the origin's stream is skipped
     // (metadata-only) at this destination.
@@ -99,16 +93,15 @@ fn partial_replication_ships_less_data() {
     // Count remote landings: rf=2 means each update lands at 1 remote DC
     // instead of 2 — data-path traffic drops by half.
     let count_remote = |rf: Option<usize>| {
-        let mut cfg = partial_cfg();
-        cfg.replication_factor = rf;
-        // Bounded workload + drain time so every landing happens in-run
-        // (the faithful Alg. 5 receiver backlogs under sustained 50:50).
-        cfg.ops_per_client = Some(150);
-        cfg.duration = units::secs(30);
-        let mut cluster = build(SystemKind::EunomiaKv, cfg);
-        cluster.metrics.enable_apply_log();
-        cluster.sim.run_until(units::secs(30));
-        let log = cluster.metrics.apply_log();
+        let sc = partial_scenario().with(|cfg| {
+            cfg.replication_factor = rf;
+            // Bounded workload + drain time so every landing happens
+            // in-run (the faithful Alg. 5 receiver backlogs under
+            // sustained 50:50).
+            cfg.ops_per_client = Some(150);
+            cfg.duration = units::secs(30);
+        });
+        let log = run(SystemId::EunomiaKv, &sc).metrics.apply_log();
         let total_updates = log.iter().filter(|r| r.origin == r.dest).count() as f64;
         let remote = log.iter().filter(|r| r.origin != r.dest).count() as f64;
         remote / total_updates

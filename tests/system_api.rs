@@ -1,0 +1,86 @@
+//! Contract tests for the unified `SystemId` + `Scenario` run API: name
+//! round-trips, builder validation, and a deterministic smoke run of all
+//! six systems under the small-test scenario.
+
+use eunomia::sim::units;
+use eunomia::{run, ClusterConfigBuilder, ConfigError, Scenario, SystemId};
+
+#[test]
+fn system_id_display_from_str_round_trips() {
+    for id in SystemId::all() {
+        let rendered = id.to_string();
+        let parsed: SystemId = rendered.parse().unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(parsed, id, "{rendered} did not round-trip");
+        // Parsing is case-insensitive and separator-insensitive.
+        assert_eq!(rendered.to_uppercase().parse::<SystemId>().unwrap(), id);
+        assert_eq!(rendered.replace('-', "_").parse::<SystemId>().unwrap(), id);
+    }
+    assert_eq!(SystemId::all().len(), 6);
+    assert!("not-a-system".parse::<SystemId>().is_err());
+}
+
+#[test]
+fn builder_validation_rejects_bad_configs() {
+    // warmup >= duration.
+    let err = ClusterConfigBuilder::new()
+        .duration(units::secs(5))
+        .warmup(units::secs(5))
+        .cooldown(0)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ConfigError::WindowEmpty { .. }), "{err}");
+
+    // Non-square RTT matrix.
+    let err = ClusterConfigBuilder::new()
+        .n_dcs(3)
+        .rtt_matrix(Some(vec![vec![0, 1], vec![1, 0]]))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ConfigError::RttMatrixShape { .. }), "{err}");
+
+    // replicas = 0.
+    let err = ClusterConfigBuilder::new().replicas(0).build().unwrap_err();
+    assert_eq!(err, ConfigError::Zero("replicas"));
+
+    // Scenario construction enforces the same rules.
+    let mut cfg = Scenario::small_test().cfg().clone();
+    cfg.partitions_per_dc = 0;
+    assert!(Scenario::custom("broken", cfg).is_err());
+}
+
+#[test]
+fn every_system_smokes_deterministically_on_small_test() {
+    let scenario = Scenario::small_test();
+    for id in SystemId::all() {
+        let a = run(id, &scenario);
+        assert!(
+            a.total_ops > 100,
+            "{id} completed only {} ops on small-test",
+            a.total_ops
+        );
+        assert_eq!(a.system, id.label());
+        assert!(a.throughput > 0.0, "{id} reports zero throughput");
+        let b = run(id, &scenario);
+        assert_eq!(
+            a.total_ops, b.total_ops,
+            "{id} is not deterministic per seed"
+        );
+        if id.is_causal() {
+            assert!(
+                !a.metrics.visibility_extras(0, 1, 0, u64::MAX).is_empty(),
+                "{id} recorded no remote visibility"
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_change_the_run() {
+    let a = run(SystemId::EunomiaKv, &Scenario::small_test().seed(1));
+    let b = run(SystemId::EunomiaKv, &Scenario::small_test().seed(2));
+    assert_ne!(
+        (a.total_ops, a.throughput.to_bits()),
+        (b.total_ops, b.throughput.to_bits()),
+        "seed must influence the run"
+    );
+}

@@ -1,0 +1,262 @@
+//! Minimal vendored shim of the `proptest` API surface used by this
+//! workspace: the `proptest!` test macro, `prop_assert!` /
+//! `prop_assert_eq!`, range / tuple / `collection::vec` / `bool::ANY`
+//! strategies.
+//!
+//! The build container has no crates.io access, so this crate stands in
+//! for the real `proptest`. Semantics: each property runs a fixed number
+//! of deterministically seeded random cases (no shrinking — a failing
+//! case prints its panic message directly). Case count defaults to 64 and
+//! can be raised with the `PROPTEST_CASES` environment variable.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A generator of random test inputs.
+///
+/// Unlike real proptest there is no value tree or shrinking: a strategy
+/// simply samples a value from an RNG.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+    /// Samples one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+    )+};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategies!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Boolean strategies.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Uniform `true` / `false`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The strategy producing uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rand::Rng::random(rng)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors whose length is drawn from `size`
+    /// and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.size.min + 1 >= self.size.max {
+                self.size.min
+            } else {
+                rand::Rng::random_range(rng, self.size.min..self.size.max)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` block needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Number of random cases each property runs (`PROPTEST_CASES`
+/// environment variable, default 64).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test, per-case RNG: seeded from the test's name and
+/// the case index so every run explores the same inputs.
+pub fn test_rng(test_name: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs a property as a set of deterministically seeded random cases.
+///
+/// Supported form (one or more functions per block):
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(0u8..5, 1..20)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::cases();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_rng(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` under a name the property bodies use.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a name the property bodies use.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a name the property bodies use.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vectors_sample_in_bounds(
+            x in 1u64..50,
+            signed in -10i64..10,
+            flags in crate::collection::vec(crate::bool::ANY, 3),
+            pairs in crate::collection::vec((0u8..5, 0u16..200), 1..40),
+        ) {
+            prop_assert!((1..50).contains(&x));
+            prop_assert!((-10..10).contains(&signed));
+            prop_assert_eq!(flags.len(), 3);
+            prop_assert!(!pairs.is_empty() && pairs.len() < 40);
+            for (a, b) in pairs {
+                prop_assert!(a < 5 && b < 200);
+            }
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_test_and_case() {
+        let s = 0u64..1000;
+        let a = s.generate(&mut crate::test_rng("t", 3));
+        let b = s.generate(&mut crate::test_rng("t", 3));
+        let c = s.generate(&mut crate::test_rng("t", 4));
+        assert_eq!(a, b);
+        let d = s.generate(&mut crate::test_rng("other", 3));
+        // Different case or name gives an independent draw (may collide,
+        // but not both).
+        assert!(a != c || a != d);
+    }
+}
