@@ -485,7 +485,7 @@ pub fn build(
 pub(crate) fn run(mode: SeqMode, cfg: ClusterConfig) -> RunReport {
     let (mut sim, metrics, cfg) = build(mode, cfg);
     sim.run_until(cfg.duration);
-    make_report(mode.label(), &metrics, &cfg)
+    make_report(mode.label(), &metrics, &cfg, sim.stats())
 }
 
 #[cfg(test)]

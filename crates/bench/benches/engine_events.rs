@@ -1,0 +1,182 @@
+//! Raw discrete-event engine throughput, isolated from any protocol: how
+//! many handler invocations per second the dispatch hot path sustains.
+//!
+//! Three shapes bracket the engine's regimes:
+//!
+//! * `ring` — every arrival finds an idle process (pure direct-delivery
+//!   path, no queueing);
+//! * `busy_server` — a slow server with a deep queue (the
+//!   Dispatch-rescheduling path);
+//! * `timer_churn` — processes that continually arm and cancel timers
+//!   (the generation-table path).
+//!
+//! Run with: `cargo bench -p eunomia-bench --bench engine_events`
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eunomia_sim::{units, Context, Process, ProcessId, Simulation, Topology};
+
+/// Token-passing ring: each message immediately triggers the next hop.
+struct RingNode {
+    next: ProcessId,
+    start: bool,
+}
+
+impl Process<u64> for RingNode {
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        if self.start {
+            ctx.send(self.next, 0);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: ProcessId, n: u64) {
+        ctx.send(self.next, n + 1);
+    }
+}
+
+fn ring_sim(nodes: u32) -> Simulation<u64> {
+    let mut sim = Simulation::new(Topology::single_region(nodes as usize, units::us(10), 0), 7);
+    let pids: Vec<ProcessId> = (0..nodes).map(ProcessId).collect();
+    for i in 0..nodes {
+        let next = pids[((i + 1) % nodes) as usize];
+        sim.add_process(
+            0,
+            Box::new(RingNode {
+                next,
+                start: i == 0,
+            }),
+        );
+    }
+    sim
+}
+
+struct SlowServer;
+
+impl Process<u64> for SlowServer {
+    fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: ProcessId, _msg: u64) {
+        ctx.consume(units::us(2));
+    }
+}
+
+struct Blaster {
+    server: ProcessId,
+    per_tick: u64,
+    ticks: u64,
+}
+
+impl Process<u64> for Blaster {
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        ctx.set_timer(units::us(50), 0);
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, u64>, _from: ProcessId, _msg: u64) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, u64>, _tag: u64) {
+        for i in 0..self.per_tick {
+            ctx.send(self.server, i);
+        }
+        self.ticks -= 1;
+        if self.ticks > 0 {
+            ctx.set_timer(units::us(50), 0);
+        }
+    }
+}
+
+fn busy_sim() -> Simulation<u64> {
+    let mut sim = Simulation::new(Topology::single_region(2, units::us(5), 0), 9);
+    let server = sim.add_process(0, Box::new(SlowServer));
+    sim.add_process(
+        0,
+        Box::new(Blaster {
+            server,
+            per_tick: 40,
+            ticks: 500,
+        }),
+    );
+    sim
+}
+
+/// Arms two timers per firing and cancels one — every firing exercises
+/// both the retire-on-fire and retire-on-cancel generation paths.
+struct TimerChurner {
+    pending: u64,
+    remaining: u64,
+}
+
+impl Process<u64> for TimerChurner {
+    fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+        self.pending = ctx.set_timer(units::us(20), 1);
+        ctx.set_timer(units::us(10), 0);
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, u64>, _from: ProcessId, _msg: u64) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, u64>, tag: u64) {
+        assert_eq!(tag, 0, "the cancelled timer must never fire");
+        ctx.cancel_timer(self.pending);
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            self.pending = ctx.set_timer(units::us(20), 1);
+            ctx.set_timer(units::us(10), 0);
+        }
+    }
+}
+
+fn churn_sim(procs: u32) -> Simulation<u64> {
+    let mut sim = Simulation::new(Topology::single_region(procs as usize, 0, 0), 11);
+    for _ in 0..procs {
+        sim.add_process(
+            0,
+            Box::new(TimerChurner {
+                pending: 0,
+                remaining: 5_000,
+            }),
+        );
+    }
+    sim
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_events");
+
+    let events = {
+        let mut sim = ring_sim(64);
+        sim.run_until(units::secs(1));
+        sim.events_processed()
+    };
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("ring64", |b| {
+        b.iter(|| {
+            let mut sim = ring_sim(64);
+            sim.run_until(units::secs(1));
+            sim.events_processed()
+        })
+    });
+
+    let events = {
+        let mut sim = busy_sim();
+        sim.run_until(units::secs(1));
+        sim.events_processed()
+    };
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("busy_server", |b| {
+        b.iter(|| {
+            let mut sim = busy_sim();
+            sim.run_until(units::secs(1));
+            sim.events_processed()
+        })
+    });
+
+    let events = {
+        let mut sim = churn_sim(16);
+        sim.run_until(units::secs(1));
+        sim.events_processed()
+    };
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("timer_churn", |b| {
+        b.iter(|| {
+            let mut sim = churn_sim(16);
+            sim.run_until(units::secs(1));
+            sim.events_processed()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

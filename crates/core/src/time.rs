@@ -209,6 +209,24 @@ impl Hlc {
     }
 }
 
+/// Datacenter counts up to this stay inline in a [`VectorTime`] (no heap
+/// allocation); larger deployments spill to a `Vec`. The paper's 3-DC
+/// deployment fits inline, which matters because vector times ride on
+/// every client-path message — with the old `Vec` representation each
+/// clone was a malloc/free pair on the simulator's hot path. Kept at 4
+/// so the message enum stays compact; wider deployments (wide-5dc,
+/// massive) pay the same heap vector they always did.
+const INLINE_DCS: usize = 4;
+
+#[derive(Clone, Debug)]
+enum VtRepr {
+    Inline {
+        len: u8,
+        entries: [Timestamp; INLINE_DCS],
+    },
+    Heap(Vec<Timestamp>),
+}
+
 /// A vector time with one [`Timestamp`] entry per datacenter (§4).
 ///
 /// Entry `m` carries the causal dependency on datacenter `m`'s update
@@ -216,44 +234,97 @@ impl Hlc {
 /// single scalar would introduce, which is what lets EunomiaKV reach the
 /// optimal remote-visibility lower bound (latency from the *originating*
 /// datacenter rather than the farthest one).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
-pub struct VectorTime(Vec<Timestamp>);
+///
+/// Stored inline (copy, no allocation) for up to `INLINE_DCS` (4)
+/// datacenters; equality and hashing are over the logical entries, so
+/// representation never leaks.
+#[derive(Clone, Debug)]
+pub struct VectorTime(VtRepr);
+
+impl Default for VectorTime {
+    fn default() -> Self {
+        VectorTime(VtRepr::Inline {
+            len: 0,
+            entries: [Timestamp::ZERO; INLINE_DCS],
+        })
+    }
+}
+
+impl PartialEq for VectorTime {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for VectorTime {}
+
+impl std::hash::Hash for VectorTime {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
 
 impl VectorTime {
     /// The zero vector over `m` datacenters.
     pub fn new(m: usize) -> Self {
-        VectorTime(vec![Timestamp::ZERO; m])
+        if m <= INLINE_DCS {
+            VectorTime(VtRepr::Inline {
+                len: m as u8,
+                entries: [Timestamp::ZERO; INLINE_DCS],
+            })
+        } else {
+            VectorTime(VtRepr::Heap(vec![Timestamp::ZERO; m]))
+        }
     }
 
     /// Builds from raw tick entries.
     pub fn from_ticks(entries: &[u64]) -> Self {
-        VectorTime(entries.iter().map(|&e| Timestamp(e)).collect())
+        let mut vt = VectorTime::new(entries.len());
+        for (slot, &e) in vt.as_mut_slice().iter_mut().zip(entries.iter()) {
+            *slot = Timestamp(e);
+        }
+        vt
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[Timestamp] {
+        match &self.0 {
+            VtRepr::Inline { len, entries } => &entries[..*len as usize],
+            VtRepr::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [Timestamp] {
+        match &mut self.0 {
+            VtRepr::Inline { len, entries } => &mut entries[..*len as usize],
+            VtRepr::Heap(v) => v,
+        }
     }
 
     /// Number of entries (datacenters).
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.as_slice().len()
     }
 
     /// Whether the vector has no entries.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.as_slice().is_empty()
     }
 
     /// Entry for datacenter `dc`.
     pub fn get(&self, dc: crate::ids::DcId) -> Timestamp {
-        self.0[dc.index()]
+        self.as_slice()[dc.index()]
     }
 
     /// Sets the entry for datacenter `dc`.
     pub fn set(&mut self, dc: crate::ids::DcId, ts: Timestamp) {
-        self.0[dc.index()] = ts;
+        self.as_mut_slice()[dc.index()] = ts;
     }
 
     /// Pointwise maximum with `other` (client read rule of §4).
     pub fn merge_max(&mut self, other: &VectorTime) {
-        debug_assert_eq!(self.0.len(), other.0.len());
-        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+        debug_assert_eq!(self.len(), other.len());
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
             *a = (*a).max(*b);
         }
     }
@@ -261,42 +332,49 @@ impl VectorTime {
     /// Whether every entry of `self` is `>=` the matching entry of `other`
     /// (i.e. `other`'s dependencies are covered by `self`).
     pub fn dominates(&self, other: &VectorTime) -> bool {
-        debug_assert_eq!(self.0.len(), other.0.len());
-        self.0.iter().zip(other.0.iter()).all(|(a, b)| a >= b)
+        debug_assert_eq!(self.len(), other.len());
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .all(|(a, b)| a >= b)
     }
 
     /// Whether `self` covers `other` on every entry except the ones in
     /// `skip` — the receiver's dependency check of Algorithm 5 line 12,
     /// which exempts the local datacenter and the update's origin.
     pub fn dominates_except(&self, other: &VectorTime, skip: &[crate::ids::DcId]) -> bool {
-        debug_assert_eq!(self.0.len(), other.0.len());
-        self.0
+        debug_assert_eq!(self.len(), other.len());
+        self.as_slice()
             .iter()
-            .zip(other.0.iter())
+            .zip(other.as_slice())
             .enumerate()
             .all(|(i, (a, b))| skip.iter().any(|dc| dc.index() == i) || a >= b)
     }
 
     /// Minimum entry (used by scalar global-stabilization baselines).
     pub fn min_entry(&self) -> Timestamp {
-        self.0.iter().copied().min().unwrap_or(Timestamp::ZERO)
+        self.as_slice()
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(Timestamp::ZERO)
     }
 
     /// Iterates over entries.
     pub fn iter(&self) -> impl Iterator<Item = Timestamp> + '_ {
-        self.0.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// Raw tick entries.
     pub fn as_ticks(&self) -> Vec<u64> {
-        self.0.iter().map(|t| t.0).collect()
+        self.as_slice().iter().map(|t| t.0).collect()
     }
 }
 
 impl fmt::Display for VectorTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, t) in self.0.iter().enumerate() {
+        for (i, t) in self.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }

@@ -251,7 +251,7 @@ impl ClusterConfig {
                     m.clone(),
                     self.intra_oneway,
                     self.jitter,
-                ))
+                )?)
             }
             None => {
                 if self.n_dcs != 3 {
@@ -492,6 +492,15 @@ pub enum ConfigError {
         /// Configured run duration.
         duration: SimTime,
     },
+    /// The simulator rejected the RTT matrix (surfaced through
+    /// `ConfigError` so every construction path reports one error type).
+    Topology(eunomia_sim::TopologyError),
+}
+
+impl From<eunomia_sim::TopologyError> for ConfigError {
+    fn from(e: eunomia_sim::TopologyError) -> Self {
+        ConfigError::Topology(e)
+    }
 }
 
 impl fmt::Display for ConfigError {
@@ -546,6 +555,7 @@ impl fmt::Display for ConfigError {
                 "{what} starts at {at} but the run ends at {duration}: \
                  the fault would never fire"
             ),
+            ConfigError::Topology(e) => write!(f, "{e}"),
         }
     }
 }

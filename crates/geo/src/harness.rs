@@ -7,7 +7,7 @@
 
 use crate::config::ClusterConfig;
 use crate::metrics::GeoMetrics;
-use eunomia_sim::{units, SimTime};
+use eunomia_sim::{units, EngineStats, SimTime};
 
 /// Summary of one simulated run.
 #[derive(Clone, Debug)]
@@ -27,6 +27,9 @@ pub struct RunReport {
     pub metrics: GeoMetrics,
     /// Measurement window used.
     pub window: (SimTime, SimTime),
+    /// Raw engine counters for the run (event counts are deterministic
+    /// per seed; `wall_ns` is real elapsed time and is not).
+    pub engine: EngineStats,
 }
 
 impl RunReport {
@@ -55,7 +58,12 @@ impl RunReport {
 /// Builds a [`RunReport`] from a finished run's metrics — used by the
 /// native dispatcher and by the baseline systems in `eunomia-baselines`,
 /// which share the metrics sink and configuration types.
-pub fn make_report(system: &str, metrics: &GeoMetrics, cfg: &ClusterConfig) -> RunReport {
+pub fn make_report(
+    system: &str,
+    metrics: &GeoMetrics,
+    cfg: &ClusterConfig,
+    engine: EngineStats,
+) -> RunReport {
     let (from, to) = cfg.measure_window();
     let metrics = metrics.clone();
     let (p50, p99) = metrics.with(|m| {
@@ -72,6 +80,7 @@ pub fn make_report(system: &str, metrics: &GeoMetrics, cfg: &ClusterConfig) -> R
         p99_latency_ms: units::to_ms(p99),
         metrics,
         window: (from, to),
+        engine,
     }
 }
 

@@ -54,6 +54,7 @@ pub mod table;
 pub use config::{
     ClusterConfig, ClusterConfigBuilder, ConfigError, CostModel, ReplicaCrash, StragglerConfig,
 };
+pub use eunomia_sim::EngineStats;
 pub use harness::RunReport;
 pub use metrics::GeoMetrics;
 pub use msg::Msg;

@@ -3,7 +3,7 @@
 //!
 //! A [`Scenario`] is a validated [`ClusterConfig`] with a name — the unit
 //! every figure harness, example and integration test feeds to
-//! [`run`](crate::run). Presets cover the deployments the paper (and
+//! [`run`]. Presets cover the deployments the paper (and
 //! this reproduction's extensions) use; [`Scenario::with`] derives
 //! variants for parameter sweeps while keeping validation on.
 //!
@@ -110,10 +110,10 @@ impl Scenario {
     /// stored at only `rf` of the 3 datacenters, bounded workload so the
     /// run quiesces, apply log on for landing analysis.
     ///
-    /// # Panics
-    /// Panics unless `1 <= rf <= 3` — the preset is parameterized, so it
-    /// validates like every other construction path.
-    pub fn partial_replication(rf: usize) -> Scenario {
+    /// Returns [`ConfigError::ReplicationFactor`] unless `1 <= rf <= 3`
+    /// — the preset is parameterized, so it validates like every other
+    /// construction path instead of panicking mid-sweep.
+    pub fn partial_replication(rf: usize) -> Result<Scenario, ConfigError> {
         let cfg = ClusterConfig {
             replication_factor: Some(rf),
             apply_log: true,
@@ -126,7 +126,50 @@ impl Scenario {
             ..ClusterConfig::default()
         };
         Scenario::custom(format!("partial-rf{rf}"), cfg)
-            .unwrap_or_else(|e| panic!("partial_replication({rf}): {e}"))
+    }
+
+    /// The scale stress-test the pre-refactor engine could not afford: 8
+    /// datacenters on a distance-graded RTT matrix (50–230 ms), 64
+    /// partitions and 8 clients per DC, a million-key zipfian workload,
+    /// 10 simulated seconds. Exercises the flat per-process-pair link
+    /// table and the zero-alloc dispatch path at ~600 processes.
+    pub fn massive() -> Scenario {
+        let n = 8;
+        let ms = units::ms(1);
+        let rtts: Vec<Vec<u64>> = (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|b| {
+                        let d = (a as i64 - b as i64).unsigned_abs();
+                        if d == 0 {
+                            0
+                        } else {
+                            (20 + 30 * d) * ms
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let cfg = ClusterConfig {
+            n_dcs: n,
+            rtt_matrix: Some(rtts),
+            partitions_per_dc: 64,
+            clients_per_dc: 8,
+            duration: units::secs(10),
+            warmup: units::secs(2),
+            cooldown: units::secs(1),
+            workload: WorkloadConfig {
+                keys: 1_000_000,
+                read_pct: 90,
+                value_size: 64,
+                power_law: true,
+            },
+            ..ClusterConfig::default()
+        };
+        Scenario {
+            name: "massive".into(),
+            cfg,
+        }
     }
 
     /// Every named preset (with representative parameters) — what
@@ -137,7 +180,8 @@ impl Scenario {
             Scenario::small_test(),
             Scenario::wide_five_dc(),
             Scenario::straggler(units::ms(100)),
-            Scenario::partial_replication(2),
+            Scenario::partial_replication(2).expect("rf 2 of 3 DCs is valid"),
+            Scenario::massive(),
         ]
     }
 
@@ -216,7 +260,7 @@ pub struct SweepCell {
     pub report: RunReport,
 }
 
-/// Runs a `[system x scenario]` grid through [`run`](crate::run).
+/// Runs a `[system x scenario]` grid through [`run`].
 ///
 /// ```no_run
 /// use eunomia_geo::{Scenario, Sweep, SystemId};
@@ -263,7 +307,7 @@ impl Sweep {
     /// Panics if the sweep has no scenarios, if two scenarios share a
     /// name (results are keyed by name — rename variants with
     /// [`Scenario::named`]), or if a baseline system has no registered
-    /// runner (see [`run`](crate::run)).
+    /// runner (see [`run`]).
     pub fn run(&self) -> SweepResults {
         assert!(!self.scenarios.is_empty(), "sweep has no scenarios");
         for (i, a) in self.scenarios.iter().enumerate() {
@@ -474,9 +518,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "partial_replication(0)")]
     fn parameterized_preset_validates() {
-        Scenario::partial_replication(0);
+        let err = Scenario::partial_replication(0).unwrap_err();
+        assert!(
+            matches!(err, ConfigError::ReplicationFactor { rf: 0, .. }),
+            "{err}"
+        );
+        let err = Scenario::partial_replication(4).unwrap_err();
+        assert!(
+            matches!(err, ConfigError::ReplicationFactor { rf: 4, .. }),
+            "{err}"
+        );
+        assert!(Scenario::partial_replication(2).is_ok());
     }
 
     #[test]

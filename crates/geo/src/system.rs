@@ -169,7 +169,8 @@ pub fn run(id: SystemId, scenario: &Scenario) -> RunReport {
         let mut cluster = build(id, cfg);
         let duration = cluster.cfg.duration;
         cluster.sim.run_until(duration);
-        return make_report(id.label(), &cluster.metrics, &cluster.cfg);
+        let engine = cluster.sim.stats();
+        return make_report(id.label(), &cluster.metrics, &cluster.cfg, engine);
     }
     let runner = runner_for(id).unwrap_or_else(|| {
         panic!(

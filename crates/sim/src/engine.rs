@@ -1,4 +1,33 @@
 //! The discrete-event engine: processes, messages, timers, queueing.
+//!
+//! # The dispatch hot path
+//!
+//! The engine pays O(log heap) per event and *no allocation* in the
+//! steady state:
+//!
+//! * **Direct delivery** — a message (or timer, or start) arriving at an
+//!   idle process runs its handler immediately instead of bouncing
+//!   through a separate `Dispatch` heap event. The Arrive→Dispatch
+//!   double-hop only remains for busy processes, where the dispatch time
+//!   (the server's `busy_until`) genuinely differs from the arrival time.
+//! * **Pooled scratch buffers** — the [`Context`] handed to handlers
+//!   borrows the simulation's reusable outbox/timer buffers
+//!   (`std::mem::take`d around the handler call), so sending messages and
+//!   arming timers allocates only until the high-water mark is reached.
+//! * **Flat link state** — the per-link FIFO clamp is a `Vec<SimTime>`
+//!   indexed by `from * nprocs + to`, sized once when the run starts; no
+//!   hashing on the routing path.
+//! * **Cached process tables** — `proc_nodes` (and the clock/region
+//!   tables) are maintained as processes are added, not re-collected per
+//!   dispatch.
+//! * **Timer generations** — timer ids encode a slot + generation pair in
+//!   a slab ([`TimerTable`]); cancellation bumps the generation in O(1)
+//!   and fired/cancelled slots are recycled, so long runs see no
+//!   unbounded growth (the old `HashSet<u64>` of cancelled ids leaked
+//!   every id cancelled after its timer had already fired).
+//!
+//! [`Simulation::stats`] exposes the engine counters ([`EngineStats`])
+//! that the geo harness threads into every `RunReport`.
 
 use crate::network::{NodeId, Topology};
 use crate::ClockModel;
@@ -45,30 +74,35 @@ enum Work<M> {
     Timer { tag: u64, id: u64 },
 }
 
-enum EventKind<M> {
-    Arrive { to: ProcessId, work: Work<M> },
+/// What a heap entry points at. Arrivals carry a message payload, so
+/// they live in the arrival slab and the heap holds only a slot index;
+/// Dispatch/Crash fit inline. Keeping `HeapEntry` at 24 bytes means heap
+/// sifts never move message payloads.
+#[derive(Clone, Copy)]
+enum Target {
+    Arrive { slot: u32 },
     Dispatch { to: ProcessId },
     Crash { pid: ProcessId },
 }
 
-struct Event<M> {
+struct HeapEntry {
     time: SimTime,
     seq: u64,
-    kind: EventKind<M>,
+    what: Target,
 }
 
-impl<M> PartialEq for Event<M> {
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.time == other.time && self.seq == other.seq
     }
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Event<M> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.time, self.seq).cmp(&(other.time, other.seq))
     }
@@ -81,6 +115,88 @@ struct Slot<M> {
     busy_until: SimTime,
     queue: VecDeque<Work<M>>,
     dispatch_scheduled: bool,
+}
+
+/// Slab of timer generations: a timer id packs `slot << 32 | generation`.
+///
+/// Arming allocates a slot (reusing freed ones); firing or cancelling
+/// *retires* the id by bumping the slot's generation and freeing the
+/// slot. A stale id — cancelled after firing, fired after cancelling, or
+/// double-cancelled — simply fails the generation check, so the table's
+/// size is bounded by the peak number of concurrently armed timers.
+#[derive(Debug, Default)]
+struct TimerTable {
+    gens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl TimerTable {
+    fn arm(&mut self) -> u64 {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.gens.push(0);
+                (self.gens.len() - 1) as u32
+            }
+        };
+        ((slot as u64) << 32) | self.gens[slot as usize] as u64
+    }
+
+    fn is_live(&self, id: u64) -> bool {
+        let slot = (id >> 32) as usize;
+        self.gens.get(slot).is_some_and(|&g| g == id as u32)
+    }
+
+    /// Retires a live id (fire or cancel); returns whether it was live.
+    fn retire(&mut self, id: u64) -> bool {
+        if !self.is_live(id) {
+            return false;
+        }
+        let slot = (id >> 32) as usize;
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        self.free.push(slot as u32);
+        true
+    }
+
+    /// Live (armed, not yet fired or cancelled) timer count.
+    fn live_count(&self) -> usize {
+        self.gens.len() - self.free.len()
+    }
+}
+
+/// Aggregate engine counters for one simulation run.
+///
+/// Returned by [`Simulation::stats`]; the geo harness copies it into
+/// every `RunReport` so benchmarks can report raw engine throughput.
+/// All fields except `wall_ns` are deterministic for a fixed seed;
+/// `wall_ns` is real elapsed time and varies run to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Handler invocations (starts, delivered messages, fired timers).
+    pub events: u64,
+    /// Messages routed through the network model.
+    pub messages_routed: u64,
+    /// Timers armed and actually scheduled (set-then-cancelled timers
+    /// that never reached the heap are excluded).
+    pub timers_set: u64,
+    /// Arrivals run directly at an idle process, skipping the Dispatch
+    /// heap round-trip.
+    pub direct_deliveries: u64,
+    /// Peak event-heap length.
+    pub heap_peak: usize,
+    /// Wall-clock nanoseconds spent inside `run_until` (accumulated
+    /// across calls). Not deterministic.
+    pub wall_ns: u64,
+}
+
+impl EngineStats {
+    /// Events per wall-clock second (0 if no wall time was recorded).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.events as f64 / (self.wall_ns as f64 / 1e9)
+    }
 }
 
 /// Handler-side view of the simulation.
@@ -96,13 +212,12 @@ pub struct Context<'a, M> {
     consumed: SimTime,
     outbox: Vec<(ProcessId, M, SimTime)>,
     timers: Vec<(SimTime, u64, u64)>,
-    cancels: Vec<u64>,
     clocks: &'a [ClockModel],
     node_regions: &'a [usize],
     proc_nodes: &'a [NodeId],
     rng: &'a mut StdRng,
     topology: &'a Topology,
-    next_timer_id: &'a mut u64,
+    timer_table: &'a mut TimerTable,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -154,15 +269,14 @@ impl<'a, M> Context<'a, M> {
     /// distinguishes timer purposes. Returns an id usable with
     /// [`Context::cancel_timer`].
     pub fn set_timer(&mut self, delay: SimTime, tag: u64) -> u64 {
-        let id = *self.next_timer_id;
-        *self.next_timer_id += 1;
+        let id = self.timer_table.arm();
         self.timers.push((delay, tag, id));
         id
     }
 
     /// Cancels a previously armed timer (no-op if already fired).
     pub fn cancel_timer(&mut self, id: u64) {
-        self.cancels.push(id);
+        self.timer_table.retire(id);
     }
 
     /// Deterministic per-simulation RNG.
@@ -180,18 +294,41 @@ impl<'a, M> Context<'a, M> {
 
 /// The discrete-event simulation over messages of type `M`.
 pub struct Simulation<M> {
-    heap: BinaryHeap<Reverse<Event<M>>>,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    /// Arrival payload slab, indexed by `Target::Arrive::slot`; slots are
+    /// recycled through `free_arrivals` so steady-state scheduling
+    /// allocates nothing.
+    arrivals: Vec<Option<(ProcessId, Work<M>)>>,
+    free_arrivals: Vec<u32>,
     seq: u64,
     now: SimTime,
     slots: Vec<Slot<M>>,
     nodes: Vec<ClockModel>,
     node_regions: Vec<usize>,
+    /// Node of each process, maintained as processes are added (never
+    /// re-collected on the dispatch path).
+    proc_nodes: Vec<NodeId>,
+    /// Region of each process (derived from `proc_nodes`, cached for the
+    /// routing path).
+    proc_regions: Vec<usize>,
     topology: Topology,
     rng: StdRng,
-    link_last: std::collections::HashMap<(u32, u32), SimTime>,
-    cancelled: std::collections::HashSet<u64>,
-    next_timer_id: u64,
-    events_processed: u64,
+    /// Last delivery time per ordered `(from, to)` process pair, indexed
+    /// `from * nprocs + to`; sized when the run starts.
+    link_last: Vec<SimTime>,
+    /// Base one-way latency per ordered region pair, indexed
+    /// `from_region * nregions + to_region`; flattened from the topology
+    /// when the run starts so routing never chases nested Vecs.
+    oneway_base: Vec<SimTime>,
+    /// Cached `topology.jitter()`.
+    jitter: SimTime,
+    /// Cached `topology.regions()`.
+    nregions: usize,
+    timer_table: TimerTable,
+    /// Pooled scratch buffers lent to `Context` around each handler call.
+    scratch_outbox: Vec<(ProcessId, M, SimTime)>,
+    scratch_timers: Vec<(SimTime, u64, u64)>,
+    stats: EngineStats,
     started: bool,
 }
 
@@ -200,17 +337,25 @@ impl<M> Simulation<M> {
     pub fn new(topology: Topology, seed: u64) -> Self {
         Simulation {
             heap: BinaryHeap::new(),
+            arrivals: Vec::new(),
+            free_arrivals: Vec::new(),
             seq: 0,
             now: 0,
             slots: Vec::new(),
             nodes: Vec::new(),
             node_regions: Vec::new(),
+            proc_nodes: Vec::new(),
+            proc_regions: Vec::new(),
             topology,
             rng: StdRng::seed_from_u64(seed),
-            link_last: std::collections::HashMap::new(),
-            cancelled: std::collections::HashSet::new(),
-            next_timer_id: 0,
-            events_processed: 0,
+            link_last: Vec::new(),
+            oneway_base: Vec::new(),
+            jitter: 0,
+            nregions: 0,
+            timer_table: TimerTable::default(),
+            scratch_outbox: Vec::new(),
+            scratch_timers: Vec::new(),
+            stats: EngineStats::default(),
             started: false,
         }
     }
@@ -254,18 +399,15 @@ impl<M> Simulation<M> {
             queue: VecDeque::new(),
             dispatch_scheduled: false,
         });
+        self.proc_nodes.push(node);
+        self.proc_regions.push(self.node_regions[node.index()]);
         pid
     }
 
     /// Schedules `pid` to crash at `time`: it stops handling anything and
     /// all its queued and future work is dropped.
     pub fn crash_at(&mut self, pid: ProcessId, time: SimTime) {
-        let seq = self.bump_seq();
-        self.heap.push(Reverse(Event {
-            time,
-            seq,
-            kind: EventKind::Crash { pid },
-        }));
+        self.push_entry(time, Target::Crash { pid });
     }
 
     /// Whether `pid` has crashed.
@@ -280,7 +422,19 @@ impl<M> Simulation<M> {
 
     /// Total handler invocations so far.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.stats.events
+    }
+
+    /// Engine counters for this run so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Currently armed (not yet fired or cancelled) timers. Bounded by
+    /// the protocols' live timer needs — the cancellation bookkeeping
+    /// itself holds no per-cancel state (see [`EngineStats`]).
+    pub fn live_timers(&self) -> usize {
+        self.timer_table.live_count()
     }
 
     /// The topology.
@@ -288,9 +442,32 @@ impl<M> Simulation<M> {
         &self.topology
     }
 
-    fn bump_seq(&mut self) -> u64 {
+    #[inline]
+    fn push_entry(&mut self, time: SimTime, what: Target) {
         self.seq += 1;
-        self.seq
+        self.heap.push(Reverse(HeapEntry {
+            time,
+            seq: self.seq,
+            what,
+        }));
+        if self.heap.len() > self.stats.heap_peak {
+            self.stats.heap_peak = self.heap.len();
+        }
+    }
+
+    #[inline]
+    fn push_arrive(&mut self, time: SimTime, to: ProcessId, work: Work<M>) {
+        let slot = match self.free_arrivals.pop() {
+            Some(s) => {
+                self.arrivals[s as usize] = Some((to, work));
+                s
+            }
+            None => {
+                self.arrivals.push(Some((to, work)));
+                (self.arrivals.len() - 1) as u32
+            }
+        };
+        self.push_entry(time, Target::Arrive { slot });
     }
 
     fn start_if_needed(&mut self) {
@@ -298,34 +475,58 @@ impl<M> Simulation<M> {
             return;
         }
         self.started = true;
-        for i in 0..self.slots.len() {
-            let seq = self.bump_seq();
-            self.heap.push(Reverse(Event {
-                time: 0,
-                seq,
-                kind: EventKind::Arrive {
-                    to: ProcessId(i as u32),
-                    work: Work::Start,
-                },
-            }));
+        // The process set is frozen now: size the flat FIFO link table
+        // and flatten the topology's latency matrix.
+        let n = self.slots.len();
+        self.link_last = vec![0; n * n];
+        let regions = self.topology.regions();
+        self.oneway_base = (0..regions * regions)
+            .map(|k| self.topology.oneway(k / regions, k % regions))
+            .collect();
+        self.jitter = self.topology.jitter();
+        self.nregions = regions;
+        for i in 0..n {
+            self.push_arrive(0, ProcessId(i as u32), Work::Start);
         }
     }
 
     /// Runs until the event queue drains or simulated time reaches
     /// `deadline` (events after the deadline stay queued).
     pub fn run_until(&mut self, deadline: SimTime) {
+        let wall_start = std::time::Instant::now();
         self.start_if_needed();
-        while let Some(Reverse(ev)) = self.heap.peek() {
-            if ev.time > deadline {
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if e.time > deadline {
                 break;
             }
-            let Reverse(ev) = self.heap.pop().expect("peeked event must pop");
-            self.now = ev.time;
-            self.handle_event(ev);
+            let Reverse(e) = self.heap.pop().expect("peeked event must pop");
+            self.now = e.time;
+            match e.what {
+                Target::Arrive { slot } => {
+                    let (to, work) = self.arrivals[slot as usize]
+                        .take()
+                        .expect("arrival slot filled");
+                    self.free_arrivals.push(slot);
+                    self.arrive(to, work);
+                }
+                Target::Dispatch { to } => self.dispatch(to),
+                Target::Crash { pid } => {
+                    let s = &mut self.slots[pid.index()];
+                    s.crashed = true;
+                    // Dropped work may hold armed timers: retire them so
+                    // their slots recycle and live_timers() stays exact.
+                    for w in s.queue.drain(..) {
+                        if let Work::Timer { id, .. } = w {
+                            self.timer_table.retire(id);
+                        }
+                    }
+                }
+            }
         }
         self.now = self
             .now
             .max(deadline.min(self.peek_time().unwrap_or(deadline)));
+        self.stats.wall_ns += wall_start.elapsed().as_nanos() as u64;
     }
 
     fn peek_time(&self) -> Option<SimTime> {
@@ -338,31 +539,30 @@ impl<M> Simulation<M> {
         self.run_until(deadline);
     }
 
-    fn handle_event(&mut self, ev: Event<M>) {
-        match ev.kind {
-            EventKind::Crash { pid } => {
-                let slot = &mut self.slots[pid.index()];
-                slot.crashed = true;
-                slot.queue.clear();
+    fn arrive(&mut self, to: ProcessId, work: Work<M>) {
+        let slot = &mut self.slots[to.index()];
+        if slot.crashed {
+            // A timer landing on a crashed process still owns its table
+            // slot — retire it so the slab stays tight.
+            if let Work::Timer { id, .. } = work {
+                self.timer_table.retire(id);
             }
-            EventKind::Arrive { to, work } => {
-                let slot = &mut self.slots[to.index()];
-                if slot.crashed {
-                    return;
-                }
-                slot.queue.push_back(work);
-                if !slot.dispatch_scheduled {
-                    slot.dispatch_scheduled = true;
-                    let at = slot.busy_until.max(self.now);
-                    let seq = self.bump_seq();
-                    self.heap.push(Reverse(Event {
-                        time: at,
-                        seq,
-                        kind: EventKind::Dispatch { to },
-                    }));
-                }
+            return;
+        }
+        // Direct delivery: an idle process with nothing queued runs the
+        // handler now — no Dispatch heap round-trip. (Stale timer
+        // arrivals don't count: their handler never runs.)
+        if !slot.dispatch_scheduled && slot.queue.is_empty() && slot.busy_until <= self.now {
+            if self.run_work(to, work) {
+                self.stats.direct_deliveries += 1;
             }
-            EventKind::Dispatch { to } => self.dispatch(to),
+            return;
+        }
+        slot.queue.push_back(work);
+        if !slot.dispatch_scheduled {
+            slot.dispatch_scheduled = true;
+            let at = slot.busy_until.max(self.now);
+            self.push_entry(at, Target::Dispatch { to });
         }
     }
 
@@ -370,112 +570,101 @@ impl<M> Simulation<M> {
         let idx = pid.index();
         self.slots[idx].dispatch_scheduled = false;
         if self.slots[idx].crashed {
-            self.slots[idx].queue.clear();
+            // The Crash event drained the queue and arrive() rejects
+            // work for crashed processes, so there is nothing to drop.
+            debug_assert!(self.slots[idx].queue.is_empty());
             return;
         }
         let Some(work) = self.slots[idx].queue.pop_front() else {
             return;
         };
+        self.run_work(pid, work);
+    }
+
+    /// Runs one work item's handler at `self.now`, then flushes its
+    /// outbox/timers at the handler's completion time and reschedules the
+    /// process if more work is queued. Returns whether a handler actually
+    /// ran (false for stale — cancelled — timer arrivals).
+    fn run_work(&mut self, pid: ProcessId, work: Work<M>) -> bool {
+        let idx = pid.index();
+        if let Work::Timer { id, .. } = work {
+            // A dead generation means the timer was cancelled.
+            if !self.timer_table.retire(id) {
+                self.reschedule_if_queued(idx, pid, self.now);
+                return false;
+            }
+        }
         // Temporarily take the process out so the handler can borrow the
         // simulation's shared state through the context.
         let mut proc = self.slots[idx].proc.take().expect("process present");
         let node = self.slots[idx].node;
-        let proc_nodes: Vec<NodeId> = self.slots.iter().map(|s| s.node).collect();
         let mut ctx = Context {
             now: self.now,
             self_id: pid,
             node,
             consumed: 0,
-            outbox: Vec::new(),
-            timers: Vec::new(),
-            cancels: Vec::new(),
+            outbox: std::mem::take(&mut self.scratch_outbox),
+            timers: std::mem::take(&mut self.scratch_timers),
             clocks: &self.nodes,
             node_regions: &self.node_regions,
-            proc_nodes: &proc_nodes,
+            proc_nodes: &self.proc_nodes,
             rng: &mut self.rng,
             topology: &self.topology,
-            next_timer_id: &mut self.next_timer_id,
+            timer_table: &mut self.timer_table,
         };
-        let fired = match work {
-            Work::Start => {
-                proc.on_start(&mut ctx);
-                true
-            }
-            Work::Message { from, msg } => {
-                proc.on_message(&mut ctx, from, msg);
-                true
-            }
-            Work::Timer { tag, id } => {
-                if self.cancelled.remove(&id) {
-                    false
-                } else {
-                    proc.on_timer(&mut ctx, tag);
-                    true
-                }
-            }
-        };
-        if fired {
-            self.events_processed += 1;
+        match work {
+            Work::Start => proc.on_start(&mut ctx),
+            Work::Message { from, msg } => proc.on_message(&mut ctx, from, msg),
+            Work::Timer { tag, .. } => proc.on_timer(&mut ctx, tag),
         }
+        self.stats.events += 1;
         let consumed = ctx.consumed;
-        let outbox = std::mem::take(&mut ctx.outbox);
-        let timers = std::mem::take(&mut ctx.timers);
-        let cancels = std::mem::take(&mut ctx.cancels);
+        let mut outbox = std::mem::take(&mut ctx.outbox);
+        let mut timers = std::mem::take(&mut ctx.timers);
         drop(ctx);
         self.slots[idx].proc = Some(proc);
         let completion = self.now + consumed;
         self.slots[idx].busy_until = completion;
-        for id in cancels {
-            self.cancelled.insert(id);
-        }
-        for (to, msg, extra) in outbox {
+        for (to, msg, extra) in outbox.drain(..) {
             self.route(pid, to, msg, completion + extra);
         }
-        for (delay, tag, id) in timers {
-            let seq = self.bump_seq();
-            self.heap.push(Reverse(Event {
-                time: completion + delay,
-                seq,
-                kind: EventKind::Arrive {
-                    to: pid,
-                    work: Work::Timer { tag, id },
-                },
-            }));
+        self.scratch_outbox = outbox;
+        for (delay, tag, id) in timers.drain(..) {
+            // Set-then-cancelled within the same handler: never schedule.
+            if !self.timer_table.is_live(id) {
+                continue;
+            }
+            self.stats.timers_set += 1;
+            self.push_arrive(completion + delay, pid, Work::Timer { tag, id });
         }
-        // More queued work: dispatch again at completion.
+        self.scratch_timers = timers;
+        self.reschedule_if_queued(idx, pid, completion);
+        true
+    }
+
+    /// More queued work: dispatch again at `at` (the handler's completion
+    /// time) unless a dispatch is already in flight.
+    fn reschedule_if_queued(&mut self, idx: usize, pid: ProcessId, at: SimTime) {
         if !self.slots[idx].queue.is_empty() && !self.slots[idx].dispatch_scheduled {
             self.slots[idx].dispatch_scheduled = true;
-            let seq = self.bump_seq();
-            self.heap.push(Reverse(Event {
-                time: completion,
-                seq,
-                kind: EventKind::Dispatch { to: pid },
-            }));
+            self.push_entry(at, Target::Dispatch { to: pid });
         }
     }
 
     fn route(&mut self, from: ProcessId, to: ProcessId, msg: M, departure: SimTime) {
-        let from_region = self.node_regions[self.slots[from.index()].node.index()];
-        let to_region = self.node_regions[self.slots[to.index()].node.index()];
-        let latency = self
-            .topology
-            .sample_oneway(from_region, to_region, &mut self.rng);
+        let from_region = self.proc_regions[from.index()];
+        let to_region = self.proc_regions[to.index()];
+        let base = self.oneway_base[from_region * self.nregions + to_region];
+        let latency = crate::network::jitter_sample(base, self.jitter, &mut self.rng);
         let mut arrival = departure + latency;
-        // FIFO clamp per ordered (from, to) pair.
-        let key = (from.0, to.0);
-        if let Some(last) = self.link_last.get(&key) {
-            arrival = arrival.max(*last);
+        // FIFO clamp per ordered (from, to) pair: flat table, no hashing.
+        let last = &mut self.link_last[from.index() * self.slots.len() + to.index()];
+        if arrival < *last {
+            arrival = *last;
         }
-        self.link_last.insert(key, arrival);
-        let seq = self.bump_seq();
-        self.heap.push(Reverse(Event {
-            time: arrival,
-            seq,
-            kind: EventKind::Arrive {
-                to,
-                work: Work::Message { from, msg },
-            },
-        }));
+        *last = arrival;
+        self.stats.messages_routed += 1;
+        self.push_arrive(arrival, to, Work::Message { from, msg });
     }
 }
 
@@ -770,6 +959,95 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stale_cancels_leak_nothing_and_spare_reused_slots() {
+        // A process that every tick: fires timer A, then cancels A's
+        // already-fired id (the old engine accumulated one HashSet entry
+        // per such cancel, forever) and arms the next tick. The stale
+        // cancel must also not kill the fresh timer even when the slab
+        // reuses A's slot.
+        struct StaleCanceller {
+            last: u64,
+            fired: u32,
+            rounds: u32,
+        }
+        impl Process<u64> for StaleCanceller {
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                self.last = ctx.set_timer(units::us(10), 0);
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, u64>, _f: ProcessId, _m: u64) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u64>, _tag: u64) {
+                self.fired += 1;
+                let stale = self.last;
+                if self.fired < self.rounds {
+                    // Arm first so the freed slot is reused, then cancel
+                    // the stale id — the new timer must survive.
+                    self.last = ctx.set_timer(units::us(10), 0);
+                    ctx.cancel_timer(stale);
+                    ctx.cancel_timer(stale); // double-cancel: also a no-op
+                }
+            }
+        }
+        let mut sim = Simulation::new(Topology::single_region(1, 0, 0), 10);
+        sim.add_process(
+            0,
+            Box::new(StaleCanceller {
+                last: 0,
+                fired: 0,
+                rounds: 10_000,
+            }),
+        );
+        sim.run_until(units::secs(1));
+        // Every round fired (stale cancels killed nothing)...
+        assert_eq!(sim.events_processed(), 1 + 10_000);
+        // ...and no cancellation state accumulated.
+        assert_eq!(sim.live_timers(), 0);
+    }
+
+    #[test]
+    fn crash_retires_armed_timers() {
+        // A ticker that always has one timer armed, crashed mid-run: the
+        // in-flight timer arrival lands on a crashed process and must
+        // give its table slot back.
+        let log: Log = Rc::default();
+        let mut sim = Simulation::new(Topology::single_region(1, 0, 0), 13);
+        let pid = sim.add_process(
+            0,
+            Box::new(Ticker {
+                log: log.clone(),
+                period: units::ms(5),
+                remaining: u32::MAX,
+            }),
+        );
+        sim.crash_at(pid, units::ms(12));
+        sim.run_until(units::secs(1));
+        assert_eq!(log.borrow().len(), 2); // ticks at 5 ms and 10 ms
+        assert_eq!(sim.live_timers(), 0, "crashed process's timer leaked");
+    }
+
+    #[test]
+    fn engine_stats_count_the_run() {
+        let log: Log = Rc::default();
+        let mut sim = Simulation::new(Topology::single_region(2, units::us(100), 0), 12);
+        let rec = sim.add_process(
+            0,
+            Box::new(Recorder {
+                log: log.clone(),
+                label: "r",
+            }),
+        );
+        let _send = sim.add_process(0, Box::new(Burst { peer: rec, n: 50 }));
+        sim.run_until(units::secs(1));
+        let st = sim.stats();
+        assert_eq!(st.events, sim.events_processed());
+        assert_eq!(st.events, 2 + 50); // two starts + fifty deliveries
+        assert_eq!(st.messages_routed, 50);
+        assert!(st.heap_peak >= 50, "burst fills the heap: {}", st.heap_peak);
+        assert!(st.direct_deliveries >= 2, "starts run direct");
+        assert!(st.wall_ns > 0);
+        assert!(st.events_per_sec() > 0.0);
     }
 
     #[test]

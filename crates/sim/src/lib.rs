@@ -17,7 +17,13 @@
 //!   throughput ceilings (an overloaded sequencer, the cost of global
 //!   stabilization) *emerge* instead of being hard-coded;
 //! * crash injection ([`Simulation::crash_at`]) for the fault-tolerance
-//!   experiments.
+//!   experiments;
+//! * an **allocation-free dispatch hot path**: arrivals at idle processes
+//!   run their handler directly (no Dispatch heap round-trip), handler
+//!   contexts borrow pooled scratch buffers, FIFO link state is a flat
+//!   per-process-pair table, and timer cancellation uses O(1) slot
+//!   generations — see the [`engine`-module docs](Simulation) and
+//!   [`EngineStats`] for the counters every run exposes.
 //!
 //! Time unit: **nanoseconds** (`SimTime`). Helpers in [`units`] convert
 //! from microseconds/milliseconds/seconds.
@@ -59,8 +65,8 @@ mod engine;
 mod network;
 
 pub use clock::ClockModel;
-pub use engine::{Context, Process, ProcessId, Simulation};
-pub use network::{NodeId, Topology};
+pub use engine::{Context, EngineStats, Process, ProcessId, Simulation};
+pub use network::{NodeId, Topology, TopologyError};
 
 /// Simulated time in nanoseconds since the start of the run.
 pub type SimTime = u64;

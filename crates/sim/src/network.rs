@@ -10,6 +10,7 @@
 use crate::SimTime;
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::fmt;
 
 /// Identifies a simulated machine; every process runs on a node and every
 /// node belongs to a region (datacenter).
@@ -34,27 +35,84 @@ pub struct Topology {
     jitter: SimTime,
 }
 
-impl Topology {
-    /// Builds a topology from a symmetric RTT matrix.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the matrix is not square, not symmetric, or has non-zero
-    /// diagonal entries.
-    pub fn new(rtt: Vec<Vec<SimTime>>, intra_oneway: SimTime, jitter: SimTime) -> Self {
-        let n = rtt.len();
-        for (i, row) in rtt.iter().enumerate() {
-            assert_eq!(row.len(), n, "RTT matrix must be square");
-            assert_eq!(row[i], 0, "diagonal must be zero");
-            for (j, &v) in row.iter().enumerate() {
-                assert_eq!(v, rtt[j][i], "RTT matrix must be symmetric");
+/// Why an RTT matrix cannot describe a [`Topology`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The matrix is not square.
+    NotSquare {
+        /// Row count.
+        rows: usize,
+        /// Length of the offending row.
+        cols: usize,
+    },
+    /// A self-distance is non-zero.
+    NonzeroDiagonal {
+        /// Offending region.
+        region: usize,
+    },
+    /// `rtt[a][b] != rtt[b][a]`.
+    Asymmetric {
+        /// First region of the asymmetric pair.
+        a: usize,
+        /// Second region of the asymmetric pair.
+        b: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NotSquare { rows, cols } => {
+                write!(
+                    f,
+                    "RTT matrix must be square: {rows} rows but a row of length {cols}"
+                )
+            }
+            TopologyError::NonzeroDiagonal { region } => {
+                write!(
+                    f,
+                    "RTT matrix diagonal must be zero: region {region} has a self-distance"
+                )
+            }
+            TopologyError::Asymmetric { a, b } => {
+                write!(f, "RTT matrix must be symmetric: [{a}][{b}] != [{b}][{a}]")
             }
         }
-        Topology {
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl Topology {
+    /// Builds a topology from a symmetric RTT matrix, or explains why the
+    /// matrix is not one (not square, asymmetric, or non-zero diagonal).
+    pub fn new(
+        rtt: Vec<Vec<SimTime>>,
+        intra_oneway: SimTime,
+        jitter: SimTime,
+    ) -> Result<Self, TopologyError> {
+        let n = rtt.len();
+        for (i, row) in rtt.iter().enumerate() {
+            if row.len() != n {
+                return Err(TopologyError::NotSquare {
+                    rows: n,
+                    cols: row.len(),
+                });
+            }
+            if row[i] != 0 {
+                return Err(TopologyError::NonzeroDiagonal { region: i });
+            }
+            for (j, &v) in row.iter().enumerate() {
+                if v != rtt[j][i] {
+                    return Err(TopologyError::Asymmetric { a: i, b: j });
+                }
+            }
+        }
+        Ok(Topology {
             rtt,
             intra_oneway,
             jitter,
-        }
+        })
     }
 
     /// A single region of `_nodes` machines (node count is informational;
@@ -81,6 +139,7 @@ impl Topology {
             intra_oneway,
             jitter,
         )
+        .expect("the paper's matrix is square and symmetric")
     }
 
     /// Number of regions.
@@ -108,17 +167,26 @@ impl Topology {
 
     /// Samples a one-way latency including jitter.
     pub fn sample_oneway(&self, a: usize, b: usize, rng: &mut StdRng) -> SimTime {
-        let base = self.oneway(a, b);
-        if self.jitter == 0 {
-            base
-        } else {
-            base + rng.random_range(0..=self.jitter)
-        }
+        jitter_sample(self.oneway(a, b), self.jitter, rng)
     }
 
     /// Configured jitter bound.
     pub fn jitter(&self) -> SimTime {
         self.jitter
+    }
+}
+
+/// Uniform `[0, jitter]` latency sampling shared by
+/// [`Topology::sample_oneway`] and the engine's flat-table routing path
+/// — one definition so the jitter distribution can never silently
+/// diverge between them. Draws nothing when `jitter` is zero, keeping
+/// zero-jitter runs RNG-neutral.
+#[inline]
+pub(crate) fn jitter_sample(base: SimTime, jitter: SimTime, rng: &mut StdRng) -> SimTime {
+    if jitter == 0 {
+        base
+    } else {
+        base + rng.random_range(0..=jitter)
     }
 }
 
@@ -157,14 +225,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "symmetric")]
-    fn asymmetric_matrix_panics() {
-        let _ = Topology::new(vec![vec![0, 10], vec![20, 0]], 1, 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "diagonal")]
-    fn nonzero_diagonal_panics() {
-        let _ = Topology::new(vec![vec![5]], 1, 0);
+    fn bad_matrices_are_rejected_with_reasons() {
+        assert_eq!(
+            Topology::new(vec![vec![0, 10], vec![20, 0]], 1, 0).unwrap_err(),
+            TopologyError::Asymmetric { a: 0, b: 1 }
+        );
+        assert_eq!(
+            Topology::new(vec![vec![5]], 1, 0).unwrap_err(),
+            TopologyError::NonzeroDiagonal { region: 0 }
+        );
+        assert_eq!(
+            Topology::new(vec![vec![0, 1], vec![1, 0, 2]], 1, 0).unwrap_err(),
+            TopologyError::NotSquare { rows: 2, cols: 3 }
+        );
+        let msg = Topology::new(vec![vec![0, 10], vec![20, 0]], 1, 0)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("symmetric"), "{msg}");
     }
 }

@@ -16,6 +16,7 @@ use eunomia_workload::WorkloadConfig;
 
 fn run_rf(rf: Option<usize>) -> (f64, f64) {
     let scenario = Scenario::partial_replication(rf.unwrap_or(3))
+        .expect("rf within 1..=3")
         .named(match rf {
             None => "full".to_string(),
             Some(rf) => format!("partial-rf{rf}"),

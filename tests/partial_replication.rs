@@ -14,11 +14,13 @@ use std::collections::{HashMap, HashSet};
 fn partial_scenario() -> Scenario {
     // The preset already sets rf = 2, a bounded-friendly workload and the
     // apply log; shorten it for the test.
-    Scenario::partial_replication(2).with(|cfg| {
-        cfg.duration = units::secs(10);
-        cfg.warmup = units::secs(2);
-        cfg.cooldown = units::secs(1);
-    })
+    Scenario::partial_replication(2)
+        .expect("rf 2 of 3 DCs is valid")
+        .with(|cfg| {
+            cfg.duration = units::secs(10);
+            cfg.warmup = units::secs(2);
+            cfg.cooldown = units::secs(1);
+        })
 }
 
 #[test]

@@ -91,7 +91,7 @@ pub mod collection {
     use super::Strategy;
     use rand::rngs::StdRng;
 
-    /// Length specification for [`vec`]: an exact length or a range.
+    /// Length specification for [`vec()`](fn@vec): an exact length or a range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,
