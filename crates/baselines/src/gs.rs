@@ -193,6 +193,15 @@ impl GsPartitionProc {
                 origin,
             },
         );
+        self.metrics
+            .record_apply(eunomia_geo::metrics::ApplyRecord {
+                origin: origin.0,
+                dest: origin.0,
+                key: key.0,
+                ts: ut.0,
+                vts: vts.as_ticks(),
+                at: ctx.now(),
+            });
         ctx.send(client, BMsg::UpdateReply { vts: vts.clone() });
         let reg = self.reg.borrow();
         for k in 0..self.cfg.n_dcs {
@@ -240,6 +249,15 @@ impl GsPartitionProc {
                 self.metrics
                     .record_visibility(k as u16, self.dc as u16, ctx.now(), extra);
                 let (update, _) = self.pending[k].remove(&ts).expect("key just seen");
+                self.metrics
+                    .record_apply(eunomia_geo::metrics::ApplyRecord {
+                        origin: update.origin.0,
+                        dest: self.dc as u16,
+                        key: update.key.0,
+                        ts: update.vts.get(update.origin).0,
+                        vts: update.vts.as_ticks(),
+                        at: ctx.now(),
+                    });
                 self.store.put_remote(
                     update.key,
                     StoredVersion {
@@ -264,6 +282,7 @@ impl Process<BMsg> for GsPartitionProc {
         match msg {
             BMsg::Read { key } => {
                 ctx.consume(costs.read_ns + meta_cost(self.mode, &costs, self.cfg.n_dcs));
+                self.metrics.record_read(self.dc, key.0, ctx.now());
                 let (value, vts) = match self.store.get(key) {
                     Some(v) => (v.value.clone(), v.vts.clone()),
                     None => (Value::new(), VectorTime::new(self.cfg.n_dcs)),
@@ -523,6 +542,12 @@ pub fn build(
 ) -> (Simulation<BMsg>, GeoMetrics, Rc<ClusterConfig>) {
     let cfg = Rc::new(cfg);
     let metrics = GeoMetrics::new(cfg.n_dcs);
+    if cfg.apply_log {
+        metrics.enable_apply_log();
+    }
+    if cfg.track_staleness {
+        metrics.enable_staleness_tracking();
+    }
     let reg = registry::shared();
     let mut sim: Simulation<BMsg> = Simulation::new(cfg.topology(), cfg.seed);
     let mut clock_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_C10C);
@@ -546,6 +571,8 @@ pub fn build(
             sim.add_process_on(node, Box::new(client));
         }
     }
+    // The shared timed fault schedule (partitions, gray links, pauses).
+    eunomia_geo::apply_faults(&cfg, &mut sim, &partitions);
     {
         let mut r = reg.borrow_mut();
         r.partitions = partitions;

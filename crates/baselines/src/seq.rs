@@ -118,6 +118,7 @@ impl Process<BMsg> for SeqPartitionProc {
         match msg {
             BMsg::Read { key } => {
                 ctx.consume(costs.read_ns + self.vec_cost());
+                self.metrics.record_read(self.dc, key.0, ctx.now());
                 let (value, vts) = match self.store.get(key) {
                     Some(v) => (v.value.clone(), v.vts.clone()),
                     None => (Value::new(), VectorTime::new(self.cfg.n_dcs)),
@@ -199,6 +200,18 @@ impl Process<BMsg> for SeqPartitionProc {
                     );
                     ctx.send(p.client, BMsg::UpdateReply { vts });
                 }
+                // Both modes log the local commit under its *sequenced*
+                // identity — the (origin, seq) that remote applies carry
+                // (A-Seq's provisional store write has no stable id).
+                self.metrics
+                    .record_apply(eunomia_geo::metrics::ApplyRecord {
+                        origin: self.dc as u16,
+                        dest: self.dc as u16,
+                        key: update.key.0,
+                        ts: seq,
+                        vts: update.vts.as_ticks(),
+                        at: ctx.now(),
+                    });
                 self.ship(ctx, update);
             }
             BMsg::SeqApply { update, arrival } => {
@@ -208,6 +221,15 @@ impl Process<BMsg> for SeqPartitionProc {
                 let extra = ctx.now().saturating_sub(arrival);
                 self.metrics
                     .record_visibility(origin.0, self.dc as u16, ctx.now(), extra);
+                self.metrics
+                    .record_apply(eunomia_geo::metrics::ApplyRecord {
+                        origin: origin.0,
+                        dest: self.dc as u16,
+                        key: update.key.0,
+                        ts: seq,
+                        vts: update.vts.as_ticks(),
+                        at: ctx.now(),
+                    });
                 self.store.put_remote(
                     update.key,
                     StoredVersion {
@@ -447,6 +469,12 @@ pub fn build(
 ) -> (Simulation<BMsg>, GeoMetrics, Rc<ClusterConfig>) {
     let cfg = Rc::new(cfg);
     let metrics = GeoMetrics::new(cfg.n_dcs);
+    if cfg.apply_log {
+        metrics.enable_apply_log();
+    }
+    if cfg.track_staleness {
+        metrics.enable_staleness_tracking();
+    }
     let reg = registry::shared();
     let mut sim: Simulation<BMsg> = Simulation::new(cfg.topology(), cfg.seed);
 
@@ -471,6 +499,8 @@ pub fn build(
             sim.add_process(dc, Box::new(client));
         }
     }
+    // The shared timed fault schedule (partitions, gray links, pauses).
+    eunomia_geo::apply_faults(&cfg, &mut sim, &partitions);
     {
         let mut r = reg.borrow_mut();
         r.partitions = partitions;

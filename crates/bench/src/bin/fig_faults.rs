@@ -1,0 +1,189 @@
+//! Fault matrix: all six systems across the four fault presets
+//! (`partitioned-3dc`, `gray-wan`, `hub-and-spoke`, `asymmetric-5dc`),
+//! reporting availability-under-failure metrics and *asserting* that
+//! every system converges after the last heal. Results go to
+//! `BENCH_faults.json` for the CI fault-matrix gate.
+//!
+//! The paper's evaluation only ever crashes Eunomia leaders; related
+//! systems (Okapi, SwiftCloud) make availability under WAN misbehavior a
+//! headline metric. This harness closes that gap: partitions and gray
+//! links stall *visibility* (and inflate staleness exposure) while local
+//! throughput keeps serving — and once the fault heals, every pre-heal
+//! update must still land at every datacenter.
+//!
+//! Usage: `cargo run --release -p eunomia-bench --bin fig_faults [-- --quick]`
+//!
+//! `--scenario NAME` swaps in any preset; `--quick` shrinks the runs
+//! (fault windows scale proportionally).
+
+use eunomia_bench::BenchArgs;
+use eunomia_geo::{run, Scenario, SystemId};
+use std::fmt::Write as _;
+
+struct Cell {
+    system: SystemId,
+    scenario: String,
+    sim_secs: f64,
+    throughput: f64,
+    p99_ms: f64,
+    vis_p90_ms: Option<f64>,
+    stale_reads: u64,
+    deferred: u64,
+    retransmits: u64,
+    convergence_ms: Option<f64>,
+    /// `None` = not measurable for this run (no heal / no apply log);
+    /// `Some(n)` = pre-heal updates that never reached every DC.
+    unconverged: Option<usize>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    eunomia_bench::banner(
+        "fig_faults",
+        "fault matrix: six systems x {partitioned-3dc, gray-wan, hub-and-spoke, asymmetric-5dc}",
+        "local throughput survives WAN faults; visibility stalls and recovers; \
+         every system converges after the heal (unconverged = 0)",
+    );
+
+    let secs = args.secs(30, 10);
+    // `--scenario` names that match a fault preset are rebuilt at the
+    // requested duration (their windows scale), so `--quick --scenario
+    // gray-wan` really is quick; other presets run as named.
+    let scenarios: Vec<Scenario> = args
+        .scenarios_or(Scenario::fault_presets(secs))
+        .into_iter()
+        .map(|named| {
+            Scenario::fault_presets(secs)
+                .into_iter()
+                .find(|f| f.name() == named.name())
+                .unwrap_or(named)
+                .seed(args.seed)
+        })
+        .collect();
+    let systems = args.systems(&SystemId::all());
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    for scenario in &scenarios {
+        for &sys in &systems {
+            let report = run(sys, scenario);
+            // One analysis pass per run: converged-ness and the ms both
+            // derive from the same HealConvergence.
+            let hc = report.heal_convergence();
+            let unconverged = hc.map(|c| c.unconverged);
+            let convergence_ms = hc.and_then(|c| c.after_heal_ms());
+            if report.last_heal.is_some() && scenario.cfg().apply_log {
+                match unconverged {
+                    Some(0) => {}
+                    Some(n) => failures.push(format!(
+                        "{sys} x {}: {n} pre-heal updates never reached every DC",
+                        scenario.name()
+                    )),
+                    None => failures.push(format!(
+                        "{sys} x {}: convergence not measurable (empty apply log?)",
+                        scenario.name()
+                    )),
+                }
+            }
+            cells.push(Cell {
+                system: sys,
+                scenario: scenario.name().to_string(),
+                sim_secs: scenario.cfg().duration as f64 / 1e9,
+                throughput: report.throughput,
+                p99_ms: report.p99_latency_ms,
+                vis_p90_ms: report.visibility_percentile_ms(0, 1, 90.0),
+                stale_reads: report.stale_reads,
+                deferred: report.engine.messages_deferred,
+                retransmits: report.engine.retransmits,
+                convergence_ms,
+                unconverged,
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.scenario.clone(),
+                c.system.to_string(),
+                format!("{:.0}", c.throughput),
+                format!("{:.2}", c.p99_ms),
+                eunomia_bench::fmt_ms(c.vis_p90_ms),
+                format!("{}", c.stale_reads),
+                format!("{}", c.deferred),
+                format!("{}", c.retransmits),
+                eunomia_bench::fmt_ms(c.convergence_ms),
+            ]
+        })
+        .collect();
+    eunomia_bench::print_table(
+        &[
+            "scenario",
+            "system",
+            "ops/s",
+            "op p99 (ms)",
+            "vis p90 dc0->dc1 (ms)",
+            "stale reads",
+            "deferred msgs",
+            "retransmits",
+            "converge after heal (ms)",
+        ],
+        &rows,
+    );
+
+    let json = render_json(&cells, args.quick);
+    let path = "BENCH_faults.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path} ({} runs)", cells.len());
+
+    if !failures.is_empty() {
+        eprintln!("\nCONVERGENCE FAILURES:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("all {} runs converged after their last heal", cells.len());
+}
+
+fn render_json(cells: &[Cell], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fig_faults\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"runs\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        // Three-valued: true/false when convergence was measurable,
+        // null for runs without a heal or an apply log (a fault-free
+        // `--scenario small-test` run is healthy, not "unconverged").
+        let converged = match c.unconverged {
+            Some(0) => "true".to_string(),
+            Some(_) => "false".to_string(),
+            None => "null".to_string(),
+        };
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"system\": \"{}\", \"scenario\": \"{}\", \"sim_seconds\": {}, \
+             \"throughput_ops_sec\": {:.1}, \
+             \"p99_ms\": {:.3}, \"stale_reads\": {}, \"messages_deferred\": {}, \
+             \"retransmits\": {}, \"converged\": {converged}, \"convergence_after_heal_ms\": {}",
+            c.system,
+            c.scenario,
+            c.sim_secs,
+            c.throughput,
+            c.p99_ms,
+            c.stale_reads,
+            c.deferred,
+            c.retransmits,
+            match c.convergence_ms {
+                Some(ms) => format!("{ms:.3}"),
+                None => "null".to_string(),
+            },
+        );
+        out.push_str(if i + 1 == cells.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -40,7 +40,10 @@ fn main() {
         "post-refactor engine sustains >=2x the pre-refactor events/sec on paper-3dc",
     );
 
-    let scenarios = vec![
+    // `--scenario` swaps any named preset(s) in for the default three
+    // scales (the baseline-speedup comparison below only runs when the
+    // selection still contains a 20-second paper-3dc).
+    let scenarios = args.scenarios_or(vec![
         Scenario::small_test(),
         Scenario::paper_three_dc()
             .seconds(args.secs(20, 5))
@@ -48,7 +51,7 @@ fn main() {
         Scenario::massive()
             .seconds(args.secs(10, 4))
             .seed(args.seed),
-    ];
+    ]);
     let systems = args.systems(&SystemId::all());
 
     let mut cells: Vec<(SystemId, Cell)> = Vec::new();
@@ -103,14 +106,13 @@ fn main() {
     // baseline was measured on. Best-of-5 to shed scheduler noise (the
     // shared-machine variance between identical runs exceeds 20%) — the
     // baseline constant was likewise the best of repeated runs. Only
-    // computed when this run matches the baseline's 20 simulated
-    // seconds (not under --quick or a --seconds override): anything
-    // else would record an apples-to-oranges ratio, so the field stays
-    // null instead.
-    let comparable = args.secs(20, 5) == 20;
-    let reference = comparable
-        .then(|| scenarios.iter().find(|s| s.name() == "paper-3dc"))
-        .flatten();
+    // computed when the selection contains a paper-3dc at the baseline's
+    // 20 simulated seconds (not under --quick, a --seconds override, or
+    // a --scenario swap): anything else would record an
+    // apples-to-oranges ratio, so the field stays null instead.
+    let reference = scenarios
+        .iter()
+        .find(|s| s.name() == "paper-3dc" && s.cfg().duration == eunomia_sim::units::secs(20));
     let speedup = match (reference, systems.contains(&SystemId::EunomiaKv)) {
         (Some(scenario), true) => {
             let best = (0..5)

@@ -23,6 +23,7 @@ const HARNESSES: &[&str] = &[
     "ablation_batching",
     "ablation_clock_skew",
     "ablation_tree",
+    "fig_faults",
     "perf_engine",
 ];
 

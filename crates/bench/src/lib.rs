@@ -14,7 +14,11 @@
 //! * `--seed N` — change the deterministic seed;
 //! * `--system NAME` — restrict the run to one system (repeatable, or
 //!   comma-separated; names parse via `SystemId::from_str`);
-//! * `--list-systems` — print every system id and exit.
+//! * `--list-systems` — print every system id and exit;
+//! * `--scenario NAME` — run a named `Scenario` preset instead of the
+//!   figure's default scenarios (repeatable, or comma-separated), so new
+//!   presets are runnable without a dedicated binary;
+//! * `--list-scenarios` — print every scenario preset name and exit.
 //!
 //! `BenchArgs::parse` also installs the baseline runners into
 //! `eunomia-geo`'s system registry, so after parsing, any binary can call
@@ -33,6 +37,8 @@ pub struct BenchArgs {
     pub seed: u64,
     /// `--system` restrictions; `None` means "whatever the figure runs".
     pub systems: Option<Vec<SystemId>>,
+    /// `--scenario` overrides; `None` means "whatever the figure runs".
+    pub scenarios: Option<Vec<Scenario>>,
 }
 
 impl BenchArgs {
@@ -45,6 +51,7 @@ impl BenchArgs {
             seconds: None,
             seed: 42,
             systems: None,
+            scenarios: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -79,6 +86,36 @@ impl BenchArgs {
                 "--list-systems" => {
                     for id in SystemId::all() {
                         println!("{id}");
+                    }
+                    std::process::exit(0);
+                }
+                "--scenario" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--scenario needs a name"));
+                    let list = out.scenarios.get_or_insert_with(Vec::new);
+                    for name in v.split(',').filter(|s| !s.is_empty()) {
+                        match Scenario::by_name(name) {
+                            Some(sc) => {
+                                if !list.iter().any(|s| s.name() == sc.name()) {
+                                    list.push(sc);
+                                }
+                            }
+                            None => usage(&format!(
+                                "unknown scenario {:?}; expected one of: {}",
+                                name,
+                                Scenario::presets()
+                                    .iter()
+                                    .map(|s| s.name().to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )),
+                        }
+                    }
+                }
+                "--list-scenarios" => {
+                    for sc in Scenario::presets() {
+                        println!("{}", sc.name());
                     }
                     std::process::exit(0);
                 }
@@ -125,12 +162,30 @@ impl BenchArgs {
     pub fn wants(&self, id: SystemId) -> bool {
         self.systems.as_ref().is_none_or(|sel| sel.contains(&id))
     }
+
+    /// The scenarios this binary should run: any `--scenario` overrides,
+    /// seeded with `--seed`, else `default`. Unlike `--system` (a filter
+    /// over a figure's fixed set), `--scenario` *replaces* the default
+    /// list — that is what makes new presets runnable from any binary.
+    ///
+    /// Overridden presets run at their preset durations: `--quick` /
+    /// `--seconds` cannot re-time an arbitrary preset safely (fault
+    /// windows are part of the preset). Binaries whose defaults *are*
+    /// parameterized presets (e.g. `fig_faults`) rebuild matching names
+    /// at the requested duration instead.
+    pub fn scenarios_or(&self, default: Vec<Scenario>) -> Vec<Scenario> {
+        match &self.scenarios {
+            None => default,
+            Some(sel) => sel.iter().map(|s| s.clone().seed(self.seed)).collect(),
+        }
+    }
 }
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: <bin> [--quick] [--seconds N] [--seed N] [--system NAME]... [--list-systems]"
+        "usage: <bin> [--quick] [--seconds N] [--seed N] [--system NAME]... [--list-systems] \
+         [--scenario NAME]... [--list-scenarios]"
     );
     std::process::exit(2);
 }
@@ -182,6 +237,7 @@ mod tests {
             seconds: None,
             seed: 1,
             systems,
+            scenarios: None,
         }
     }
 
@@ -217,6 +273,21 @@ mod tests {
         assert!(restricted.wants(SystemId::Cure));
         assert!(!restricted.wants(SystemId::SSeq));
         assert!(args(None).wants(SystemId::SSeq));
+    }
+
+    #[test]
+    fn scenario_override_replaces_defaults_and_reseeds() {
+        let mut a = args(None);
+        let default = vec![paper_scenario(10, 1)];
+        assert_eq!(a.scenarios_or(default.clone())[0].name(), "paper-3dc");
+        a.scenarios = Some(vec![
+            Scenario::by_name("gray-wan").unwrap(),
+            Scenario::by_name("small-test").unwrap(),
+        ]);
+        let picked = a.scenarios_or(default);
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].name(), "gray-wan");
+        assert_eq!(picked[0].cfg().seed, 1, "--seed applies to overrides");
     }
 
     #[test]

@@ -70,6 +70,9 @@ pub fn build(id: SystemId, cfg: ClusterConfig) -> Cluster {
     if cfg.apply_log {
         metrics.enable_apply_log();
     }
+    if cfg.track_staleness {
+        metrics.enable_staleness_tracking();
+    }
     let reg = registry::shared();
     let mut sim: Simulation<Msg> = Simulation::new(cfg.topology(), cfg.seed);
     let mut clock_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_C10C);
@@ -120,6 +123,9 @@ pub fn build(id: SystemId, cfg: ClusterConfig) -> Cluster {
             clients.push(sim.add_process_on(node, Box::new(proc)));
         }
     }
+
+    // Timed fault schedule: link faults + partition-server pauses.
+    crate::faults::apply_faults(&cfg, &mut sim, &partitions);
 
     {
         let mut r = reg.borrow_mut();

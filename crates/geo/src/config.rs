@@ -1,6 +1,7 @@
 //! Deployment, cost-model and workload configuration, with the validated
 //! [`ClusterConfigBuilder`] construction path.
 
+use crate::faults::{self, FaultEvent};
 use crate::system::SystemId;
 use eunomia_sim::{units, SimTime};
 use eunomia_workload::WorkloadConfig;
@@ -186,6 +187,17 @@ pub struct ClusterConfig {
     /// Scheduled Eunomia replica crashes (fault-injection runs; ignored
     /// by systems that run no Eunomia replicas).
     pub crashes: Vec<ReplicaCrash>,
+    /// Timed WAN/process fault schedule (partitions, gray links,
+    /// asymmetric one-way overrides, partition-server pauses) honoured by
+    /// every system. See [`FaultEvent`] for the model.
+    pub faults: Vec<FaultEvent>,
+    /// Track staleness exposure: count reads that return while the read
+    /// key has a remote update already committed at its origin but not
+    /// yet applied locally. Off by default (it keeps per-key high-water
+    /// tables); fault scenarios turn it on. Meaningful only under full
+    /// replication — with a partial `replication_factor`, keys a
+    /// datacenter never stores would count as stale forever.
+    pub track_staleness: bool,
 }
 
 impl Default for ClusterConfig {
@@ -221,6 +233,8 @@ impl Default for ClusterConfig {
             metadata_tree_arity: None,
             apply_log: false,
             crashes: Vec::new(),
+            faults: Vec::new(),
+            track_staleness: false,
         }
     }
 }
@@ -362,6 +376,7 @@ impl ClusterConfig {
                 });
             }
         }
+        faults::validate(&self.faults, self)?;
         Ok(())
     }
 
@@ -480,6 +495,33 @@ pub enum ConfigError {
         /// Configured crash replica index.
         replica: usize,
     },
+    /// A fault event names a datacenter or partition outside the
+    /// deployment.
+    FaultOutOfRange {
+        /// Which schedule entry is out of range.
+        what: &'static str,
+        /// The offending (largest) datacenter index.
+        dc: usize,
+        /// The other index of the pair (or the partition index).
+        index: usize,
+    },
+    /// A fault event's `[from, to)` window is empty or inverted.
+    FaultWindow {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+    },
+    /// A gray link's loss probability is outside `[0, 1]`.
+    FaultLoss {
+        /// Configured loss probability.
+        loss: f64,
+    },
+    /// A link fault names the same datacenter on both ends.
+    FaultSelfLink {
+        /// The datacenter named twice.
+        dc: usize,
+    },
     /// A straggler window or crash is scheduled at/after the run ends,
     /// so a fault-named scenario would silently measure a fault-free
     /// run (e.g. `Scenario::straggler(..).seconds(10)` shrinking the
@@ -550,6 +592,19 @@ impl fmt::Display for ConfigError {
                 f,
                 "crash schedule names dc {dc} replica {replica}, outside the deployment"
             ),
+            ConfigError::FaultOutOfRange { what, dc, index } => write!(
+                f,
+                "{what} names dc {dc} / index {index}, outside the deployment"
+            ),
+            ConfigError::FaultWindow { from, to } => {
+                write!(f, "fault window [{from}, {to}) is empty")
+            }
+            ConfigError::FaultLoss { loss } => {
+                write!(f, "gray-link loss probability {loss} must be in [0, 1]")
+            }
+            ConfigError::FaultSelfLink { dc } => {
+                write!(f, "link fault names dc {dc} on both ends")
+            }
             ConfigError::FaultAfterEnd { what, at, duration } => write!(
                 f,
                 "{what} starts at {at} but the run ends at {duration}: \
@@ -648,6 +703,10 @@ impl ClusterConfigBuilder {
         apply_log: bool,
         /// Replica crash schedule.
         crashes: Vec<ReplicaCrash>,
+        /// Timed WAN/process fault schedule.
+        faults: Vec<FaultEvent>,
+        /// Track staleness exposure of reads.
+        track_staleness: bool,
     }
 
     /// Escape hatch for the long tail of fields without a setter.

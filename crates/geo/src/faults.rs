@@ -1,0 +1,361 @@
+//! Datacenter-level fault schedules: timed WAN misbehavior and gray
+//! process failures, validated with the rest of the configuration and
+//! translated onto the simulator when a cluster is built.
+//!
+//! A [`FaultEvent`] names datacenters (not simulator regions or process
+//! ids), so the same schedule drives every system — native and baseline —
+//! through [`apply_faults`]. The link-level fault *model* (TCP-like
+//! partition buffering, loss-as-RTO-latency gray links, directed one-way
+//! overrides) is documented on [`eunomia_sim::FaultSchedule`]; process
+//! pauses map to [`eunomia_sim::Simulation::pause_between`].
+
+use crate::config::{ClusterConfig, ConfigError};
+use eunomia_sim::{FaultSchedule, ProcessId, SimTime, Simulation};
+
+/// One timed fault in datacenter terms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// Datacenters `a` and `b` cannot exchange traffic during
+    /// `[from, to)`; in-flight and newly sent messages are buffered and
+    /// delivered after `to` (the heal), in FIFO order.
+    Partition {
+        /// First datacenter of the pair.
+        a: usize,
+        /// Second datacenter of the pair.
+        b: usize,
+        /// Window start (sim time).
+        from: SimTime,
+        /// Window end — the heal (sim time).
+        to: SimTime,
+    },
+    /// The directed link `from_dc -> to_dc` turns gray during
+    /// `[from, to)`: every message pays `extra_oneway` additional
+    /// latency, and with probability `loss` one or more `rto`-length
+    /// retransmission delays on top.
+    GrayLink {
+        /// Sending datacenter.
+        from_dc: usize,
+        /// Receiving datacenter.
+        to_dc: usize,
+        /// Window start (sim time).
+        from: SimTime,
+        /// Window end (sim time).
+        to: SimTime,
+        /// Per-message loss probability in `[0, 1]`.
+        loss: f64,
+        /// Constant extra one-way latency (ns).
+        extra_oneway: SimTime,
+        /// Retransmission timeout paid per simulated loss (ns).
+        rto: SimTime,
+    },
+    /// The directed link `from_dc -> to_dc` uses `oneway` as its base
+    /// one-way latency during `[from, to)` instead of half the
+    /// configured RTT — the mechanism for asymmetric WANs and
+    /// hub-and-spoke detours (the RTT matrix itself stays symmetric).
+    OnewayOverride {
+        /// Sending datacenter.
+        from_dc: usize,
+        /// Receiving datacenter.
+        to_dc: usize,
+        /// Window start (sim time).
+        from: SimTime,
+        /// Window end (sim time).
+        to: SimTime,
+        /// Base one-way latency during the window (ns).
+        oneway: SimTime,
+    },
+    /// Partition server `partition` of datacenter `dc` pauses (alive but
+    /// unresponsive — a gray process failure) during `[from, to)`. All
+    /// arriving work queues and drains in order at the resume; nothing
+    /// is lost.
+    PausePartition {
+        /// Datacenter of the paused partition server.
+        dc: usize,
+        /// Partition index within the datacenter.
+        partition: usize,
+        /// Window start (sim time).
+        from: SimTime,
+        /// Window end — the resume (sim time).
+        to: SimTime,
+    },
+}
+
+impl FaultEvent {
+    /// The event's `[from, to)` window.
+    pub fn window(&self) -> (SimTime, SimTime) {
+        match *self {
+            FaultEvent::Partition { from, to, .. }
+            | FaultEvent::GrayLink { from, to, .. }
+            | FaultEvent::OnewayOverride { from, to, .. }
+            | FaultEvent::PausePartition { from, to, .. } => (from, to),
+        }
+    }
+
+    /// Whether the event disrupts delivery or processing (partitions,
+    /// gray links, pauses). One-way overrides are topology shaping, not
+    /// disruptions: they have no "heal" to converge after.
+    pub fn is_disruption(&self) -> bool {
+        !matches!(self, FaultEvent::OnewayOverride { .. })
+    }
+}
+
+/// When the last disruption heals, if every disruption heals inside the
+/// run: the reference point for convergence-after-heal metrics. `None`
+/// if the schedule has no disruptions, or if any disruption is still in
+/// force when the run ends (there is no heal to converge after).
+pub fn last_heal(events: &[FaultEvent], duration: SimTime) -> Option<SimTime> {
+    let mut last = None;
+    for e in events.iter().filter(|e| e.is_disruption()) {
+        let (_, to) = e.window();
+        if to >= duration {
+            return None;
+        }
+        last = Some(last.map_or(to, |l: SimTime| l.max(to)));
+    }
+    last
+}
+
+/// Validates `events` against the deployment: datacenters and partitions
+/// must exist, windows must be non-empty and start inside the run, loss
+/// probabilities must be in `[0, 1]`, and link events must name two
+/// distinct datacenters.
+pub(crate) fn validate(events: &[FaultEvent], cfg: &ClusterConfig) -> Result<(), ConfigError> {
+    for e in events {
+        let (from, to) = e.window();
+        if from >= to {
+            return Err(ConfigError::FaultWindow { from, to });
+        }
+        if from >= cfg.duration {
+            return Err(ConfigError::FaultAfterEnd {
+                what: "fault window",
+                at: from,
+                duration: cfg.duration,
+            });
+        }
+        match *e {
+            FaultEvent::Partition { a, b, .. } => {
+                check_pair(a, b, cfg)?;
+            }
+            FaultEvent::GrayLink {
+                from_dc,
+                to_dc,
+                loss,
+                ..
+            } => {
+                check_pair(from_dc, to_dc, cfg)?;
+                if !(0.0..=1.0).contains(&loss) {
+                    return Err(ConfigError::FaultLoss { loss });
+                }
+            }
+            FaultEvent::OnewayOverride { from_dc, to_dc, .. } => {
+                check_pair(from_dc, to_dc, cfg)?;
+            }
+            FaultEvent::PausePartition { dc, partition, .. } => {
+                if dc >= cfg.n_dcs || partition >= cfg.partitions_per_dc {
+                    return Err(ConfigError::FaultOutOfRange {
+                        what: "paused partition",
+                        dc,
+                        index: partition,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_pair(a: usize, b: usize, cfg: &ClusterConfig) -> Result<(), ConfigError> {
+    if a >= cfg.n_dcs || b >= cfg.n_dcs {
+        return Err(ConfigError::FaultOutOfRange {
+            what: "fault link",
+            dc: a.max(b),
+            index: a.min(b),
+        });
+    }
+    if a == b {
+        return Err(ConfigError::FaultSelfLink { dc: a });
+    }
+    Ok(())
+}
+
+/// Installs `cfg.faults` on a built simulation: link events become the
+/// engine's [`FaultSchedule`]; pause events resolve to the partition
+/// processes in `partitions[dc][p]`. Shared by the native cluster
+/// builder and every baseline builder so all six systems honour the same
+/// schedule.
+pub fn apply_faults<M>(
+    cfg: &ClusterConfig,
+    sim: &mut Simulation<M>,
+    partitions: &[Vec<ProcessId>],
+) {
+    if cfg.faults.is_empty() {
+        return;
+    }
+    let mut schedule = FaultSchedule::new();
+    for e in &cfg.faults {
+        match *e {
+            FaultEvent::Partition { a, b, from, to } => {
+                schedule.partition(a, b, from, to);
+            }
+            FaultEvent::GrayLink {
+                from_dc,
+                to_dc,
+                from,
+                to,
+                loss,
+                extra_oneway,
+                rto,
+            } => {
+                schedule.degrade(from_dc, to_dc, from, to, loss, extra_oneway, rto);
+            }
+            FaultEvent::OnewayOverride {
+                from_dc,
+                to_dc,
+                from,
+                to,
+                oneway,
+            } => {
+                schedule.override_oneway(from_dc, to_dc, from, to, oneway);
+            }
+            FaultEvent::PausePartition {
+                dc,
+                partition,
+                from,
+                to,
+            } => {
+                sim.pause_between(partitions[dc][partition], from, to);
+            }
+        }
+    }
+    if !schedule.is_empty() {
+        sim.set_fault_schedule(schedule);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eunomia_sim::units;
+
+    fn base() -> ClusterConfig {
+        ClusterConfig::small_test()
+    }
+
+    #[test]
+    fn windows_and_ranges_are_validated() {
+        let cfg = base();
+        let err = validate(
+            &[FaultEvent::Partition {
+                a: 0,
+                b: 1,
+                from: units::secs(2),
+                to: units::secs(2),
+            }],
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::FaultWindow { .. }), "{err}");
+
+        let err = validate(
+            &[FaultEvent::Partition {
+                a: 0,
+                b: 5,
+                from: 0,
+                to: units::secs(1),
+            }],
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::FaultOutOfRange { .. }), "{err}");
+
+        let err = validate(
+            &[FaultEvent::Partition {
+                a: 1,
+                b: 1,
+                from: 0,
+                to: units::secs(1),
+            }],
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::FaultSelfLink { .. }), "{err}");
+
+        let err = validate(
+            &[FaultEvent::GrayLink {
+                from_dc: 0,
+                to_dc: 1,
+                from: 0,
+                to: units::secs(1),
+                loss: 1.5,
+                extra_oneway: 0,
+                rto: 0,
+            }],
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::FaultLoss { .. }), "{err}");
+
+        // Starting at/after the end would silently never fire.
+        let err = validate(
+            &[FaultEvent::PausePartition {
+                dc: 0,
+                partition: 0,
+                from: cfg.duration,
+                to: cfg.duration + 1,
+            }],
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::FaultAfterEnd { .. }), "{err}");
+
+        let err = validate(
+            &[FaultEvent::PausePartition {
+                dc: 0,
+                partition: 99,
+                from: 0,
+                to: units::secs(1),
+            }],
+            &cfg,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConfigError::FaultOutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn last_heal_ignores_overrides_and_unhealed_runs() {
+        let d = units::secs(10);
+        let p = FaultEvent::Partition {
+            a: 0,
+            b: 1,
+            from: units::secs(2),
+            to: units::secs(4),
+        };
+        let g = FaultEvent::GrayLink {
+            from_dc: 0,
+            to_dc: 1,
+            from: units::secs(3),
+            to: units::secs(6),
+            loss: 0.1,
+            extra_oneway: 0,
+            rto: 0,
+        };
+        let o = FaultEvent::OnewayOverride {
+            from_dc: 0,
+            to_dc: 1,
+            from: 0,
+            to: d,
+            oneway: units::ms(10),
+        };
+        assert_eq!(last_heal(&[p, g, o], d), Some(units::secs(6)));
+        assert_eq!(last_heal(&[o], d), None, "overrides alone never heal");
+        assert_eq!(last_heal(&[], d), None);
+        // A partition still in force at the end: no heal to measure from.
+        let unhealed = FaultEvent::Partition {
+            a: 0,
+            b: 1,
+            from: units::secs(2),
+            to: d,
+        };
+        assert_eq!(last_heal(&[p, unhealed], d), None);
+    }
+}

@@ -6,8 +6,10 @@
 //! figure compares like with like.
 
 use crate::config::ClusterConfig;
+use crate::faults;
 use crate::metrics::GeoMetrics;
 use eunomia_sim::{units, EngineStats, SimTime};
+use std::collections::HashMap;
 
 /// Summary of one simulated run.
 #[derive(Clone, Debug)]
@@ -30,6 +32,35 @@ pub struct RunReport {
     /// Raw engine counters for the run (event counts are deterministic
     /// per seed; `wall_ns` is real elapsed time and is not).
     pub engine: EngineStats,
+    /// Total stale reads (staleness exposure) — 0 unless the config set
+    /// `track_staleness`.
+    pub stale_reads: u64,
+    /// When the configured fault schedule's last disruption healed.
+    /// `None` when no disruption was scheduled or one outlives the run —
+    /// see [`faults::last_heal`].
+    pub last_heal: Option<SimTime>,
+    /// Number of datacenters in the deployment.
+    pub n_dcs: usize,
+    /// Whether every key is replicated at every datacenter (convergence
+    /// analysis is only defined for full replication).
+    pub full_replication: bool,
+}
+
+/// How completely (and how fast) pre-heal updates finished landing after
+/// the fault schedule's last disruption healed. Produced by
+/// [`RunReport::heal_convergence`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealConvergence {
+    /// Updates committed at their origin at or before the heal.
+    pub pre_heal_updates: usize,
+    /// Pre-heal updates that never reached every datacenter by the end
+    /// of the run — 0 means the system converged after the heal.
+    pub unconverged: usize,
+    /// Sim time at which the last pre-heal update finished landing at
+    /// its last datacenter (only counting converged updates).
+    pub converged_at: SimTime,
+    /// The heal the analysis was anchored to ([`RunReport::last_heal`]).
+    pub heal: SimTime,
 }
 
 impl RunReport {
@@ -52,6 +83,108 @@ impl RunReport {
             .into_iter()
             .map(|(ns, f)| (units::to_ms(ns), f))
             .collect()
+    }
+
+    /// Visibility-latency time series for a DC pair over the *whole* run
+    /// (faults typically sit inside the trimmed warm-up/cool-down window,
+    /// so no trimming here): `(bucket start in seconds, mean extra delay
+    /// in ms)` per non-empty `bucket`-sized bucket. This is the series
+    /// that shows visibility spiking across a fault window and recovering
+    /// after the heal.
+    pub fn visibility_series_ms(&self, origin: u16, dest: u16, bucket: SimTime) -> Vec<(f64, f64)> {
+        assert!(bucket > 0, "bucket must be positive");
+        let mut sums: HashMap<u64, (u64, u64)> = HashMap::new();
+        self.metrics.with(|m| {
+            if let Some(samples) = m.visibility.get(&(origin, dest)) {
+                for s in samples {
+                    let e = sums.entry(s.at / bucket).or_insert((0, 0));
+                    e.0 += s.extra_ns;
+                    e.1 += 1;
+                }
+            }
+        });
+        let mut out: Vec<(f64, f64)> = sums
+            .into_iter()
+            .map(|(b, (sum, n))| (units::to_secs(b * bucket), units::to_ms(sum / n.max(1))))
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// Convergence-after-heal analysis: did every update committed before
+    /// the last disruption healed reach every datacenter by the end of
+    /// the run, and when did the last one land?
+    ///
+    /// Requires a fault schedule whose disruptions all heal inside the
+    /// run ([`RunReport::last_heal`]), the apply log
+    /// (`ClusterConfig::apply_log`), and full replication; returns `None`
+    /// otherwise.
+    pub fn heal_convergence(&self) -> Option<HealConvergence> {
+        let heal = self.last_heal?;
+        if !self.full_replication {
+            return None;
+        }
+        // An update is identified by (origin, ts, key); its local commit
+        // is the record with origin == dest. Destinations are a bitmask so
+        // duplicate landings cannot inflate the count (n_dcs <= 64 holds
+        // for every conceivable deployment here). The log is borrowed in
+        // place — it can hold hundreds of thousands of records, so no
+        // clone.
+        let mut landings: HashMap<(u16, u64, u64), (bool, u64, SimTime)> = HashMap::new();
+        self.metrics.with(|m| {
+            for rec in &m.apply_log {
+                let e = landings
+                    .entry((rec.origin, rec.ts, rec.key))
+                    .or_insert((false, 0, 0));
+                if rec.origin == rec.dest && rec.at <= heal {
+                    e.0 = true; // committed pre-heal
+                }
+                e.1 |= 1u64 << rec.dest;
+                e.2 = e.2.max(rec.at);
+            }
+        });
+        if landings.is_empty() {
+            return None;
+        }
+        let mut pre_heal = 0usize;
+        let mut unconverged = 0usize;
+        let mut converged_at = 0;
+        for (_, (committed_pre_heal, dests, last_at)) in landings {
+            if !committed_pre_heal {
+                continue;
+            }
+            pre_heal += 1;
+            if dests.count_ones() < self.n_dcs as u32 {
+                unconverged += 1;
+            } else {
+                converged_at = converged_at.max(last_at);
+            }
+        }
+        Some(HealConvergence {
+            pre_heal_updates: pre_heal,
+            unconverged,
+            converged_at,
+            heal,
+        })
+    }
+
+    /// Milliseconds after the last heal until every pre-heal update had
+    /// landed at every datacenter. `None` if convergence is not
+    /// measurable (see [`RunReport::heal_convergence`]) or did not happen.
+    pub fn convergence_after_heal_ms(&self) -> Option<f64> {
+        self.heal_convergence()?.after_heal_ms()
+    }
+}
+
+impl HealConvergence {
+    /// Milliseconds from the heal until the last pre-heal update landed
+    /// at its last datacenter; `None` if any pre-heal update never
+    /// converged (or there were none to converge).
+    pub fn after_heal_ms(&self) -> Option<f64> {
+        if self.unconverged > 0 || self.pre_heal_updates == 0 {
+            return None;
+        }
+        Some(units::to_ms(self.converged_at.saturating_sub(self.heal)))
     }
 }
 
@@ -78,6 +211,10 @@ pub fn make_report(
         total_ops: metrics.completed_ops(),
         p50_latency_ms: units::to_ms(p50),
         p99_latency_ms: units::to_ms(p99),
+        stale_reads: metrics.stale_reads(),
+        last_heal: faults::last_heal(&cfg.faults, cfg.duration),
+        n_dcs: cfg.n_dcs,
+        full_replication: cfg.replication_factor.is_none_or(|rf| rf == cfg.n_dcs),
         metrics,
         window: (from, to),
         engine,

@@ -41,6 +41,7 @@ pub mod client;
 pub mod cluster;
 pub mod config;
 pub mod eunomia_proc;
+pub mod faults;
 pub mod harness;
 pub mod metrics;
 pub mod msg;
@@ -55,7 +56,8 @@ pub use config::{
     ClusterConfig, ClusterConfigBuilder, ConfigError, CostModel, ReplicaCrash, StragglerConfig,
 };
 pub use eunomia_sim::EngineStats;
-pub use harness::RunReport;
+pub use faults::{apply_faults, FaultEvent};
+pub use harness::{HealConvergence, RunReport};
 pub use metrics::GeoMetrics;
 pub use msg::Msg;
 pub use scenario::{Scenario, Sweep, SweepCell, SweepResults};

@@ -67,6 +67,25 @@ pub struct MetricsInner {
     pub apply_log: Vec<ApplyRecord>,
     /// Whether the apply log records entries.
     pub apply_log_enabled: bool,
+    /// Whether staleness exposure is tracked (see
+    /// [`GeoMetrics::enable_staleness_tracking`]).
+    pub staleness_enabled: bool,
+    /// Stale reads observed per datacenter: reads of a key that has a
+    /// remote update committed at its origin but not yet applied at the
+    /// reading datacenter. This is *staleness exposure* — any read inside
+    /// the normal visibility window counts — so its interesting signal is
+    /// how faults inflate it, not its absolute value.
+    pub stale_reads: Vec<u64>,
+    /// Stale reads over time per datacenter (1-second buckets): the
+    /// series that shows staleness spiking during a fault window and
+    /// recovering after the heal.
+    pub stale_read_series: Vec<TimeSeries>,
+    /// Per key: highest update timestamp committed at each origin
+    /// datacenter (staleness tracking only).
+    issued_high: HashMap<u64, Vec<u64>>,
+    /// Per `(dest, key)`: highest update timestamp applied at `dest` per
+    /// origin datacenter (staleness tracking only).
+    applied_high: HashMap<(u16, u64), Vec<u64>>,
 }
 
 /// Metrics sink shared (single-threaded `Rc`) by all simulation processes.
@@ -93,6 +112,13 @@ impl GeoMetrics {
                 service_messages: 0,
                 apply_log: Vec::new(),
                 apply_log_enabled: false,
+                staleness_enabled: false,
+                stale_reads: vec![0; n_dcs],
+                stale_read_series: (0..n_dcs)
+                    .map(|_| TimeSeries::new(eunomia_sim::units::secs(1)))
+                    .collect(),
+                issued_high: HashMap::new(),
+                applied_high: HashMap::new(),
             })),
         }
     }
@@ -136,12 +162,69 @@ impl GeoMetrics {
         self.inner.borrow_mut().apply_log_enabled = true;
     }
 
-    /// Appends to the apply log if enabled.
+    /// Turns on staleness-exposure tracking (off by default: it maintains
+    /// per-key high-water tables on every apply and checks them on every
+    /// read).
+    pub fn enable_staleness_tracking(&self) {
+        self.inner.borrow_mut().staleness_enabled = true;
+    }
+
+    /// Appends to the apply log if enabled, and advances the staleness
+    /// high-water tables if staleness tracking is on. Every system calls
+    /// this for local commits (`origin == dest`) and remote applies alike,
+    /// so both features see the complete landing stream.
     pub fn record_apply(&self, record: ApplyRecord) {
         let mut m = self.inner.borrow_mut();
+        if m.staleness_enabled {
+            let n_dcs = m.ops_per_dc.len();
+            let origin = record.origin as usize;
+            if record.origin == record.dest {
+                let issued = m
+                    .issued_high
+                    .entry(record.key)
+                    .or_insert_with(|| vec![0; n_dcs]);
+                issued[origin] = issued[origin].max(record.ts);
+            }
+            let applied = m
+                .applied_high
+                .entry((record.dest, record.key))
+                .or_insert_with(|| vec![0; n_dcs]);
+            applied[origin] = applied[origin].max(record.ts);
+        }
         if m.apply_log_enabled {
             m.apply_log.push(record);
         }
+    }
+
+    /// Records a read of `key` served at datacenter `dc`, counting it as
+    /// stale if some *other* datacenter has committed an update to `key`
+    /// that `dc` has not applied yet. No-op unless staleness tracking is
+    /// enabled.
+    pub fn record_read(&self, dc: usize, key: u64, at: SimTime) {
+        let mut m = self.inner.borrow_mut();
+        if !m.staleness_enabled {
+            return;
+        }
+        let stale = match m.issued_high.get(&key) {
+            None => false,
+            Some(issued) => {
+                let applied = m.applied_high.get(&(dc as u16, key));
+                issued
+                    .iter()
+                    .enumerate()
+                    .any(|(origin, &ts)| origin != dc && ts > applied.map_or(0, |a| a[origin]))
+            }
+        };
+        if stale {
+            m.stale_reads[dc] += 1;
+            m.stale_read_series[dc].add(at, 1);
+        }
+    }
+
+    /// Total stale reads across datacenters (0 unless staleness tracking
+    /// was enabled).
+    pub fn stale_reads(&self) -> u64 {
+        self.inner.borrow().stale_reads.iter().sum()
     }
 
     /// Clones the apply log (empty unless enabled).
@@ -223,6 +306,35 @@ mod tests {
         let v = m.visibility_extras(0, 1, units::secs(2), units::secs(10));
         assert_eq!(v, vec![7]);
         assert!(m.visibility_extras(1, 0, 0, units::secs(10)).is_empty());
+    }
+
+    #[test]
+    fn staleness_counts_unapplied_remote_updates_only() {
+        let m = GeoMetrics::new(2);
+        m.enable_staleness_tracking();
+        let rec = |origin: u16, dest: u16, key: u64, ts: u64, at| ApplyRecord {
+            origin,
+            dest,
+            key,
+            ts,
+            vts: vec![0, 0],
+            at,
+        };
+        // dc1 commits key 7 at ts 5; dc0 has not applied it yet.
+        m.record_apply(rec(1, 1, 7, 5, units::secs(1)));
+        m.record_read(0, 7, units::secs(2)); // stale
+        m.record_read(1, 7, units::secs(2)); // own update: not stale
+        m.record_read(0, 8, units::secs(2)); // untouched key: not stale
+        assert_eq!(m.stale_reads(), 1);
+        // After dc0 applies it, reads are fresh again.
+        m.record_apply(rec(1, 0, 7, 5, units::secs(3)));
+        m.record_read(0, 7, units::secs(4));
+        assert_eq!(m.stale_reads(), 1);
+        // Tracking off: nothing is ever counted.
+        let off = GeoMetrics::new(2);
+        off.record_apply(rec(1, 1, 7, 5, 0));
+        off.record_read(0, 7, 0);
+        assert_eq!(off.stale_reads(), 0);
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub struct PartitionProc {
     /// stayed silent — a partition that itself pauses (a straggler) must
     /// not poison its links.
     awaiting_since: Vec<Option<SimTime>>,
+    /// When the flush timer last ran. If the gap between flushes exceeds
+    /// the suspicion horizon, *we* were unresponsive (a paused process, a
+    /// long GC-like stall), so suspicion clocks are restarted instead of
+    /// condemning replicas that answered while we slept — marking the
+    /// only replica dead drops its unacked resend window and loses
+    /// metadata for good.
+    last_flush: Option<SimTime>,
     data_arrival: HashMap<(DcId, Timestamp), SimTime>,
     /// Copies of staged remote updates kept only for apply-log reporting.
     pending_log: HashMap<(DcId, Timestamp), eunomia_kv::Update>,
@@ -76,6 +83,7 @@ impl PartitionProc {
             sender: ReplicatedSender::new(replicas),
             replica_alive: vec![true; replicas],
             awaiting_since: vec![None; replicas],
+            last_flush: None,
             tree: cfg
                 .metadata_tree_arity
                 .map(|a| FanInTree::new(cfg.partitions_per_dc, a)),
@@ -140,6 +148,20 @@ impl PartitionProc {
 
     fn flush_metadata(&mut self, ctx: &mut Context<'_, Msg>) {
         let now = ctx.now();
+        // Failure-detector hygiene: if our own flush loop stalled past the
+        // suspicion horizon (we were paused, not the replicas silent),
+        // restart the suspicion clocks before judging anyone.
+        if self
+            .last_flush
+            .is_some_and(|last| now.saturating_sub(last) > self.cfg.omega_timeout)
+        {
+            for slot in self.awaiting_since.iter_mut() {
+                if slot.is_some() {
+                    *slot = Some(now);
+                }
+            }
+        }
+        self.last_flush = Some(now);
         let physical = Timestamp(ctx.clock());
         // Heartbeat once per flush round if the partition has been idle
         // (Alg. 2 l. 10-12).
@@ -230,6 +252,7 @@ impl Process<Msg> for PartitionProc {
         match msg {
             Msg::Read { key } => {
                 ctx.consume(self.costs.read_ns + self.vector_cost());
+                self.metrics.record_read(self.dc, key.0, ctx.now());
                 let (value, vts) = self.state.read(key);
                 ctx.send(from, Msg::ReadReply { value, vts });
             }

@@ -10,8 +10,45 @@
 //! [`Sweep`] runs a grid of systems against a list of scenarios and
 //! collects [`RunReport`]s, collapsing the per-figure hand-rolled loops
 //! into one driver with shared table rendering.
+//!
+//! # The fault model and its presets
+//!
+//! Beyond the paper's leader crashes and §7.2.3 stragglers, scenarios can
+//! carry a **timed fault schedule** ([`ClusterConfig::faults`], a list of
+//! [`FaultEvent`]s) that every system — native and baseline — honours
+//! identically. The model is TCP-like, because all six protocols assume
+//! reliable FIFO links:
+//!
+//! * **DC-pair partitions** buffer traffic and deliver it (FIFO) after
+//!   the heal — never silent loss, so convergence-after-heal is a
+//!   meaningful, assertable metric ([`RunReport::heal_convergence`]).
+//! * **Gray links** pay constant extra latency plus, per message, a
+//!   probabilistic retransmission penalty (loss manifests as RTO-shaped
+//!   latency inflation, the way TCP turns loss into delay).
+//! * **One-way overrides** replace a *directed* link's base latency,
+//!   expressing asymmetric WANs and hub-and-spoke detours while the RTT
+//!   matrix stays symmetric.
+//! * **Partition-server pauses** model gray process failures: the
+//!   process is alive but unresponsive for a window; queued work drains
+//!   in order at the resume.
+//!
+//! Four presets cover the space (all enable the apply log and staleness
+//! tracking so fault-aware metrics — stale-read counts, visibility
+//! series, convergence-after-heal — are populated):
+//!
+//! | preset | deployment | faults |
+//! |---|---|---|
+//! | [`partitioned-3dc`](Scenario::partitioned_three_dc) | paper 3-DC | dc0–dc1 partitioned for ~a quarter of the run, then healed |
+//! | [`gray-wan`](Scenario::gray_wan) | paper 3-DC | both links into dc2 gray (15% loss, +20 ms) for the middle half |
+//! | [`hub-and-spoke`](Scenario::hub_and_spoke) | 5 DCs via a hub | spoke↔spoke traffic priced through the hub, slow uplinks (asymmetric one-ways), one spoke partitioned from the hub mid-run |
+//! | [`asymmetric-5dc`](Scenario::asymmetric_five_dc) | wide 5-DC | permanent asymmetric one-ways, a gray window, a partition+heal, and a paused partition server — every fault class at once |
+//!
+//! All four take the run length in seconds and scale their fault windows
+//! proportionally, so `--quick` CI runs exercise the same schedule shape
+//! as full runs. Same seed ⇒ bit-identical reports, faults included.
 
 use crate::config::{ClusterConfig, ConfigError, StragglerConfig};
+use crate::faults::FaultEvent;
 use crate::harness::RunReport;
 use crate::system::{run, SystemId};
 use crate::table::format_table;
@@ -172,17 +209,255 @@ impl Scenario {
         }
     }
 
-    /// Every named preset (with representative parameters) — what
-    /// `--list-systems`-style tooling and docs enumerate.
-    pub fn presets() -> Vec<Scenario> {
+    /// Shared base for the fault presets: `secs` seconds with 10% trims,
+    /// an update-heavy bounded keyspace, and the fault-aware metrics
+    /// (apply log + staleness tracking) on.
+    ///
+    /// # Panics
+    /// Panics if `secs < 5`: the proportional fault windows need room.
+    fn fault_base(secs: u64) -> ClusterConfig {
+        assert!(secs >= 5, "fault presets need at least 5 simulated seconds");
+        ClusterConfig {
+            duration: units::secs(secs),
+            warmup: units::secs((secs / 10).max(2)),
+            cooldown: units::secs((secs / 10).max(1)),
+            // Near the paper's 90:10 mix: the serialized receivers
+            // (EunomiaKV's Alg. 5, the sequencer systems') sustain a few
+            // thousand applies/s per DC — an update-heavy mix saturates
+            // them with or without faults, which would drown the fault
+            // signal in a pure overload signal.
+            workload: WorkloadConfig {
+                keys: 300,
+                read_pct: 85,
+                value_size: 16,
+                power_law: false,
+            },
+            apply_log: true,
+            track_staleness: true,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// `partitioned-3dc`: the paper's 3-DC deployment with dc0 and dc1
+    /// partitioned from a third into three fifths of the run. During the
+    /// window both datacenters keep serving local clients (the
+    /// availability geo-replication buys); visibility between them stalls
+    /// and staleness exposure spikes, then the backlog drains after the
+    /// heal. `secs` is the run length; the window scales with it.
+    pub fn partitioned_three_dc(secs: u64) -> Scenario {
+        let d = units::secs(secs);
+        let cfg = ClusterConfig {
+            faults: vec![FaultEvent::Partition {
+                a: 0,
+                b: 1,
+                from: d / 3,
+                to: d * 3 / 5,
+            }],
+            ..Scenario::fault_base(secs)
+        };
+        Scenario {
+            name: "partitioned-3dc".into(),
+            cfg,
+        }
+    }
+
+    /// `gray-wan`: the paper's 3-DC deployment where both WAN links into
+    /// dc2 turn gray (15% per-message loss surfacing as 120 ms RTO
+    /// retransmissions, plus 20 ms latency inflation) for the middle half
+    /// of the run — the classic partially-degraded-but-not-partitioned
+    /// failure that availability headlines gloss over.
+    pub fn gray_wan(secs: u64) -> Scenario {
+        let d = units::secs(secs);
+        let (from, to) = (d / 4, d * 3 / 4);
+        let gray = |from_dc: usize, to_dc: usize| FaultEvent::GrayLink {
+            from_dc,
+            to_dc,
+            from,
+            to,
+            loss: 0.15,
+            extra_oneway: units::ms(20),
+            rto: units::ms(120),
+        };
+        let cfg = ClusterConfig {
+            faults: vec![gray(0, 2), gray(2, 0), gray(1, 2), gray(2, 1)],
+            ..Scenario::fault_base(secs)
+        };
+        Scenario {
+            name: "gray-wan".into(),
+            cfg,
+        }
+    }
+
+    /// `hub-and-spoke`: five datacenters where dc0 is the hub and
+    /// spoke↔spoke RTTs price the detour through it. One-way overrides
+    /// make every spoke's uplink slow (75% of the link RTT spent
+    /// spoke→hub, 25% hub→spoke) — the asymmetry real access networks
+    /// have and symmetric RTT matrices cannot express. Mid-run, spoke
+    /// dc3 is partitioned from the hub and heals.
+    pub fn hub_and_spoke(secs: u64) -> Scenario {
+        let d = units::secs(secs);
+        let n = 5;
+        let hub_rtt = |i: usize| units::ms(60 + 20 * (i as u64 - 1));
+        let rtts: Vec<Vec<u64>> = (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|b| match (a, b) {
+                        _ if a == b => 0,
+                        (0, i) | (i, 0) => hub_rtt(i),
+                        (i, j) => hub_rtt(i) + hub_rtt(j),
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut faults = Vec::new();
+        for spoke in 1..n {
+            let rtt = hub_rtt(spoke);
+            faults.push(FaultEvent::OnewayOverride {
+                from_dc: spoke,
+                to_dc: 0,
+                from: 0,
+                to: d,
+                oneway: rtt * 3 / 4,
+            });
+            faults.push(FaultEvent::OnewayOverride {
+                from_dc: 0,
+                to_dc: spoke,
+                from: 0,
+                to: d,
+                oneway: rtt / 4,
+            });
+        }
+        faults.push(FaultEvent::Partition {
+            a: 0,
+            b: 3,
+            from: d * 2 / 5,
+            to: d * 3 / 5,
+        });
+        let cfg = ClusterConfig {
+            n_dcs: n,
+            rtt_matrix: Some(rtts),
+            partitions_per_dc: 4,
+            clients_per_dc: 3,
+            faults,
+            ..Scenario::fault_base(secs)
+        };
+        Scenario {
+            name: "hub-and-spoke".into(),
+            cfg,
+        }
+    }
+
+    /// `asymmetric-5dc`: the wide 5-DC topology with every fault class at
+    /// once — permanently asymmetric one-way latencies on two links, a
+    /// gray window on the dc0↔dc2 link, a dc1–dc2 partition that heals,
+    /// and a paused (gray-failed) partition server in dc2. The
+    /// kitchen-sink preset for "does the whole zoo still converge".
+    pub fn asymmetric_five_dc(secs: u64) -> Scenario {
+        let d = units::secs(secs);
+        let base = Scenario::wide_five_dc();
+        let mut faults = vec![
+            // dc0->dc4: 130 of the 200 ms RTT; dc4->dc0 gets the fast 70.
+            FaultEvent::OnewayOverride {
+                from_dc: 0,
+                to_dc: 4,
+                from: 0,
+                to: d,
+                oneway: units::ms(130),
+            },
+            FaultEvent::OnewayOverride {
+                from_dc: 4,
+                to_dc: 0,
+                from: 0,
+                to: d,
+                oneway: units::ms(70),
+            },
+            // dc1<->dc3 (130 ms RTT): 90 up, 40 down.
+            FaultEvent::OnewayOverride {
+                from_dc: 1,
+                to_dc: 3,
+                from: 0,
+                to: d,
+                oneway: units::ms(90),
+            },
+            FaultEvent::OnewayOverride {
+                from_dc: 3,
+                to_dc: 1,
+                from: 0,
+                to: d,
+                oneway: units::ms(40),
+            },
+            FaultEvent::Partition {
+                a: 1,
+                b: 2,
+                from: d / 3,
+                to: d / 2,
+            },
+            FaultEvent::PausePartition {
+                dc: 2,
+                partition: 0,
+                from: d * 3 / 5,
+                to: d * 7 / 10,
+            },
+        ];
+        for (a, b) in [(0, 2), (2, 0)] {
+            faults.push(FaultEvent::GrayLink {
+                from_dc: a,
+                to_dc: b,
+                from: d / 4,
+                to: d / 2,
+                loss: 0.2,
+                extra_oneway: units::ms(15),
+                rto: units::ms(100),
+            });
+        }
+        let cfg = ClusterConfig {
+            n_dcs: base.cfg.n_dcs,
+            rtt_matrix: base.cfg.rtt_matrix.clone(),
+            partitions_per_dc: 4,
+            clients_per_dc: 3,
+            faults,
+            ..Scenario::fault_base(secs)
+        };
+        Scenario {
+            name: "asymmetric-5dc".into(),
+            cfg,
+        }
+    }
+
+    /// The four fault presets at `secs` simulated seconds each — what the
+    /// `fig_faults` harness and the CI fault matrix sweep.
+    pub fn fault_presets(secs: u64) -> Vec<Scenario> {
         vec![
+            Scenario::partitioned_three_dc(secs),
+            Scenario::gray_wan(secs),
+            Scenario::hub_and_spoke(secs),
+            Scenario::asymmetric_five_dc(secs),
+        ]
+    }
+
+    /// Every named preset (with representative parameters) — what
+    /// `--list-scenarios` tooling and docs enumerate, and the lookup
+    /// table behind [`Scenario::by_name`].
+    pub fn presets() -> Vec<Scenario> {
+        let mut out = vec![
             Scenario::paper_three_dc(),
             Scenario::small_test(),
             Scenario::wide_five_dc(),
             Scenario::straggler(units::ms(100)),
             Scenario::partial_replication(2).expect("rf 2 of 3 DCs is valid"),
             Scenario::massive(),
-        ]
+        ];
+        out.extend(Scenario::fault_presets(30));
+        out
+    }
+
+    /// Looks a preset up by its name (as printed by `--list-scenarios`),
+    /// case-insensitively. Parameterized presets resolve at their
+    /// [`presets`](Scenario::presets) defaults.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::presets()
+            .into_iter()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
     }
 
     /// The scenario's name (used in tables and reports).
@@ -494,6 +769,40 @@ mod tests {
                 preset.name()
             );
         }
+    }
+
+    #[test]
+    fn fault_presets_scale_windows_with_duration() {
+        for secs in [10, 30] {
+            let d = units::secs(secs);
+            for preset in Scenario::fault_presets(secs) {
+                assert_eq!(preset.cfg().duration, d, "{}", preset.name());
+                assert!(!preset.cfg().faults.is_empty(), "{}", preset.name());
+                assert!(preset.cfg().apply_log && preset.cfg().track_staleness);
+                for e in &preset.cfg().faults {
+                    let (from, to) = e.window();
+                    assert!(from < to && from < d, "{}: {e:?}", preset.name());
+                }
+                // Every preset's disruptions heal inside the run, so
+                // convergence-after-heal is measurable.
+                assert!(
+                    crate::faults::last_heal(&preset.cfg().faults, d).is_some(),
+                    "{} must heal before the run ends",
+                    preset.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_resolves_presets_case_insensitively() {
+        assert_eq!(Scenario::by_name("gray-wan").unwrap().name(), "gray-wan");
+        assert_eq!(
+            Scenario::by_name("PARTITIONED-3DC").unwrap().name(),
+            "partitioned-3dc"
+        );
+        assert_eq!(Scenario::by_name("massive").unwrap().name(), "massive");
+        assert!(Scenario::by_name("no-such-scenario").is_none());
     }
 
     #[test]

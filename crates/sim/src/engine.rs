@@ -29,11 +29,12 @@
 //! [`Simulation::stats`] exposes the engine counters ([`EngineStats`])
 //! that the geo harness threads into every `RunReport`.
 
+use crate::faults::{CompiledFaults, FaultSchedule};
 use crate::network::{NodeId, Topology};
 use crate::ClockModel;
 use crate::SimTime;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -83,6 +84,8 @@ enum Target {
     Arrive { slot: u32 },
     Dispatch { to: ProcessId },
     Crash { pid: ProcessId },
+    Pause { pid: ProcessId },
+    Resume { pid: ProcessId },
 }
 
 struct HeapEntry {
@@ -112,6 +115,10 @@ struct Slot<M> {
     proc: Option<Box<dyn Process<M>>>,
     node: NodeId,
     crashed: bool,
+    /// A paused process (gray failure: alive but unresponsive) queues all
+    /// arriving work and runs nothing until resumed — unlike a crash,
+    /// nothing is dropped.
+    paused: bool,
     busy_until: SimTime,
     queue: VecDeque<Work<M>>,
     dispatch_scheduled: bool,
@@ -182,6 +189,12 @@ pub struct EngineStats {
     /// Arrivals run directly at an idle process, skipping the Dispatch
     /// heap round-trip.
     pub direct_deliveries: u64,
+    /// Messages whose delivery was deferred past a partition's heal time
+    /// by the fault schedule (TCP-like outage buffering, not loss).
+    pub messages_deferred: u64,
+    /// Simulated retransmissions on gray links: each adds one RTO of
+    /// latency to the affected message.
+    pub retransmits: u64,
     /// Peak event-heap length.
     pub heap_peak: usize,
     /// Wall-clock nanoseconds spent inside `run_until` (accumulated
@@ -325,6 +338,10 @@ pub struct Simulation<M> {
     /// Cached `topology.regions()`.
     nregions: usize,
     timer_table: TimerTable,
+    /// Link-fault schedule as installed (compiled when the run starts).
+    fault_schedule: Option<FaultSchedule>,
+    /// Compiled per-pair fault timelines consulted by `route`.
+    faults: Option<CompiledFaults>,
     /// Pooled scratch buffers lent to `Context` around each handler call.
     scratch_outbox: Vec<(ProcessId, M, SimTime)>,
     scratch_timers: Vec<(SimTime, u64, u64)>,
@@ -353,6 +370,8 @@ impl<M> Simulation<M> {
             jitter: 0,
             nregions: 0,
             timer_table: TimerTable::default(),
+            fault_schedule: None,
+            faults: None,
             scratch_outbox: Vec::new(),
             scratch_timers: Vec::new(),
             stats: EngineStats::default(),
@@ -395,6 +414,7 @@ impl<M> Simulation<M> {
             proc: Some(proc),
             node,
             crashed: false,
+            paused: false,
             busy_until: 0,
             queue: VecDeque::new(),
             dispatch_scheduled: false,
@@ -413,6 +433,38 @@ impl<M> Simulation<M> {
     /// Whether `pid` has crashed.
     pub fn is_crashed(&self, pid: ProcessId) -> bool {
         self.slots[pid.index()].crashed
+    }
+
+    /// Schedules `pid` to pause during `[from, to)`: a gray failure where
+    /// the process is alive but unresponsive. Arriving work (messages and
+    /// timer firings) queues instead of running and drains — in arrival
+    /// order — once the process resumes. Nothing is dropped.
+    ///
+    /// # Panics
+    /// Panics if the window is empty or inverted.
+    pub fn pause_between(&mut self, pid: ProcessId, from: SimTime, to: SimTime) {
+        assert!(from < to, "pause window [{from}, {to}) is empty");
+        self.push_entry(from, Target::Pause { pid });
+        self.push_entry(to, Target::Resume { pid });
+    }
+
+    /// Whether `pid` is currently paused.
+    pub fn is_paused(&self, pid: ProcessId) -> bool {
+        self.slots[pid.index()].paused
+    }
+
+    /// Installs the link-fault schedule (partitions, gray links,
+    /// asymmetric overrides) interpreted by the routing path. See
+    /// [`FaultSchedule`] for the fault model.
+    ///
+    /// # Panics
+    /// Panics if the run has already started.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        assert!(
+            !self.started,
+            "fault schedules must be installed before the run starts"
+        );
+        self.fault_schedule = Some(schedule);
     }
 
     /// Current simulated time (ns).
@@ -485,6 +537,11 @@ impl<M> Simulation<M> {
             .collect();
         self.jitter = self.topology.jitter();
         self.nregions = regions;
+        if let Some(schedule) = self.fault_schedule.take() {
+            if !schedule.is_empty() {
+                self.faults = Some(schedule.compile(regions));
+            }
+        }
         for i in 0..n {
             self.push_arrive(0, ProcessId(i as u32), Work::Start);
         }
@@ -521,6 +578,21 @@ impl<M> Simulation<M> {
                         }
                     }
                 }
+                Target::Pause { pid } => {
+                    let s = &mut self.slots[pid.index()];
+                    if !s.crashed {
+                        s.paused = true;
+                    }
+                }
+                Target::Resume { pid } => {
+                    let idx = pid.index();
+                    if self.slots[idx].paused {
+                        self.slots[idx].paused = false;
+                        // Drain what accumulated during the pause.
+                        let at = self.slots[idx].busy_until.max(self.now);
+                        self.reschedule_if_queued(idx, pid, at);
+                    }
+                }
             }
         }
         self.now = self
@@ -549,6 +621,11 @@ impl<M> Simulation<M> {
             }
             return;
         }
+        if slot.paused {
+            // Unresponsive, not dead: everything waits for the resume.
+            slot.queue.push_back(work);
+            return;
+        }
         // Direct delivery: an idle process with nothing queued runs the
         // handler now — no Dispatch heap round-trip. (Stale timer
         // arrivals don't count: their handler never runs.)
@@ -573,6 +650,11 @@ impl<M> Simulation<M> {
             // The Crash event drained the queue and arrive() rejects
             // work for crashed processes, so there is nothing to drop.
             debug_assert!(self.slots[idx].queue.is_empty());
+            return;
+        }
+        if self.slots[idx].paused {
+            // A dispatch scheduled before the pause landed: the queued
+            // work stays put until the resume reschedules it.
             return;
         }
         let Some(work) = self.slots[idx].queue.pop_front() else {
@@ -654,8 +736,41 @@ impl<M> Simulation<M> {
     fn route(&mut self, from: ProcessId, to: ProcessId, msg: M, departure: SimTime) {
         let from_region = self.proc_regions[from.index()];
         let to_region = self.proc_regions[to.index()];
-        let base = self.oneway_base[from_region * self.nregions + to_region];
-        let latency = crate::network::jitter_sample(base, self.jitter, &mut self.rng);
+        let mut base = self.oneway_base[from_region * self.nregions + to_region];
+        let mut departure = departure;
+        let mut extra = 0;
+        if let Some(faults) = &self.faults {
+            let mut st = faults.state_at(from_region, to_region, departure);
+            if !st.is_clear() {
+                // Partition: the transport buffers the message and sends
+                // it at the heal. Chained windows are walked until the
+                // link is open (each heal is strictly later — terminates),
+                // but however many windows it crosses, one message was
+                // deferred once.
+                if st.blocked_until.is_some() {
+                    self.stats.messages_deferred += 1;
+                }
+                while let Some(heal) = st.blocked_until {
+                    departure = heal;
+                    st = faults.state_at(from_region, to_region, departure);
+                }
+                if let Some(oneway) = st.oneway {
+                    base = oneway;
+                }
+                extra = st.extra;
+                if st.loss_ppm > 0 {
+                    // Gray link: each simulated loss costs one RTO before
+                    // the retransmission gets through (geometric, capped).
+                    let mut tries = 0;
+                    while tries < 16 && self.rng.random_range(0..1_000_000u32) < st.loss_ppm {
+                        extra += st.rto;
+                        self.stats.retransmits += 1;
+                        tries += 1;
+                    }
+                }
+            }
+        }
+        let latency = crate::network::jitter_sample(base + extra, self.jitter, &mut self.rng);
         let mut arrival = departure + latency;
         // FIFO clamp per ordered (from, to) pair: flat table, no hashing.
         let last = &mut self.link_last[from.index() * self.slots.len() + to.index()];
@@ -1048,6 +1163,163 @@ mod tests {
         assert!(st.direct_deliveries >= 2, "starts run direct");
         assert!(st.wall_ns > 0);
         assert!(st.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn partitioned_link_defers_delivery_to_heal() {
+        use crate::faults::FaultSchedule;
+        struct TimedSender {
+            peer: ProcessId,
+        }
+        impl Process<u64> for TimedSender {
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                ctx.set_timer(units::ms(10), 0);
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, u64>, _f: ProcessId, _m: u64) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u64>, _tag: u64) {
+                ctx.send(self.peer, ctx.now());
+            }
+        }
+        let log: Log = Rc::default();
+        let mut sim = Simulation::new(Topology::paper_three_dcs(0, 0), 21);
+        let rec = sim.add_process(
+            1,
+            Box::new(Recorder {
+                log: log.clone(),
+                label: "r",
+            }),
+        );
+        let _s = sim.add_process(0, Box::new(TimedSender { peer: rec }));
+        let mut fs = FaultSchedule::new();
+        // dc0 <-> dc1 partitioned over the send instant (10 ms).
+        fs.partition(0, 1, units::ms(5), units::ms(200));
+        sim.set_fault_schedule(fs);
+        sim.run_until(units::secs(1));
+        // Normal arrival would be 10 + 40 ms; deferred to heal + 40 ms.
+        assert_eq!(log.borrow()[0].0, units::ms(240));
+        assert_eq!(sim.stats().messages_deferred, 1);
+    }
+
+    #[test]
+    fn gray_link_inflates_latency_without_loss() {
+        use crate::faults::FaultSchedule;
+        let log: Log = Rc::default();
+        let mut sim = Simulation::new(Topology::paper_three_dcs(0, 0), 22);
+        let rec = sim.add_process(
+            1,
+            Box::new(Recorder {
+                log: log.clone(),
+                label: "r",
+            }),
+        );
+        let _s = sim.add_process(0, Box::new(Burst { peer: rec, n: 200 }));
+        let mut fs = FaultSchedule::new();
+        fs.degrade(0, 1, 0, units::secs(1), 0.5, units::ms(5), units::ms(50));
+        sim.set_fault_schedule(fs);
+        sim.run_until(units::secs(5));
+        let log = log.borrow();
+        // Nothing is lost; FIFO order holds despite random RTO penalties.
+        assert_eq!(log.len(), 200);
+        for (i, (_, m)) in log.iter().enumerate() {
+            assert_eq!(m, &format!("r:{i}"));
+        }
+        // Every message pays at least base + extra.
+        assert!(log.iter().all(|(t, _)| *t >= units::ms(45)));
+        // ~50% loss over 200 messages: retransmits happened.
+        let st = sim.stats();
+        assert!(st.retransmits > 50, "retransmits: {}", st.retransmits);
+        assert_eq!(st.messages_deferred, 0);
+    }
+
+    #[test]
+    fn oneway_override_makes_links_asymmetric() {
+        use crate::faults::FaultSchedule;
+        struct Echo;
+        impl Process<u64> for Echo {
+            fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: ProcessId, msg: u64) {
+                ctx.send(from, msg);
+            }
+        }
+        let log: Log = Rc::default();
+        let mut sim = Simulation::new(Topology::paper_three_dcs(0, 0), 23);
+        let echo = sim.add_process(1, Box::new(Echo));
+        struct PingOnce {
+            peer: ProcessId,
+            log: Log,
+        }
+        impl Process<u64> for PingOnce {
+            fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+                ctx.send(self.peer, 1);
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, u64>, _f: ProcessId, _m: u64) {
+                self.log.borrow_mut().push((ctx.now(), "pong".into()));
+            }
+        }
+        let _p = sim.add_process(
+            0,
+            Box::new(PingOnce {
+                peer: echo,
+                log: log.clone(),
+            }),
+        );
+        let mut fs = FaultSchedule::new();
+        // dc0 -> dc1 slowed to 100 ms one-way; the return path keeps 40 ms.
+        fs.override_oneway(0, 1, 0, units::secs(10), units::ms(100));
+        sim.set_fault_schedule(fs);
+        sim.run_until(units::secs(1));
+        assert_eq!(log.borrow()[0].0, units::ms(140));
+    }
+
+    #[test]
+    fn pause_queues_everything_and_resumes_in_order() {
+        let log: Log = Rc::default();
+        let mut sim = Simulation::new(Topology::single_region(2, units::ms(1), 0), 24);
+        let server = sim.add_process(
+            0,
+            Box::new(SlowServer {
+                log: log.clone(),
+                cost: units::us(10),
+            }),
+        );
+        let _client = sim.add_process(
+            0,
+            Box::new(Burst {
+                peer: server,
+                n: 20,
+            }),
+        );
+        // Messages arrive at 1 ms; the server is paused over that instant.
+        sim.pause_between(server, units::us(500), units::ms(50));
+        sim.run_until(units::secs(1));
+        let log = log.borrow();
+        assert_eq!(log.len(), 20, "pause drops nothing");
+        // First handled at the resume, in FIFO order.
+        assert_eq!(log[0].0, units::ms(50));
+        for (i, (_, m)) in log.iter().enumerate() {
+            assert_eq!(m, &format!("s:{i}"));
+        }
+        assert!(!sim.is_paused(server));
+    }
+
+    #[test]
+    fn paused_timers_fire_late_but_fire() {
+        let log: Log = Rc::default();
+        let mut sim = Simulation::new(Topology::single_region(1, 0, 0), 25);
+        let pid = sim.add_process(
+            0,
+            Box::new(Ticker {
+                log: log.clone(),
+                period: units::ms(5),
+                remaining: 3,
+            }),
+        );
+        sim.pause_between(pid, units::ms(2), units::ms(30));
+        sim.run_until(units::secs(1));
+        let times: Vec<SimTime> = log.borrow().iter().map(|(t, _)| *t).collect();
+        // First tick (scheduled for 5 ms) runs at the resume; the rest
+        // re-arm from there.
+        assert_eq!(times, vec![units::ms(30), units::ms(35), units::ms(40)]);
+        assert_eq!(sim.live_timers(), 0);
     }
 
     #[test]

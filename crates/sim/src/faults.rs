@@ -1,0 +1,373 @@
+//! Timed network fault injection: DC-pair partitions, gray (lossy/slow)
+//! links, and asymmetric one-way latency overrides.
+//!
+//! A [`FaultSchedule`] is a list of timed, per-directed-region-pair link
+//! effects that the engine consults on every routed message. The model is
+//! deliberately *TCP-like* rather than packet-like, because every
+//! protocol in this workspace assumes reliable FIFO links:
+//!
+//! * **Partition** — while a region pair is partitioned, messages are not
+//!   lost: they are *buffered by the transport* and delivered after the
+//!   heal (arrival = heal time + the usual sampled latency, still FIFO
+//!   clamped). This matches long-lived TCP connections riding out an
+//!   outage and lets convergence-after-heal be a meaningful metric.
+//! * **Gray degradation** — each message independently suffers loss with
+//!   the configured probability; a "lost" message is retransmitted after
+//!   the link's RTO, so loss manifests as latency inflation (geometric in
+//!   the loss probability, capped), never as silent drop. A constant
+//!   per-message extra one-way latency models congested queues.
+//! * **One-way override** — replaces the topology's base one-way latency
+//!   for a directed region pair during a window, which is how asymmetric
+//!   WANs (slow uplinks, hub-and-spoke detours) are expressed without
+//!   breaking [`Topology`](crate::Topology)'s symmetric-RTT invariant.
+//!
+//! Effects are evaluated at each message's *departure* time (handler
+//! completion): a message that left just before a partition started is
+//! already "on the wire" and arrives normally. Overlapping effects on the
+//! same directed pair combine as: blocked if any partition covers the
+//! instant, extra latencies sum, the largest loss probability and RTO
+//! win, and the latest-starting override supplies the base latency.
+//!
+//! Process pause/resume (the fourth fault class) is engine state, not
+//! link state — see [`Simulation::pause_between`](crate::Simulation::pause_between).
+
+use crate::SimTime;
+
+/// A timed link effect on one directed region pair.
+#[derive(Clone, Copy, Debug)]
+struct RawEvent {
+    from: usize,
+    to: usize,
+    window: (SimTime, SimTime),
+    effect: Effect,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Effect {
+    Block,
+    Degrade {
+        loss_ppm: u32,
+        extra: SimTime,
+        rto: SimTime,
+    },
+    Oneway(SimTime),
+}
+
+/// Builder for a run's timed link-fault events. Install with
+/// [`Simulation::set_fault_schedule`](crate::Simulation::set_fault_schedule)
+/// before the run starts.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    events: Vec<RawEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Whether any event was added.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Partitions regions `a` and `b` (both directions) during
+    /// `[from, to)`: traffic between them is buffered and delivered after
+    /// `to` (the heal).
+    ///
+    /// # Panics
+    /// Panics if the window is empty or inverted.
+    pub fn partition(&mut self, a: usize, b: usize, from: SimTime, to: SimTime) -> &mut Self {
+        assert!(from < to, "partition window [{from}, {to}) is empty");
+        for (f, t) in [(a, b), (b, a)] {
+            self.events.push(RawEvent {
+                from: f,
+                to: t,
+                window: (from, to),
+                effect: Effect::Block,
+            });
+        }
+        self
+    }
+
+    /// Gray-degrades the directed link `from_region -> to_region` during
+    /// `[from, to)`: each message pays `extra` additional one-way latency
+    /// and, with probability `loss` (clamped to `[0, 1]`), one or more
+    /// RTO-length retransmission delays.
+    ///
+    /// # Panics
+    /// Panics if the window is empty or inverted.
+    // One parameter per physical quantity; bundling them into a struct
+    // would just move the argument list one call deeper.
+    #[allow(clippy::too_many_arguments)]
+    pub fn degrade(
+        &mut self,
+        from_region: usize,
+        to_region: usize,
+        from: SimTime,
+        to: SimTime,
+        loss: f64,
+        extra: SimTime,
+        rto: SimTime,
+    ) -> &mut Self {
+        assert!(from < to, "degrade window [{from}, {to}) is empty");
+        let loss_ppm = (loss.clamp(0.0, 1.0) * 1e6).round() as u32;
+        self.events.push(RawEvent {
+            from: from_region,
+            to: to_region,
+            window: (from, to),
+            effect: Effect::Degrade {
+                loss_ppm,
+                extra,
+                rto,
+            },
+        });
+        self
+    }
+
+    /// Overrides the base one-way latency of the directed link
+    /// `from_region -> to_region` during `[from, to)` (asymmetric WANs).
+    ///
+    /// # Panics
+    /// Panics if the window is empty or inverted.
+    pub fn override_oneway(
+        &mut self,
+        from_region: usize,
+        to_region: usize,
+        from: SimTime,
+        to: SimTime,
+        oneway: SimTime,
+    ) -> &mut Self {
+        assert!(from < to, "override window [{from}, {to}) is empty");
+        self.events.push(RawEvent {
+            from: from_region,
+            to: to_region,
+            window: (from, to),
+            effect: Effect::Oneway(oneway),
+        });
+        self
+    }
+
+    /// Compiles the schedule into per-pair piecewise-constant timelines.
+    ///
+    /// # Panics
+    /// Panics if an event names a region outside `0..nregions`.
+    pub(crate) fn compile(&self, nregions: usize) -> CompiledFaults {
+        let mut timelines: Vec<Option<Vec<(SimTime, LinkState)>>> = vec![None; nregions * nregions];
+        // Group event indices per directed pair.
+        let mut per_pair: Vec<Vec<usize>> = vec![Vec::new(); nregions * nregions];
+        for (i, e) in self.events.iter().enumerate() {
+            assert!(
+                e.from < nregions && e.to < nregions,
+                "fault schedule names region pair ({}, {}) outside the {nregions}-region topology",
+                e.from,
+                e.to
+            );
+            per_pair[e.from * nregions + e.to].push(i);
+        }
+        for (pair, idxs) in per_pair.into_iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            // Segment boundaries: 0 plus every window edge.
+            let mut bounds: Vec<SimTime> = vec![0];
+            for &i in &idxs {
+                bounds.push(self.events[i].window.0);
+                bounds.push(self.events[i].window.1);
+            }
+            bounds.sort_unstable();
+            bounds.dedup();
+            let timeline = bounds
+                .into_iter()
+                .map(|t| {
+                    let mut st = LinkState::default();
+                    let mut override_start = 0;
+                    for &i in &idxs {
+                        let e = &self.events[i];
+                        if t < e.window.0 || t >= e.window.1 {
+                            continue;
+                        }
+                        match e.effect {
+                            Effect::Block => {
+                                st.blocked_until =
+                                    Some(st.blocked_until.unwrap_or(0).max(e.window.1));
+                            }
+                            Effect::Degrade {
+                                loss_ppm,
+                                extra,
+                                rto,
+                            } => {
+                                st.loss_ppm = st.loss_ppm.max(loss_ppm);
+                                st.extra += extra;
+                                st.rto = st.rto.max(rto);
+                            }
+                            Effect::Oneway(ow) => {
+                                if st.oneway.is_none() || e.window.0 >= override_start {
+                                    override_start = e.window.0;
+                                    st.oneway = Some(ow);
+                                }
+                            }
+                        }
+                    }
+                    (t, st)
+                })
+                .collect();
+            timelines[pair] = Some(timeline);
+        }
+        CompiledFaults {
+            nregions,
+            timelines,
+        }
+    }
+}
+
+/// The link effects in force on one directed pair at one instant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct LinkState {
+    /// `Some(heal)` while a partition covers the instant: delivery is
+    /// deferred to `heal`.
+    pub blocked_until: Option<SimTime>,
+    /// Per-message loss probability in parts per million.
+    pub loss_ppm: u32,
+    /// Constant extra one-way latency.
+    pub extra: SimTime,
+    /// Retransmission timeout paid per simulated loss.
+    pub rto: SimTime,
+    /// Base one-way latency override (else the topology's).
+    pub oneway: Option<SimTime>,
+}
+
+impl LinkState {
+    /// Whether this state changes routing at all.
+    pub fn is_clear(&self) -> bool {
+        *self == LinkState::default()
+    }
+}
+
+/// Compiled, binary-searchable form of a [`FaultSchedule`].
+#[derive(Clone, Debug)]
+pub(crate) struct CompiledFaults {
+    nregions: usize,
+    /// Per directed pair (`from * nregions + to`): `(start, state)`
+    /// breakpoints sorted by start; the state holds until the next
+    /// breakpoint. `None` = no events ever touch the pair.
+    timelines: Vec<Option<Vec<(SimTime, LinkState)>>>,
+}
+
+impl CompiledFaults {
+    /// The link state of `from_region -> to_region` at time `t`.
+    pub fn state_at(&self, from_region: usize, to_region: usize, t: SimTime) -> LinkState {
+        match &self.timelines[from_region * self.nregions + to_region] {
+            None => LinkState::default(),
+            Some(tl) => {
+                let i = tl.partition_point(|(start, _)| *start <= t);
+                // `tl[0].0 == 0`, so `i >= 1` always.
+                tl[i - 1].1
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units;
+
+    #[test]
+    fn partition_blocks_both_directions_until_heal() {
+        let mut fs = FaultSchedule::new();
+        fs.partition(0, 1, units::secs(5), units::secs(9));
+        let c = fs.compile(3);
+        for (a, b) in [(0, 1), (1, 0)] {
+            assert!(c.state_at(a, b, units::secs(4)).is_clear());
+            assert_eq!(
+                c.state_at(a, b, units::secs(5)).blocked_until,
+                Some(units::secs(9))
+            );
+            assert_eq!(
+                c.state_at(a, b, units::secs(8)).blocked_until,
+                Some(units::secs(9))
+            );
+            assert!(c.state_at(a, b, units::secs(9)).is_clear());
+        }
+        // Unrelated pairs are untouched.
+        assert!(c.state_at(0, 2, units::secs(6)).is_clear());
+        assert!(c.state_at(2, 1, units::secs(6)).is_clear());
+    }
+
+    #[test]
+    fn degrade_is_directed_and_windowed() {
+        let mut fs = FaultSchedule::new();
+        fs.degrade(
+            1,
+            0,
+            units::secs(2),
+            units::secs(4),
+            0.25,
+            units::ms(10),
+            units::ms(100),
+        );
+        let c = fs.compile(2);
+        let st = c.state_at(1, 0, units::secs(3));
+        assert_eq!(st.loss_ppm, 250_000);
+        assert_eq!(st.extra, units::ms(10));
+        assert_eq!(st.rto, units::ms(100));
+        assert!(st.blocked_until.is_none());
+        // Reverse direction unaffected.
+        assert!(c.state_at(0, 1, units::secs(3)).is_clear());
+        assert!(c.state_at(1, 0, units::secs(4)).is_clear());
+    }
+
+    #[test]
+    fn overlapping_effects_combine() {
+        let mut fs = FaultSchedule::new();
+        fs.degrade(0, 1, 10, 100, 0.1, 5, 50)
+            .degrade(0, 1, 20, 80, 0.3, 7, 20)
+            .partition(0, 1, 30, 40)
+            .override_oneway(0, 1, 0, 100, 999);
+        let c = fs.compile(2);
+        let st = c.state_at(0, 1, 35);
+        assert_eq!(st.blocked_until, Some(40));
+        assert_eq!(st.loss_ppm, 300_000);
+        assert_eq!(st.extra, 12, "extras sum");
+        assert_eq!(st.rto, 50, "largest RTO wins");
+        assert_eq!(st.oneway, Some(999));
+        let st = c.state_at(0, 1, 90);
+        assert!(st.blocked_until.is_none());
+        assert_eq!(st.loss_ppm, 100_000, "only the first degrade remains");
+        assert_eq!(st.extra, 5);
+        assert_eq!(st.oneway, Some(999));
+        assert!(c.state_at(0, 1, 100).is_clear());
+    }
+
+    #[test]
+    fn latest_starting_override_wins() {
+        let mut fs = FaultSchedule::new();
+        fs.override_oneway(0, 1, 0, 100, 10)
+            .override_oneway(0, 1, 50, 100, 20);
+        let c = fs.compile(2);
+        assert_eq!(c.state_at(0, 1, 25).oneway, Some(10));
+        assert_eq!(c.state_at(0, 1, 75).oneway, Some(20));
+    }
+
+    #[test]
+    fn chained_partitions_expose_each_heal() {
+        // Two back-to-back windows: during the first, blocked_until is the
+        // first heal; a lookup at that heal sees the second window.
+        let mut fs = FaultSchedule::new();
+        fs.partition(0, 1, 10, 20).partition(0, 1, 20, 30);
+        let c = fs.compile(2);
+        assert_eq!(c.state_at(0, 1, 15).blocked_until, Some(20));
+        assert_eq!(c.state_at(0, 1, 20).blocked_until, Some(30));
+        assert!(c.state_at(0, 1, 30).is_clear());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_region_fails_loudly() {
+        let mut fs = FaultSchedule::new();
+        fs.partition(0, 5, 1, 2);
+        fs.compile(3);
+    }
+}

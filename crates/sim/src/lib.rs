@@ -18,6 +18,12 @@
 //!   stabilization) *emerge* instead of being hard-coded;
 //! * crash injection ([`Simulation::crash_at`]) for the fault-tolerance
 //!   experiments;
+//! * **timed fault injection** ([`FaultSchedule`],
+//!   [`Simulation::pause_between`]): DC-pair partitions (TCP-like — the
+//!   link buffers traffic and delivers it after the heal), gray links
+//!   (per-message loss that manifests as RTO retransmission latency,
+//!   plus constant latency inflation), directed one-way latency
+//!   overrides for asymmetric WANs, and process pause/resume;
 //! * an **allocation-free dispatch hot path**: arrivals at idle processes
 //!   run their handler directly (no Dispatch heap round-trip), handler
 //!   contexts borrow pooled scratch buffers, FIFO link state is a flat
@@ -62,10 +68,12 @@
 
 mod clock;
 mod engine;
+mod faults;
 mod network;
 
 pub use clock::ClockModel;
 pub use engine::{Context, EngineStats, Process, ProcessId, Simulation};
+pub use faults::FaultSchedule;
 pub use network::{NodeId, Topology, TopologyError};
 
 /// Simulated time in nanoseconds since the start of the run.

@@ -19,10 +19,16 @@
 //! * [`Scenario`] is a *named, validated* cluster configuration.
 //!   Presets: [`Scenario::paper_three_dc`] (the paper's 3-DC
 //!   deployment), [`Scenario::small_test`], [`Scenario::wide_five_dc`],
-//!   [`Scenario::straggler`], [`Scenario::partial_replication`]. Derive
-//!   variants with [`Scenario::with`]; invalid configurations are
-//!   rejected at construction (see [`ClusterConfigBuilder`]), not
-//!   mid-run.
+//!   [`Scenario::straggler`], [`Scenario::partial_replication`], plus
+//!   the fault presets [`Scenario::partitioned_three_dc`],
+//!   [`Scenario::gray_wan`], [`Scenario::hub_and_spoke`] and
+//!   [`Scenario::asymmetric_five_dc`] (timed [`FaultEvent`] schedules:
+//!   DC-pair partitions, gray links, asymmetric one-way latencies,
+//!   paused partition servers — every system honours them, and
+//!   [`RunReport::heal_convergence`] verifies convergence after the
+//!   heal). Derive variants with [`Scenario::with`]; invalid
+//!   configurations are rejected at construction (see
+//!   [`ClusterConfigBuilder`]), not mid-run.
 //! * [`run`] builds, runs and reports — any system, any scenario:
 //!
 //! ```no_run
@@ -77,8 +83,8 @@ pub use eunomia_stats as stats;
 pub use eunomia_workload as workload;
 
 pub use eunomia_geo::{
-    ClusterConfig, ClusterConfigBuilder, ConfigError, ReplicaCrash, RunReport, Scenario, Sweep,
-    SweepResults, SystemId,
+    ClusterConfig, ClusterConfigBuilder, ConfigError, FaultEvent, HealConvergence, ReplicaCrash,
+    RunReport, Scenario, Sweep, SweepResults, SystemId,
 };
 
 /// Builds, runs and reports `id` under `scenario` — with the baseline

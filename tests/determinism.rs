@@ -25,8 +25,11 @@ fn fingerprint(r: &RunReport, n_dcs: u16) -> impl PartialEq + std::fmt::Debug {
             r.engine.messages_routed,
             r.engine.timers_set,
             r.engine.direct_deliveries,
+            r.engine.messages_deferred,
+            r.engine.retransmits,
             r.engine.heap_peak,
         ),
+        r.stale_reads,
         vis,
     )
 }
