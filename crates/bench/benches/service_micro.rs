@@ -1,13 +1,14 @@
 //! Criterion bench — micro-operations on the protocol hot paths: clock
-//! ticks, vector merges, Eunomia ingest/stabilize cycles, replica
-//! deduplication, sequencer counter, sender window maintenance.
+//! ticks, vector merges, Eunomia ingest/stabilize cycles, sharded-replica
+//! frame ingestion (the code the threaded figures run), sequencer
+//! counter, lane-sender window maintenance.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eunomia_core::batch::Batcher;
 use eunomia_core::eunomia::EunomiaState;
 use eunomia_core::ids::{PartitionId, ReplicaId};
-use eunomia_core::replica::{ReplicaState, ReplicatedSender};
 use eunomia_core::sequencer::Sequencer;
+use eunomia_core::shard::{BatchFrame, LaneSender, ShardedReplicaState};
 use eunomia_core::time::{Hlc, HlcTimestamp, ScalarHlc, Timestamp, VectorTime};
 use std::hint::black_box;
 use std::time::Duration;
@@ -58,32 +59,70 @@ fn eunomia_benches(c: &mut Criterion) {
         )
     });
     c.bench_function("eunomia/replica_duplicate_filtering", |b| {
-        // At-least-once delivery: half of each batch was already seen.
+        // At-least-once delivery on the threaded hot path: half of each
+        // batch frame was already seen, sliced off by the watermark dedup
+        // (this is the same `ShardedReplicaState::ingest` the fig2–fig4
+        // service figures and `perf_service` exercise).
         b.iter_with_setup(
             || {
-                let mut r: ReplicaState<u64> = ReplicaState::new(ReplicaId(0), 1);
-                let first: Vec<(Timestamp, u64)> =
-                    (1..=512u64).map(|t| (Timestamp(t), t)).collect();
-                r.new_batch(PartitionId(0), first).unwrap();
-                r
+                let mut r = ShardedReplicaState::new(ReplicaId(0), 1);
+                let first = BatchFrame {
+                    partition: PartitionId(0),
+                    ids: (1..=512u64).map(Timestamp).collect(),
+                    heartbeat: None,
+                };
+                r.ingest(&first).unwrap();
+                let redelivery = BatchFrame {
+                    partition: PartitionId(0),
+                    ids: (256..=768u64).map(Timestamp).collect(),
+                    heartbeat: None,
+                };
+                (r, redelivery)
             },
-            |mut r| {
-                let redelivery: Vec<(Timestamp, u64)> =
-                    (256..=768u64).map(|t| (Timestamp(t), t)).collect();
-                black_box(r.new_batch(PartitionId(0), redelivery).unwrap())
+            |(mut r, redelivery)| black_box(r.ingest(&redelivery).unwrap()),
+        )
+    });
+    c.bench_function("eunomia/sharded_ingest_and_stabilize_16_lanes", |b| {
+        // Steady-state frame cycle of the threaded service: 16 lanes each
+        // ingest a 64-id frame, then the leader drains the stable cutoff.
+        b.iter_with_setup(
+            || {
+                let frames: Vec<BatchFrame> = (0..16u32)
+                    .map(|lane| BatchFrame {
+                        partition: PartitionId(lane),
+                        ids: (1..=64u64)
+                            .map(|i| Timestamp(i * 100 + lane as u64))
+                            .collect(),
+                        heartbeat: None,
+                    })
+                    .collect();
+                (ShardedReplicaState::new(ReplicaId(0), 16), frames)
+            },
+            |(mut r, frames)| {
+                for f in &frames {
+                    r.ingest(f).unwrap();
+                }
+                let mut n = 0u64;
+                r.leader_process_stable_with(|_, _| n += 1);
+                black_box(n)
             },
         )
     });
-    c.bench_function("eunomia/sender_push_ack_cycle", |b| {
-        let mut sender: ReplicatedSender<u64> = ReplicatedSender::new(3);
+    c.bench_function("eunomia/lane_sender_frame_ack_cycle", |b| {
+        let mut sender = LaneSender::new(3);
+        let mut scratch: Vec<Timestamp> = Vec::with_capacity(64);
         let mut ts = 0u64;
         b.iter(|| {
-            ts += 1;
-            sender.push(Timestamp(ts), ts);
+            for _ in 0..64 {
+                ts += 1;
+                sender.push(Timestamp(ts));
+            }
+            scratch.clear();
+            sender.append_above(Timestamp(ts - 64), &mut scratch);
             for r in 0..3u32 {
                 sender.on_ack(ReplicaId(r), Timestamp(ts));
             }
-            black_box(sender.window_len())
+            black_box((scratch.len(), sender.window_len()))
         })
     });
     c.bench_function("eunomia/batcher_push_flush", |b| {

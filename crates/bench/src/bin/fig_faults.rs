@@ -1,5 +1,6 @@
-//! Fault matrix: all six systems across the four fault presets
-//! (`partitioned-3dc`, `gray-wan`, `hub-and-spoke`, `asymmetric-5dc`),
+//! Fault matrix: all six systems across the five fault presets
+//! (`partitioned-3dc`, `flapping-links`, `gray-wan`, `hub-and-spoke`,
+//! `asymmetric-5dc`),
 //! reporting availability-under-failure metrics and *asserting* that
 //! every system converges after the last heal. Results go to
 //! `BENCH_faults.json` for the CI fault-matrix gate.
@@ -40,7 +41,8 @@ fn main() {
     let args = BenchArgs::parse();
     eunomia_bench::banner(
         "fig_faults",
-        "fault matrix: six systems x {partitioned-3dc, gray-wan, hub-and-spoke, asymmetric-5dc}",
+        "fault matrix: six systems x {partitioned-3dc, flapping-links, gray-wan, \
+         hub-and-spoke, asymmetric-5dc}",
         "local throughput survives WAN faults; visibility stalls and recovers; \
          every system converges after the heal (unconverged = 0)",
     );

@@ -1,0 +1,203 @@
+//! Service performance sweep: ids/s at stabilization of the threaded
+//! Eunomia service across feeder and replica scales, written to
+//! `BENCH_service.json`.
+//!
+//! This harness seeds the repo's service-bench trajectory for the PR that
+//! rebuilt the threaded hot path (lock-free ring channels, batch frames,
+//! the sharded watermark stabilizer). The pre-refactor baseline recorded
+//! below was measured on the same default configuration with the old path
+//! (Mutex+Condvar channel shim, per-id `ReplicaState` red-black-tree
+//! ingest, per-id window clones) so the speedup is directly comparable.
+//!
+//! Usage: `cargo run --release -p eunomia-bench --bin perf_service [-- --quick]`
+//!
+//! `--quick` shrinks measured durations for a CI smoke run; the JSON is
+//! marked accordingly. Wall-clock numbers are machine-dependent — the
+//! committed baseline and the CI run measure *relative* speedup on
+//! whatever machine executes them.
+
+use eunomia_bench::BenchArgs;
+use eunomia_geo::{run, Scenario, SystemId};
+use eunomia_runtime::service::{run_eunomia_service_with_stats, EunomiaBenchConfig};
+use eunomia_stats::ServiceStats;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Ids stabilized per wall-second by the pre-refactor service on the
+/// default configuration (16 feeders, 1 replica, 4 s): best of repeated
+/// runs on the reference machine at the commit before the hot-path
+/// rebuild ("PR 4" in CHANGES.md).
+const PRE_REFACTOR_IDS_PER_SEC: f64 = 5_087_121.0;
+
+struct Cell {
+    feeders: usize,
+    replicas: usize,
+    stats: ServiceStats,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    eunomia_bench::banner(
+        "perf_service",
+        "threaded service scale sweep: feeders x {16, 64, 256}, replicas x {1, 3}",
+        "post-refactor service sustains >=2x the pre-refactor ids/s at \
+         stabilization on the default 16-feeder config",
+    );
+
+    let secs = args.secs(4, 2);
+    let mut cells: Vec<Cell> = Vec::new();
+    for &feeders in &[16usize, 64, 256] {
+        for &replicas in &[1usize, 3] {
+            let cfg = EunomiaBenchConfig {
+                feeders,
+                replicas,
+                duration: Duration::from_secs(secs),
+                ..EunomiaBenchConfig::default()
+            };
+            let (_, stats) = run_eunomia_service_with_stats(&cfg);
+            cells.push(Cell {
+                feeders,
+                replicas,
+                stats,
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let s = &c.stats;
+            vec![
+                format!("{}", c.feeders),
+                format!("{}", c.replicas),
+                format!("{}", s.stabilized_ids),
+                format!("{:.0}", s.ids_per_sec() / 1000.0),
+                format!("{:.0}", s.mean_batch_size()),
+                format!("{}", s.queue_depth_high_water),
+                eunomia_bench::fmt_ms(s.stabilization_latency_ms(50.0)),
+                eunomia_bench::fmt_ms(s.stabilization_latency_ms(99.0)),
+                format!("{}", s.duplicate_ids),
+            ]
+        })
+        .collect();
+    eunomia_bench::print_table(
+        &[
+            "feeders",
+            "replicas",
+            "stabilized",
+            "kids/s",
+            "mean batch",
+            "queue hw",
+            "stab p50 (ms)",
+            "stab p99 (ms)",
+            "dups",
+        ],
+        &rows,
+    );
+
+    // Speedup vs the recorded pre-refactor service on the default config.
+    // Best-of-3 to shed scheduler noise — the baseline constant was
+    // likewise the best of repeated runs on an otherwise idle host.
+    let best_stats = (0..3)
+        .map(|_| {
+            let cfg = EunomiaBenchConfig {
+                duration: Duration::from_secs(secs),
+                ..EunomiaBenchConfig::default()
+            };
+            run_eunomia_service_with_stats(&cfg).1
+        })
+        .max_by(|a, b| a.ids_per_sec().total_cmp(&b.ids_per_sec()))
+        .expect("three runs");
+    let best = best_stats.ids_per_sec();
+    let speedup = best / PRE_REFACTOR_IDS_PER_SEC;
+    println!(
+        "\ndefault config (16 feeders, 1 replica), best of 3: {:.0} ids/s = {speedup:.2}x \
+         the pre-refactor service ({PRE_REFACTOR_IDS_PER_SEC:.0} ids/s)",
+        best
+    );
+
+    // The RunReport plumbing: pair a simulated deployment with the
+    // measured threaded-service stats so one report carries engine *and*
+    // service counters (`RunReport.service` is the `engine` analogue for
+    // the real-thread side).
+    let paired = run(SystemId::EunomiaKv, &Scenario::small_test().seed(args.seed))
+        .with_service_stats(best_stats);
+    let svc = paired.service.as_ref().expect("just attached");
+    println!(
+        "paired RunReport: simulated {:.0} ops/s over {} engine events + threaded \
+         service {:.0} ids/s (stab p99 {} ms)",
+        paired.throughput,
+        paired.engine.events,
+        svc.ids_per_sec(),
+        eunomia_bench::fmt_ms(svc.stabilization_latency_ms(99.0)),
+    );
+
+    let json = render_json(&cells, best, speedup, args.quick);
+    let path = "BENCH_service.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    // Self-check: the file must at least round-trip our own reader's
+    // structural expectations before CI trusts it.
+    let back = std::fs::read_to_string(path).expect("re-read BENCH_service.json");
+    assert!(
+        back.trim_start().starts_with('{') && back.trim_end().ends_with('}'),
+        "malformed BENCH_service.json"
+    );
+    assert!(
+        back.contains("\"runs\"") && back.contains("\"baseline_pre_refactor\""),
+        "BENCH_service.json missing required keys"
+    );
+    println!("\nwrote {path} ({} runs)", cells.len());
+}
+
+fn render_json(cells: &[Cell], best_default: f64, speedup: f64, quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"perf_service\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"baseline_pre_refactor\": {\n");
+    out.push_str("    \"feeders\": 16,\n");
+    out.push_str("    \"replicas\": 1,\n");
+    let _ = writeln!(out, "    \"ids_per_sec\": {PRE_REFACTOR_IDS_PER_SEC:.0},");
+    out.push_str(
+        "    \"note\": \"old service path: Mutex+Condvar channel shim, per-id \
+         ReplicaState rb-tree ingest, per-id window clones\"\n",
+    );
+    out.push_str("  },\n");
+    let _ = writeln!(out, "  \"default_best_ids_per_sec\": {best_default:.0},");
+    let _ = writeln!(out, "  \"default_speedup_vs_baseline\": {speedup:.3},");
+    out.push_str("  \"runs\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let s = &c.stats;
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"feeders\": {}, \"replicas\": {}, \"wall_secs\": {:.3}, \
+             \"stabilized_ids\": {}, \"ids_per_sec\": {:.0}, \"frames\": {}, \
+             \"mean_batch\": {:.1}, \"queue_depth_high_water\": {}, \
+             \"stab_p50_ms\": {}, \"stab_p99_ms\": {}, \
+             \"accepted_ids\": {}, \"duplicate_ids\": {}",
+            c.feeders,
+            c.replicas,
+            s.elapsed.as_secs_f64(),
+            s.stabilized_ids,
+            s.ids_per_sec(),
+            s.frames,
+            s.mean_batch_size(),
+            s.queue_depth_high_water,
+            json_opt(s.stabilization_latency_ms(50.0)),
+            json_opt(s.stabilization_latency_ms(99.0)),
+            s.accepted_ids,
+            s.duplicate_ids,
+        );
+        out.push_str(if i + 1 == cells.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "null".to_string(),
+    }
+}

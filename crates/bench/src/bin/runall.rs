@@ -25,6 +25,7 @@ const HARNESSES: &[&str] = &[
     "ablation_tree",
     "fig_faults",
     "perf_engine",
+    "perf_service",
 ];
 
 fn main() {

@@ -18,6 +18,10 @@
 //!   operation with a timestamp less than or equal to the stable time;
 //! * `pop_min` — incremental variant of the above.
 //!
+//! The crate also provides [`TournamentTree`], the min winner tree the
+//! sharded stabilizer uses to merge per-lane stable cutoffs in
+//! `O(log lanes)` per watermark advance.
+//!
 //! # Examples
 //!
 //! ```
@@ -36,10 +40,12 @@
 mod avl;
 mod btree_adapter;
 mod rbtree;
+mod tournament;
 
 pub use avl::AvlTree;
 pub use btree_adapter::BTreeAdapter;
 pub use rbtree::RbTree;
+pub use tournament::TournamentTree;
 
 /// A totally ordered map supporting the operations Eunomia's stabilization
 /// buffer needs.

@@ -1,0 +1,193 @@
+//! Min tournament (winner) tree over a fixed set of leaves.
+//!
+//! The sharded Eunomia stabilizer keeps one watermark per feeder lane and
+//! needs their minimum — the stable cutoff — after every lane advance.
+//! Scanning `n` lanes per update is `O(n)`; this tree re-plays only the
+//! updated leaf's path to the root, `O(log n)`, and answers the min (and
+//! which lane holds it) in `O(1)`.
+//!
+//! The tree is a complete binary heap in an array: internal node `i` holds
+//! the winner (minimum) of its children `2i` and `2i + 1`, leaves occupy
+//! `cap..cap + n` (with `cap` the padded power of two), and `tree[1]` is
+//! the overall winner. Unused leaves are padded with a caller-supplied
+//! sentinel that must compare `>=` every real value (e.g. `u64::MAX`).
+//!
+//! # Examples
+//!
+//! ```
+//! use eunomia_collections::TournamentTree;
+//!
+//! let mut t = TournamentTree::new(3, 0u64, u64::MAX);
+//! t.update(0, 7);
+//! t.update(1, 3);
+//! t.update(2, 9);
+//! assert_eq!(*t.min(), 3);
+//! assert_eq!(t.winner(), 1);
+//! t.update(1, 20);
+//! assert_eq!((t.winner(), *t.min()), (0, 7));
+//! ```
+
+/// A min winner tree over `n` leaves with `O(log n)` updates and `O(1)`
+/// minimum queries.
+#[derive(Clone, Debug)]
+pub struct TournamentTree<T> {
+    /// Heap array: `1` is the root, leaves start at `cap`.
+    tree: Vec<T>,
+    /// Padded leaf count (power of two).
+    cap: usize,
+    /// Real leaf count.
+    n: usize,
+}
+
+impl<T: Ord + Copy> TournamentTree<T> {
+    /// Builds a tree of `n` leaves all holding `init`. `sentinel` pads the
+    /// unused leaves and must compare `>=` every value ever stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `sentinel < init`.
+    pub fn new(n: usize, init: T, sentinel: T) -> Self {
+        assert!(n > 0, "tournament tree needs at least one leaf");
+        assert!(sentinel >= init, "sentinel must dominate every value");
+        let cap = n.next_power_of_two();
+        let mut tree = vec![sentinel; 2 * cap];
+        for leaf in &mut tree[cap..cap + n] {
+            *leaf = init;
+        }
+        // Play every internal match bottom-up.
+        for i in (1..cap).rev() {
+            tree[i] = tree[2 * i].min(tree[2 * i + 1]);
+        }
+        TournamentTree { tree, cap, n }
+    }
+
+    /// Number of (real) leaves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tree has no leaves (never true — `new` rejects 0).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Current value of leaf `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> &T {
+        assert!(i < self.n, "leaf out of range");
+        &self.tree[self.cap + i]
+    }
+
+    /// Sets leaf `i` to `value` and replays its path to the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn update(&mut self, i: usize, value: T) {
+        assert!(i < self.n, "leaf out of range");
+        let mut node = self.cap + i;
+        self.tree[node] = value;
+        while node > 1 {
+            node /= 2;
+            let winner = self.tree[2 * node].min(self.tree[2 * node + 1]);
+            if self.tree[node] == winner {
+                // The replayed match would not change anything above.
+                break;
+            }
+            self.tree[node] = winner;
+        }
+    }
+
+    /// The minimum over all leaves.
+    pub fn min(&self) -> &T {
+        &self.tree[1]
+    }
+
+    /// Index of a leaf holding the minimum (the lowest such index).
+    pub fn winner(&self) -> usize {
+        let mut node = 1;
+        while node < self.cap {
+            node = if self.tree[2 * node] <= self.tree[2 * node + 1] {
+                2 * node
+            } else {
+                2 * node + 1
+            };
+        }
+        node - self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_leaf() {
+        let mut t = TournamentTree::new(1, 5u64, u64::MAX);
+        assert_eq!(*t.min(), 5);
+        assert_eq!(t.winner(), 0);
+        t.update(0, 9);
+        assert_eq!(*t.min(), 9);
+    }
+
+    #[test]
+    fn non_power_of_two_padding_is_invisible() {
+        let mut t = TournamentTree::new(5, 0u64, u64::MAX);
+        for i in 0..5 {
+            t.update(i, 10 + i as u64);
+        }
+        assert_eq!(*t.min(), 10);
+        assert_eq!(t.winner(), 0);
+        t.update(0, 100);
+        assert_eq!((*t.min(), t.winner()), (11, 1));
+    }
+
+    #[test]
+    fn monotone_watermark_advance() {
+        // The stabilizer use case: leaves only grow; the min tracks the
+        // laggard.
+        let mut t = TournamentTree::new(4, 0u64, u64::MAX);
+        t.update(0, 10);
+        t.update(1, 20);
+        t.update(2, 30);
+        assert_eq!(*t.min(), 0, "leaf 3 never advanced");
+        t.update(3, 5);
+        assert_eq!((*t.min(), t.winner()), (5, 3));
+        t.update(3, 50);
+        assert_eq!((*t.min(), t.winner()), (10, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_out_of_range_panics() {
+        let mut t = TournamentTree::new(3, 0u64, u64::MAX);
+        t.update(3, 1);
+    }
+
+    proptest! {
+        /// The tree always agrees with a brute-force scan, across any
+        /// sequence of leaf updates on any tree width.
+        #[test]
+        fn matches_brute_force(
+            n in 1usize..33,
+            updates in proptest::collection::vec((0usize..33, 0u64..1_000), 0..200),
+        ) {
+            let mut t = TournamentTree::new(n, 0u64, u64::MAX);
+            let mut shadow = vec![0u64; n];
+            for (i, v) in updates {
+                let i = i % n;
+                t.update(i, v);
+                shadow[i] = v;
+                let min = *shadow.iter().min().unwrap();
+                prop_assert_eq!(*t.min(), min);
+                prop_assert_eq!(*t.get(i), shadow[i]);
+                let w = t.winner();
+                prop_assert_eq!(shadow[w], min, "winner must hold the min");
+            }
+        }
+    }
+}

@@ -20,6 +20,10 @@
 //! * [`replica`] — fault-tolerant Eunomia: replica state (Alg. 4), the
 //!   partition-side replicated sender enforcing the prefix property, and
 //!   leader-driven stable broadcast (§3.3).
+//! * [`shard`] — the sharded, flat-buffer variant of the replica used by
+//!   the threaded runtime's hot path: per-feeder lanes with watermark
+//!   dedup, a tournament tree over stable cutoffs, and id batches in
+//!   [`shard::BatchFrame`]s (one allocation per batch).
 //! * [`election`] — an Ω-style eventual leader elector (§3.3 allows any
 //!   asynchronous leader election; we provide a timeout-based one).
 //! * [`sequencer`] — the traditional sequencer and its chain-replicated
@@ -57,6 +61,7 @@ pub mod eunomia;
 pub mod ids;
 pub mod replica;
 pub mod sequencer;
+pub mod shard;
 pub mod time;
 pub mod tree;
 
@@ -64,4 +69,5 @@ pub use buffer::{OpKey, StabilizationBuffer};
 pub use eunomia::EunomiaState;
 pub use ids::{DcId, PartitionId, ReplicaId};
 pub use replica::{ReplicaState, ReplicatedSender};
+pub use shard::{BatchFrame, LaneSender, ShardedReplicaState};
 pub use time::{ScalarHlc, Timestamp, VectorTime};

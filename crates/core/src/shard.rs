@@ -1,0 +1,592 @@
+//! Sharded fault-tolerant Eunomia for the threaded runtime's hot path.
+//!
+//! [`crate::replica::ReplicaState`] (Alg. 4 verbatim) keeps one global
+//! red-black tree keyed by `(timestamp, partition)` and pays an ordered
+//! insert plus a duplicate check **per id**. That is fine at simulator
+//! scale, but it is exactly the cost the paper says a stabilizer must not
+//! have: ids from one partition already arrive in timestamp order, so
+//! ordering them again against every other partition's ids — before the
+//! stable cutoff is even known — is wasted work.
+//!
+//! This module shards the replica into **per-feeder lanes**:
+//!
+//! * Each lane keeps the feeder's ids in arrival (= timestamp) order in a
+//!   flat ring buffer, plus a **watermark** — the highest id accepted from
+//!   that feeder. At-least-once redelivery is filtered by slicing a
+//!   frame's already-seen prefix off with one binary search instead of a
+//!   per-id map probe: the ack protocol (see [`LaneSender`]) guarantees a
+//!   frame is a contiguous suffix of the feeder's ordered stream.
+//! * The stable cutoff (`min` over lane watermarks) is maintained by a
+//!   [`TournamentTree`], so a watermark advance costs `O(log lanes)` and
+//!   reading the cutoff costs `O(1)`.
+//! * Ids travel in [`BatchFrame`]s — one flat allocation per batch, not
+//!   one per id, and the frame is reusable end to end.
+//!
+//! Stabilization drains each lane's stable prefix in place; ids of one
+//! lane are emitted in timestamp order, lanes are emitted in lane order
+//! (the global timestamp-sorted order of
+//! [`ReplicaState`](crate::replica::ReplicaState) is not needed by
+//! the service: stabilized ids are acknowledged back to their own feeder,
+//! and the stable *time* is what remote datacenters consume).
+
+use crate::eunomia::EunomiaError;
+use crate::ids::{PartitionId, ReplicaId};
+use crate::time::Timestamp;
+use eunomia_collections::TournamentTree;
+use std::collections::VecDeque;
+
+/// One flat batch of operation ids from a feeder lane: the §5 id-only
+/// metadata, one allocation per batch.
+///
+/// Invariants (upheld by [`LaneSender::build_frame`], debug-asserted at
+/// ingest): `ids` is strictly ascending, and together with the receiving
+/// lane's watermark it forms a contiguous suffix of the feeder's stream —
+/// every unacknowledged id above some floor is present.
+#[derive(Clone, Debug, Default)]
+pub struct BatchFrame {
+    /// The sending feeder lane.
+    pub partition: PartitionId,
+    /// Operation ids, strictly ascending.
+    pub ids: Vec<Timestamp>,
+    /// Optional idle heartbeat (Alg. 2 l. 10–12), `>=` every id in `ids`.
+    pub heartbeat: Option<Timestamp>,
+}
+
+struct Lane {
+    /// Highest id accepted from this feeder (its `PartitionTime`).
+    watermark: Timestamp,
+    /// Accepted, not-yet-stable ids in timestamp order.
+    pending: VecDeque<Timestamp>,
+}
+
+/// One replica of the sharded Eunomia service.
+///
+/// Semantically equivalent to [`ReplicaState`] over id-only payloads: same
+/// ack values, same stable times, same leader/follower split. The
+/// difference is purely mechanical — per-lane watermark dedup and ring
+/// buffers instead of a global ordered map.
+///
+/// [`ReplicaState`]: crate::replica::ReplicaState
+pub struct ShardedReplicaState {
+    id: ReplicaId,
+    leader: ReplicaId,
+    lanes: Vec<Lane>,
+    /// Min over lane watermarks = the stable cutoff.
+    cutoffs: TournamentTree<Timestamp>,
+    last_stable: Timestamp,
+    pending: usize,
+    total_accepted: u64,
+    total_duplicates: u64,
+}
+
+impl ShardedReplicaState {
+    /// Creates replica `id` with one lane per feeder partition; replica 0
+    /// starts as leader by convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_lanes` is zero.
+    pub fn new(id: ReplicaId, n_lanes: usize) -> Self {
+        assert!(n_lanes > 0, "Eunomia needs at least one feeder lane");
+        ShardedReplicaState {
+            id,
+            leader: ReplicaId(0),
+            lanes: (0..n_lanes)
+                .map(|_| Lane {
+                    watermark: Timestamp::ZERO,
+                    pending: VecDeque::new(),
+                })
+                .collect(),
+            cutoffs: TournamentTree::new(n_lanes, Timestamp::ZERO, Timestamp::MAX),
+            last_stable: Timestamp::ZERO,
+            pending: 0,
+            total_accepted: 0,
+            total_duplicates: 0,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Ingests a frame (the sharded `NEW_BATCH` + `HEARTBEAT`): slices off
+    /// the already-seen prefix, appends the rest to the lane, advances the
+    /// watermark, and returns the ack — the lane's new watermark.
+    pub fn ingest(&mut self, frame: &BatchFrame) -> Result<Timestamp, EunomiaError> {
+        let idx = frame.partition.index();
+        let lane = self
+            .lanes
+            .get_mut(idx)
+            .ok_or(EunomiaError::UnknownPartition(frame.partition))?;
+        debug_assert!(
+            frame.ids.windows(2).all(|w| w[0] < w[1]),
+            "frame ids must be strictly ascending"
+        );
+        // At-least-once dedup in one binary search: everything at or below
+        // the watermark was delivered before.
+        let fresh_from = frame.ids.partition_point(|&ts| ts <= lane.watermark);
+        let fresh = &frame.ids[fresh_from..];
+        self.total_duplicates += fresh_from as u64;
+        self.total_accepted += fresh.len() as u64;
+        self.pending += fresh.len();
+        lane.pending.extend(fresh.iter().copied());
+        if let Some(&last) = fresh.last() {
+            lane.watermark = last;
+        }
+        if let Some(hb) = frame.heartbeat {
+            debug_assert!(
+                frame.ids.last().is_none_or(|&last| hb >= last),
+                "heartbeat must dominate the frame's ids"
+            );
+            if hb > lane.watermark {
+                lane.watermark = hb;
+            }
+        }
+        self.cutoffs.update(idx, lane.watermark);
+        Ok(lane.watermark)
+    }
+
+    /// `NEW_LEADER`.
+    pub fn set_leader(&mut self, leader: ReplicaId) {
+        self.leader = leader;
+    }
+
+    /// Whether this replica currently believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.leader == self.id
+    }
+
+    /// Promotes this replica to leader. Stabilization resumes from
+    /// `last_stable`; nothing is emitted twice and nothing is lost.
+    pub fn promote(&mut self) {
+        self.leader = self.id;
+    }
+
+    /// Current stable time: the minimum lane watermark, `O(1)`.
+    pub fn stable_time(&self) -> Timestamp {
+        *self.cutoffs.min()
+    }
+
+    /// Leader-side `PROCESS_STABLE`: drains every id at or below the
+    /// stable cutoff, invoking `emit(lane, id)` per id (ids of a lane in
+    /// timestamp order, lanes in index order), and returns the new stable
+    /// time — or `None` if this replica is not the leader or the cutoff
+    /// has not advanced.
+    pub fn leader_process_stable_with(
+        &mut self,
+        mut emit: impl FnMut(PartitionId, Timestamp),
+    ) -> Option<Timestamp> {
+        if !self.is_leader() {
+            return None;
+        }
+        let stable = self.stable_time();
+        if stable <= self.last_stable {
+            return None;
+        }
+        for (idx, lane) in self.lanes.iter_mut().enumerate() {
+            while let Some(&ts) = lane.pending.front() {
+                if ts > stable {
+                    break;
+                }
+                lane.pending.pop_front();
+                self.pending -= 1;
+                emit(PartitionId(idx as u32), ts);
+            }
+        }
+        self.last_stable = stable;
+        Some(stable)
+    }
+
+    /// Follower-side `STABLE`: discards ids the leader already processed.
+    /// Returns how many were discarded.
+    pub fn apply_stable(&mut self, stable: Timestamp) -> usize {
+        if stable <= self.last_stable {
+            return 0;
+        }
+        let mut discarded = 0;
+        for lane in &mut self.lanes {
+            while lane.pending.front().is_some_and(|&ts| ts <= stable) {
+                lane.pending.pop_front();
+                discarded += 1;
+            }
+        }
+        self.pending -= discarded;
+        self.last_stable = stable;
+        discarded
+    }
+
+    /// Number of buffered (accepted, unstable) ids.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Stable time most recently processed or learned.
+    pub fn last_stable(&self) -> Timestamp {
+        self.last_stable
+    }
+
+    /// Ids accepted (non-duplicate).
+    pub fn total_accepted(&self) -> u64 {
+        self.total_accepted
+    }
+
+    /// Duplicate deliveries filtered out.
+    pub fn total_duplicates(&self) -> u64 {
+        self.total_duplicates
+    }
+
+    /// Watermark recorded for `partition`.
+    pub fn watermark(&self, partition: PartitionId) -> Option<Timestamp> {
+        self.lanes.get(partition.index()).map(|l| l.watermark)
+    }
+}
+
+/// Feeder-side window of unacknowledged ids with per-replica watermark
+/// acks — the id-only, flat-buffer counterpart of
+/// [`crate::replica::ReplicatedSender`].
+///
+/// The window is a ring of strictly ascending ids. Because acks are
+/// watermarks and the window is ordered, building the retransmission
+/// frame for a replica is one binary search plus a bulk copy, and pruning
+/// is popping a prefix.
+#[derive(Clone, Debug)]
+pub struct LaneSender {
+    window: VecDeque<Timestamp>,
+    acks: Vec<Timestamp>,
+    alive: Vec<bool>,
+}
+
+impl LaneSender {
+    /// Creates a sender replicating to `n_replicas` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_replicas` is zero.
+    pub fn new(n_replicas: usize) -> Self {
+        assert!(n_replicas > 0, "need at least one replica");
+        LaneSender {
+            window: VecDeque::new(),
+            acks: vec![Timestamp::ZERO; n_replicas],
+            alive: vec![true; n_replicas],
+        }
+    }
+
+    /// Appends a freshly issued id to the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) unless `ts` exceeds the window's newest id — the
+    /// caller's clock must be monotone (Property 2).
+    pub fn push(&mut self, ts: Timestamp) {
+        debug_assert!(
+            self.window.back().is_none_or(|&last| ts > last),
+            "pushed ids must strictly increase"
+        );
+        self.window.push_back(ts);
+    }
+
+    /// Appends every windowed id above `floor` to `out` in timestamp
+    /// order: one binary search, then bulk copies.
+    pub fn append_above(&self, floor: Timestamp, out: &mut Vec<Timestamp>) {
+        let (a, b) = self.window.as_slices();
+        if a.last().is_some_and(|&last| floor < last) {
+            let i = a.partition_point(|&ts| ts <= floor);
+            out.extend_from_slice(&a[i..]);
+            out.extend_from_slice(b);
+        } else {
+            let j = b.partition_point(|&ts| ts <= floor);
+            out.extend_from_slice(&b[j..]);
+        }
+    }
+
+    /// Builds the frame for `replica` reusing `ids`'s allocation: every
+    /// windowed id above `max(ack, floor)`, plus the heartbeat.
+    pub fn build_frame(
+        &self,
+        partition: PartitionId,
+        replica: ReplicaId,
+        floor: Timestamp,
+        heartbeat: Option<Timestamp>,
+        mut ids: Vec<Timestamp>,
+    ) -> BatchFrame {
+        ids.clear();
+        self.append_above(self.acks[replica.index()].max(floor), &mut ids);
+        BatchFrame {
+            partition,
+            ids,
+            heartbeat,
+        }
+    }
+
+    /// Records a watermark ack from `replica` and prunes ids acknowledged
+    /// by every live replica. Returns the number pruned.
+    pub fn on_ack(&mut self, replica: ReplicaId, ts: Timestamp) -> usize {
+        let slot = &mut self.acks[replica.index()];
+        if ts > *slot {
+            *slot = ts;
+        }
+        self.prune()
+    }
+
+    /// Marks a replica as crashed: its stalled ack no longer pins the
+    /// window. Returns the number of ids pruned as a result.
+    pub fn mark_dead(&mut self, replica: ReplicaId) -> usize {
+        self.alive[replica.index()] = false;
+        self.prune()
+    }
+
+    /// Marks a replica live again; it re-acks from the window's low
+    /// watermark (a recovered replica rejoins by state transfer, not
+    /// replay — same contract as `ReplicatedSender::mark_alive`).
+    pub fn mark_alive(&mut self, replica: ReplicaId) {
+        self.alive[replica.index()] = true;
+        self.acks[replica.index()] = self.low_watermark();
+    }
+
+    fn low_watermark(&self) -> Timestamp {
+        self.window.front().map_or_else(
+            || self.acks.iter().copied().max().unwrap_or(Timestamp::ZERO),
+            |&ts| Timestamp(ts.0.saturating_sub(1)),
+        )
+    }
+
+    fn prune(&mut self) -> usize {
+        let min_ack = self
+            .acks
+            .iter()
+            .zip(self.alive.iter())
+            .filter(|(_, alive)| **alive)
+            .map(|(a, _)| *a)
+            .min()
+            .unwrap_or(Timestamp::MAX);
+        let mut pruned = 0;
+        while self.window.front().is_some_and(|&ts| ts <= min_ack) {
+            self.window.pop_front();
+            pruned += 1;
+        }
+        pruned
+    }
+
+    /// Ids waiting for acknowledgement.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Highest watermark ack recorded for `replica`.
+    pub fn ack_of(&self, replica: ReplicaId) -> Timestamp {
+        self.acks[replica.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(i: u32) -> PartitionId {
+        PartitionId(i)
+    }
+
+    fn frame(partition: u32, ids: &[u64]) -> BatchFrame {
+        BatchFrame {
+            partition: p(partition),
+            ids: ids.iter().map(|&t| Timestamp(t)).collect(),
+            heartbeat: None,
+        }
+    }
+
+    #[test]
+    fn duplicate_suffix_frames_are_sliced_off() {
+        let mut r = ShardedReplicaState::new(ReplicaId(0), 1);
+        let ack = r.ingest(&frame(0, &[1, 2])).unwrap();
+        assert_eq!(ack, Timestamp(2));
+        // Redelivery of the same prefix plus one new id.
+        let ack = r.ingest(&frame(0, &[1, 2, 3])).unwrap();
+        assert_eq!(ack, Timestamp(3));
+        assert_eq!(r.total_accepted(), 3);
+        assert_eq!(r.total_duplicates(), 2);
+        assert_eq!(r.pending(), 3);
+    }
+
+    #[test]
+    fn heartbeat_advances_watermark_without_ids() {
+        let mut r = ShardedReplicaState::new(ReplicaId(0), 2);
+        r.ingest(&frame(0, &[5])).unwrap();
+        assert_eq!(r.stable_time(), Timestamp::ZERO, "lane 1 never spoke");
+        let hb = BatchFrame {
+            partition: p(1),
+            ids: Vec::new(),
+            heartbeat: Some(Timestamp(9)),
+        };
+        assert_eq!(r.ingest(&hb).unwrap(), Timestamp(9));
+        assert_eq!(r.stable_time(), Timestamp(5));
+    }
+
+    #[test]
+    fn unknown_lane_is_rejected() {
+        let mut r = ShardedReplicaState::new(ReplicaId(0), 2);
+        assert!(matches!(
+            r.ingest(&frame(5, &[1])),
+            Err(EunomiaError::UnknownPartition(PartitionId(5)))
+        ));
+    }
+
+    #[test]
+    fn only_leader_processes_stable_and_follower_discards() {
+        let mut leader = ShardedReplicaState::new(ReplicaId(0), 1);
+        let mut follower = ShardedReplicaState::new(ReplicaId(1), 1);
+        for r in [&mut leader, &mut follower] {
+            r.set_leader(ReplicaId(0));
+            r.ingest(&frame(0, &[5])).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(follower
+            .leader_process_stable_with(|_, ts| out.push(ts))
+            .is_none());
+        let stable = leader
+            .leader_process_stable_with(|_, ts| out.push(ts))
+            .unwrap();
+        assert_eq!(stable, Timestamp(5));
+        assert_eq!(out, vec![Timestamp(5)]);
+        assert_eq!(follower.apply_stable(stable), 1);
+        assert_eq!(follower.pending(), 0);
+        assert_eq!(follower.apply_stable(Timestamp(4)), 0, "stale ignored");
+    }
+
+    #[test]
+    fn failover_emits_no_duplicates_and_loses_nothing() {
+        let ids: Vec<u64> = (1..=10).collect();
+        let mut r0 = ShardedReplicaState::new(ReplicaId(0), 1);
+        let mut r1 = ShardedReplicaState::new(ReplicaId(1), 1);
+        for r in [&mut r0, &mut r1] {
+            r.set_leader(ReplicaId(0));
+            r.ingest(&frame(0, &ids[..6])).unwrap();
+        }
+        let mut emitted = Vec::new();
+        let stable = r0
+            .leader_process_stable_with(|_, ts| emitted.push(ts.0))
+            .unwrap();
+        r1.apply_stable(stable);
+        // r0 crashes; r1 takes over with the remaining ids.
+        r1.ingest(&frame(0, &ids[6..])).unwrap();
+        r1.promote();
+        r1.leader_process_stable_with(|_, ts| emitted.push(ts.0))
+            .unwrap();
+        assert_eq!(emitted, ids);
+    }
+
+    #[test]
+    fn stable_cutoff_is_min_across_many_lanes() {
+        let mut r = ShardedReplicaState::new(ReplicaId(0), 16);
+        for lane in 0..16u32 {
+            r.ingest(&frame(lane, &[100 + lane as u64])).unwrap();
+        }
+        assert_eq!(r.stable_time(), Timestamp(100));
+        let mut n = 0;
+        let stable = r.leader_process_stable_with(|_, _| n += 1).unwrap();
+        assert_eq!(stable, Timestamp(100));
+        assert_eq!(n, 1, "only lane 0's id is at or below the cutoff");
+        assert_eq!(r.pending(), 15);
+    }
+
+    #[test]
+    fn sender_builds_suffix_frames_and_prunes_on_acks() {
+        let mut s = LaneSender::new(2);
+        for t in 1..=5u64 {
+            s.push(Timestamp(t));
+        }
+        let f = s.build_frame(p(0), ReplicaId(0), Timestamp::ZERO, None, Vec::new());
+        assert_eq!(f.ids.len(), 5);
+        s.on_ack(ReplicaId(0), Timestamp(5));
+        assert_eq!(s.window_len(), 5, "replica 1 silent: window pinned");
+        // Floor above the ack: only unsent ids.
+        let f = s.build_frame(p(0), ReplicaId(1), Timestamp(3), None, f.ids);
+        assert_eq!(f.ids, vec![Timestamp(4), Timestamp(5)]);
+        s.on_ack(ReplicaId(1), Timestamp(5));
+        assert_eq!(s.window_len(), 0);
+    }
+
+    #[test]
+    fn dead_replica_stops_pinning_window() {
+        let mut s = LaneSender::new(3);
+        for t in 1..=5u64 {
+            s.push(Timestamp(t));
+        }
+        s.on_ack(ReplicaId(0), Timestamp(5));
+        s.on_ack(ReplicaId(1), Timestamp(5));
+        assert_eq!(s.window_len(), 5);
+        assert_eq!(s.mark_dead(ReplicaId(2)), 5);
+        assert_eq!(s.window_len(), 0);
+        s.mark_alive(ReplicaId(2));
+        assert_eq!(s.ack_of(ReplicaId(2)), Timestamp(5));
+    }
+
+    #[test]
+    fn append_above_spans_the_deque_wrap_point() {
+        let mut s = LaneSender::new(1);
+        // Force a wrapped deque: push, prune, push more.
+        for t in 1..=8u64 {
+            s.push(Timestamp(t));
+        }
+        s.on_ack(ReplicaId(0), Timestamp(6));
+        for t in 9..=12u64 {
+            s.push(Timestamp(t));
+        }
+        let mut out = Vec::new();
+        s.append_above(Timestamp(7), &mut out);
+        assert_eq!(
+            out,
+            (8..=12).map(Timestamp).collect::<Vec<_>>(),
+            "suffix must be correct regardless of ring layout"
+        );
+        out.clear();
+        s.append_above(Timestamp::ZERO, &mut out);
+        assert_eq!(out.len(), s.window_len());
+    }
+
+    proptest! {
+        /// The sharded replica agrees with the reference `ReplicaState`
+        /// under lossy, duplicating, multi-replica delivery: same acks,
+        /// same stable times, same accepted id sets.
+        #[test]
+        fn agrees_with_reference_replica_under_loss(
+            n_ops in 1usize..40,
+            plan in proptest::collection::vec((0usize..3, proptest::bool::ANY), 0..120),
+        ) {
+            use crate::replica::{ReplicaState, ReplicatedSender};
+            let mut sender = LaneSender::new(3);
+            let mut reference_sender: ReplicatedSender<u64> = ReplicatedSender::new(3);
+            let mut sharded: Vec<ShardedReplicaState> =
+                (0..3).map(|i| ShardedReplicaState::new(ReplicaId(i), 1)).collect();
+            let mut reference: Vec<ReplicaState<u64>> =
+                (0..3).map(|i| ReplicaState::new(ReplicaId(i), 1)).collect();
+            let mut produced = 0u64;
+            for (target, drop) in plan {
+                if produced < n_ops as u64 {
+                    produced += 1;
+                    sender.push(Timestamp(produced));
+                    reference_sender.push(Timestamp(produced), produced);
+                }
+                let rid = ReplicaId(target as u32);
+                let f = sender.build_frame(p(0), rid, Timestamp::ZERO, None, Vec::new());
+                let ref_batch = reference_sender.batch_for(rid);
+                prop_assert_eq!(
+                    f.ids.clone(),
+                    ref_batch.iter().map(|(ts, _)| *ts).collect::<Vec<_>>()
+                );
+                if !drop && !f.ids.is_empty() {
+                    let ack = sharded[target].ingest(&f).unwrap();
+                    let ref_ack = reference[target].new_batch(p(0), ref_batch).unwrap();
+                    prop_assert_eq!(ack, ref_ack);
+                    sender.on_ack(rid, ack);
+                    reference_sender.on_ack(rid, ref_ack);
+                }
+                for (s, r) in sharded.iter().zip(reference.iter()) {
+                    prop_assert_eq!(s.stable_time(), r.stable_time());
+                    prop_assert_eq!(s.pending(), r.pending());
+                }
+            }
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! next operation — the paper's Basho Bench clients with zero think time.
 
 use crate::config::ClusterConfig;
-use crate::metrics::GeoMetrics;
+use crate::metrics::{GeoMetrics, SessionRecord};
 use crate::msg::Msg;
 use crate::registry::SharedRegistry;
 use crate::system::SystemId;
@@ -23,19 +23,23 @@ pub struct ClientProc {
     session: ClientState,
     gen: OpGenerator,
     dc: usize,
+    /// Globally unique client index (keys the session log).
+    id: u32,
     kind: SystemId,
     cfg: Rc<ClusterConfig>,
     reg: SharedRegistry,
     metrics: GeoMetrics,
     issued_at: SimTime,
     pending_is_update: bool,
+    pending_key: u64,
     completed: u64,
 }
 
 impl ClientProc {
-    /// Creates a client homed at datacenter `dc`.
+    /// Creates client `id` homed at datacenter `dc`.
     pub fn new(
         dc: usize,
+        id: u32,
         kind: SystemId,
         cfg: Rc<ClusterConfig>,
         reg: SharedRegistry,
@@ -45,12 +49,14 @@ impl ClientProc {
             session: ClientState::new(DcId(dc as u16), cfg.n_dcs),
             gen: cfg.workload.generator(),
             dc,
+            id,
             kind,
             cfg,
             reg,
             metrics,
             issued_at: 0,
             pending_is_update: false,
+            pending_key: 0,
             completed: 0,
         }
     }
@@ -69,6 +75,7 @@ impl ClientProc {
         let partition = ring::responsible(key, self.cfg.partitions_per_dc);
         let target = self.reg.borrow().partition(self.dc, partition.index());
         self.issued_at = ctx.now();
+        self.pending_key = key.0;
         match op {
             Op::Read(_) => {
                 self.pending_is_update = false;
@@ -110,13 +117,35 @@ impl Process<Msg> for ClientProc {
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: ProcessId, msg: Msg) {
         match msg {
-            Msg::ReadReply { vts, .. } => {
+            Msg::ReadReply { vts, origin, .. } => {
+                if self.cfg.track_sessions {
+                    self.metrics.record_session(SessionRecord {
+                        dc: self.dc as u16,
+                        client: self.id,
+                        key: self.pending_key,
+                        is_update: false,
+                        origin: origin.0,
+                        vts: vts.as_ticks(),
+                        at: ctx.now(),
+                    });
+                }
                 if self.kind == SystemId::EunomiaKv {
                     self.session.on_read_reply(&vts);
                 }
                 self.complete(ctx);
             }
             Msg::UpdateReply { vts } => {
+                if self.cfg.track_sessions {
+                    self.metrics.record_session(SessionRecord {
+                        dc: self.dc as u16,
+                        client: self.id,
+                        key: self.pending_key,
+                        is_update: true,
+                        origin: self.dc as u16,
+                        vts: vts.as_ticks(),
+                        at: ctx.now(),
+                    });
+                }
                 if self.kind == SystemId::EunomiaKv {
                     self.session.on_update_reply(vts);
                 }

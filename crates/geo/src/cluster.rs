@@ -73,6 +73,9 @@ pub fn build(id: SystemId, cfg: ClusterConfig) -> Cluster {
     if cfg.track_staleness {
         metrics.enable_staleness_tracking();
     }
+    if cfg.track_sessions {
+        metrics.enable_session_log();
+    }
     let reg = registry::shared();
     let mut sim: Simulation<Msg> = Simulation::new(cfg.topology(), cfg.seed);
     let mut clock_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED_C10C);
@@ -117,9 +120,11 @@ pub fn build(id: SystemId, cfg: ClusterConfig) -> Cluster {
             receivers.push(None);
         }
 
-        for _ in 0..cfg.clients_per_dc {
+        for c in 0..cfg.clients_per_dc {
             let node = sim.add_node(dc);
-            let proc = ClientProc::new(dc, id, cfg.clone(), reg.clone(), metrics.clone());
+            let client_id = (dc * cfg.clients_per_dc + c) as u32;
+            let proc =
+                ClientProc::new(dc, client_id, id, cfg.clone(), reg.clone(), metrics.clone());
             clients.push(sim.add_process_on(node, Box::new(proc)));
         }
     }

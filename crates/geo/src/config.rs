@@ -198,6 +198,13 @@ pub struct ClusterConfig {
     /// replication — with a partial `replication_factor`, keys a
     /// datacenter never stores would count as stale forever.
     pub track_staleness: bool,
+    /// Record every completed client operation (with the observed or
+    /// assigned version's LWW rank) in the metrics sink's session log,
+    /// keyed by client. Feeds the per-client session-guarantee checks
+    /// (read-your-writes, monotonic reads) of `tests/faults.rs`. Off by
+    /// default (the log grows with every operation); honoured by the
+    /// native systems (EunomiaKV, Eventual).
+    pub track_sessions: bool,
 }
 
 impl Default for ClusterConfig {
@@ -235,6 +242,7 @@ impl Default for ClusterConfig {
             crashes: Vec::new(),
             faults: Vec::new(),
             track_staleness: false,
+            track_sessions: false,
         }
     }
 }
@@ -707,6 +715,8 @@ impl ClusterConfigBuilder {
         faults: Vec<FaultEvent>,
         /// Track staleness exposure of reads.
         track_staleness: bool,
+        /// Record the per-client session log.
+        track_sessions: bool,
     }
 
     /// Escape hatch for the long tail of fields without a setter.

@@ -115,6 +115,90 @@ pub fn last_heal(events: &[FaultEvent], duration: SimTime) -> Option<SimTime> {
     last
 }
 
+/// Per-datacenter availability accounting for schedules whose partitions
+/// do **not** all heal inside the run (split-brain until the end).
+///
+/// Convergence-after-heal is undefined for such runs —
+/// [`RunReport::heal_convergence`](crate::RunReport::heal_convergence)
+/// returns `None` because there is no heal to converge after. What *is*
+/// well-defined is how long each datacenter spent cut off: this struct
+/// reports, per DC, the total time it was isolated from at least one
+/// other datacenter by a partition still in force when the run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DcAvailability {
+    /// Per-DC nanoseconds spent under an unhealed partition (overlapping
+    /// windows union-merged, clipped to the run).
+    pub unavailable: Vec<SimTime>,
+    /// Number of `Partition` events still in force at the end of the run.
+    pub unhealed_partitions: usize,
+}
+
+impl DcAvailability {
+    /// Per-DC availability as a fraction of `duration` (1.0 = never under
+    /// an unhealed partition).
+    pub fn fractions(&self, duration: SimTime) -> Vec<f64> {
+        self.unavailable
+            .iter()
+            .map(|&ns| {
+                if duration == 0 {
+                    1.0
+                } else {
+                    1.0 - ns as f64 / duration as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Computes [`DcAvailability`] for a schedule: only `Partition` events
+/// whose window reaches the end of the run count (healed partitions are
+/// covered by convergence-after-heal instead; gray links and overrides
+/// degrade but do not cut availability).
+pub fn dc_unavailability(events: &[FaultEvent], duration: SimTime, n_dcs: usize) -> DcAvailability {
+    let mut windows: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); n_dcs];
+    let mut unhealed = 0;
+    for e in events {
+        if let FaultEvent::Partition { a, b, from, to } = *e {
+            if to >= duration && from < duration {
+                unhealed += 1;
+                for dc in [a, b] {
+                    if dc < n_dcs {
+                        windows[dc].push((from, duration));
+                    }
+                }
+            }
+        }
+    }
+    let unavailable = windows
+        .into_iter()
+        .map(|mut w| {
+            // Union-merge overlapping windows, then sum.
+            w.sort_unstable();
+            let mut total = 0;
+            let mut cur: Option<(SimTime, SimTime)> = None;
+            for (from, to) in w {
+                match &mut cur {
+                    Some((_, end)) if from <= *end => *end = (*end).max(to),
+                    _ => {
+                        if let Some((s, e)) = cur {
+                            total += e - s;
+                        }
+                        cur = Some((from, to));
+                    }
+                }
+            }
+            if let Some((s, e)) = cur {
+                total += e - s;
+            }
+            total
+        })
+        .collect();
+    DcAvailability {
+        unavailable,
+        unhealed_partitions: unhealed,
+    }
+}
+
 /// Validates `events` against the deployment: datacenters and partitions
 /// must exist, windows must be non-empty and start inside the run, loss
 /// probabilities must be in `[0, 1]`, and link events must name two
@@ -319,6 +403,55 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ConfigError::FaultOutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn unavailability_counts_only_unhealed_partitions_and_merges_overlap() {
+        let d = units::secs(10);
+        let healed = FaultEvent::Partition {
+            a: 0,
+            b: 1,
+            from: units::secs(1),
+            to: units::secs(3),
+        };
+        let unhealed_a = FaultEvent::Partition {
+            a: 0,
+            b: 1,
+            from: units::secs(4),
+            to: d,
+        };
+        // Overlaps unhealed_a on dc0; extends past the end.
+        let unhealed_b = FaultEvent::Partition {
+            a: 0,
+            b: 2,
+            from: units::secs(5),
+            to: d + units::secs(5),
+        };
+        let gray = FaultEvent::GrayLink {
+            from_dc: 1,
+            to_dc: 2,
+            from: units::secs(1),
+            to: d,
+            loss: 0.1,
+            extra_oneway: 0,
+            rto: 0,
+        };
+        let av = dc_unavailability(&[healed, unhealed_a, unhealed_b, gray], d, 3);
+        assert_eq!(av.unhealed_partitions, 2);
+        // dc0: [4s, 10s) ∪ [5s, 10s) = 6 s; dc1: [4s, 10s); dc2: [5s, 10s).
+        assert_eq!(
+            av.unavailable,
+            vec![units::secs(6), units::secs(6), units::secs(5)]
+        );
+        let f = av.fractions(d);
+        assert!((f[0] - 0.4).abs() < 1e-12, "{f:?}");
+        assert!((f[2] - 0.5).abs() < 1e-12, "{f:?}");
+
+        // Healed-only schedules report full availability.
+        let av = dc_unavailability(&[healed, gray], d, 3);
+        assert_eq!(av.unhealed_partitions, 0);
+        assert_eq!(av.unavailable, vec![0; 3]);
+        assert_eq!(av.fractions(d), vec![1.0; 3]);
     }
 
     #[test]

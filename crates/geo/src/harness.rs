@@ -29,9 +29,18 @@ pub struct RunReport {
     pub metrics: GeoMetrics,
     /// Measurement window used.
     pub window: (SimTime, SimTime),
+    /// Full configured run length (sim time) — the denominator for
+    /// availability fractions.
+    pub duration: SimTime,
     /// Raw engine counters for the run (event counts are deterministic
     /// per seed; `wall_ns` is real elapsed time and is not).
     pub engine: EngineStats,
+    /// Threaded-service measurements (ids/s at stabilization, batch
+    /// sizes, queue depth, stabilization latency) when the report came
+    /// from (or was joined with) a real-thread service run — `None` for
+    /// purely simulated runs. Attach with
+    /// [`with_service_stats`](RunReport::with_service_stats).
+    pub service: Option<eunomia_stats::ServiceStats>,
     /// Total stale reads (staleness exposure) — 0 unless the config set
     /// `track_staleness`.
     pub stale_reads: u64,
@@ -39,6 +48,17 @@ pub struct RunReport {
     /// `None` when no disruption was scheduled or one outlives the run —
     /// see [`faults::last_heal`].
     pub last_heal: Option<SimTime>,
+    /// Unhealed-partition availability accounting: per-DC time spent
+    /// under a partition that never healed before the run ended, and how
+    /// many such partitions there were. All zeros when every partition
+    /// healed (the healed case is covered by [`heal_convergence`]
+    /// instead); a non-zero `unhealed_partitions` explains a `None` from
+    /// [`heal_convergence`] — split-brain until the end of the run has
+    /// no heal to converge after. See [`RunReport::unavailable_ms`] and
+    /// [`RunReport::dc_availability`] for the derived views.
+    ///
+    /// [`heal_convergence`]: RunReport::heal_convergence
+    pub availability: faults::DcAvailability,
     /// Number of datacenters in the deployment.
     pub n_dcs: usize,
     /// Whether every key is replicated at every datacenter (convergence
@@ -64,6 +84,33 @@ pub struct HealConvergence {
 }
 
 impl RunReport {
+    /// Attaches a threaded-service [`ServiceStats`] to the report — the
+    /// service-side counterpart of the `engine` field, used by harnesses
+    /// that pair a simulated run with a real-thread service measurement.
+    ///
+    /// [`ServiceStats`]: eunomia_stats::ServiceStats
+    pub fn with_service_stats(mut self, stats: eunomia_stats::ServiceStats) -> RunReport {
+        self.service = Some(stats);
+        self
+    }
+
+    /// Per-DC milliseconds spent under an unhealed partition (the
+    /// [`availability`](RunReport::availability) accounting in ms).
+    pub fn unavailable_ms(&self) -> Vec<f64> {
+        self.availability
+            .unavailable
+            .iter()
+            .map(|&ns| units::to_ms(ns))
+            .collect()
+    }
+
+    /// Per-DC availability over the run as a fraction (1.0 = the DC was
+    /// never isolated by an unhealed partition); delegates to
+    /// [`faults::DcAvailability::fractions`] over the run length.
+    pub fn dc_availability(&self) -> Vec<f64> {
+        self.availability.fractions(self.duration)
+    }
+
     /// Visibility percentile (ms of *extra* delay beyond data arrival) for
     /// updates originating at `origin` observed at `dest`, over the
     /// measurement window. `None` if no samples.
@@ -213,11 +260,14 @@ pub fn make_report(
         p99_latency_ms: units::to_ms(p99),
         stale_reads: metrics.stale_reads(),
         last_heal: faults::last_heal(&cfg.faults, cfg.duration),
+        availability: faults::dc_unavailability(&cfg.faults, cfg.duration, cfg.n_dcs),
         n_dcs: cfg.n_dcs,
         full_replication: cfg.replication_factor.is_none_or(|rf| rf == cfg.n_dcs),
         metrics,
         window: (from, to),
+        duration: cfg.duration,
         engine,
+        service: None,
     }
 }
 
@@ -246,6 +296,21 @@ mod tests {
         // Extra delay should be modest: stabilization intervals are 1 ms.
         let p90 = report.visibility_percentile_ms(0, 1, 90.0).unwrap();
         assert!(p90 < 100.0, "p90 extra delay unreasonably large: {p90} ms");
+    }
+
+    #[test]
+    fn service_stats_attach_to_reports() {
+        let report = run(SystemId::Eventual, &Scenario::small_test());
+        assert!(
+            report.service.is_none(),
+            "simulated runs carry no service stats"
+        );
+        let stats = eunomia_stats::ServiceStats {
+            stabilized_ids: 5,
+            ..Default::default()
+        };
+        let report = report.with_service_stats(stats);
+        assert_eq!(report.service.unwrap().stabilized_ids, 5);
     }
 
     #[test]

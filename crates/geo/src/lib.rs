@@ -56,7 +56,8 @@ pub use config::{
     ClusterConfig, ClusterConfigBuilder, ConfigError, CostModel, ReplicaCrash, StragglerConfig,
 };
 pub use eunomia_sim::EngineStats;
-pub use faults::{apply_faults, FaultEvent};
+pub use eunomia_stats::ServiceStats;
+pub use faults::{apply_faults, dc_unavailability, DcAvailability, FaultEvent};
 pub use harness::{HealConvergence, RunReport};
 pub use metrics::GeoMetrics;
 pub use msg::Msg;

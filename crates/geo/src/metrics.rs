@@ -38,6 +38,42 @@ pub struct ApplyRecord {
     pub at: SimTime,
 }
 
+/// One entry of the (optional) per-client session log: an operation
+/// completing at a client, with enough version information to check
+/// session guarantees (read-your-writes, monotonic reads) end to end.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// The client's home datacenter.
+    pub dc: u16,
+    /// Globally unique client index.
+    pub client: u32,
+    /// Key the operation touched.
+    pub key: u64,
+    /// `true` for updates, `false` for reads.
+    pub is_update: bool,
+    /// Origin datacenter of the observed version (reads) or of the
+    /// update itself (== `dc`). Together with `vts[origin]` this is the
+    /// version's LWW rank.
+    pub origin: u16,
+    /// Version vector observed (reads) or assigned (updates).
+    pub vts: Vec<u64>,
+    /// Sim time of the completion.
+    pub at: SimTime,
+}
+
+impl SessionRecord {
+    /// The LWW arbitration rank of the observed/assigned version:
+    /// `(origin timestamp, origin)` — the order the store resolves
+    /// conflicting versions by, and therefore the order session
+    /// guarantees are defined over.
+    pub fn rank(&self) -> (u64, u16) {
+        (
+            self.vts.get(self.origin as usize).copied().unwrap_or(0),
+            self.origin,
+        )
+    }
+}
+
 /// Mutable interior of [`GeoMetrics`].
 #[derive(Debug)]
 pub struct MetricsInner {
@@ -67,6 +103,11 @@ pub struct MetricsInner {
     pub apply_log: Vec<ApplyRecord>,
     /// Whether the apply log records entries.
     pub apply_log_enabled: bool,
+    /// Per-client session log (only filled when enabled; see
+    /// [`GeoMetrics::enable_session_log`]).
+    pub session_log: Vec<SessionRecord>,
+    /// Whether the session log records entries.
+    pub session_log_enabled: bool,
     /// Whether staleness exposure is tracked (see
     /// [`GeoMetrics::enable_staleness_tracking`]).
     pub staleness_enabled: bool,
@@ -112,6 +153,8 @@ impl GeoMetrics {
                 service_messages: 0,
                 apply_log: Vec::new(),
                 apply_log_enabled: false,
+                session_log: Vec::new(),
+                session_log_enabled: false,
                 staleness_enabled: false,
                 stale_reads: vec![0; n_dcs],
                 stale_read_series: (0..n_dcs)
@@ -160,6 +203,27 @@ impl GeoMetrics {
     /// landing anywhere, which benchmark runs do not want to pay for).
     pub fn enable_apply_log(&self) {
         self.inner.borrow_mut().apply_log_enabled = true;
+    }
+
+    /// Turns on the per-client session log (off by default: it grows with
+    /// every completed operation). Used by the session-guarantee checks
+    /// of `tests/faults.rs`; wired from `ClusterConfig::track_sessions`
+    /// for the native systems.
+    pub fn enable_session_log(&self) {
+        self.inner.borrow_mut().session_log_enabled = true;
+    }
+
+    /// Appends to the session log if enabled.
+    pub fn record_session(&self, record: SessionRecord) {
+        let mut m = self.inner.borrow_mut();
+        if m.session_log_enabled {
+            m.session_log.push(record);
+        }
+    }
+
+    /// Clones the session log (empty unless enabled).
+    pub fn session_log(&self) -> Vec<SessionRecord> {
+        self.inner.borrow().session_log.clone()
     }
 
     /// Turns on staleness-exposure tracking (off by default: it maintains

@@ -54,6 +54,10 @@ pub enum Msg {
         value: Value,
         /// Version vector of the returned value.
         vts: VectorTime,
+        /// Origin datacenter of the returned version (`vts[origin]` is
+        /// its LWW rank timestamp); `DcId(0)` with the zero vector for
+        /// never-written keys.
+        origin: DcId,
     },
     /// Client → partition: update request carrying the session's
     /// dependency vector (`VClock_c`).

@@ -253,8 +253,8 @@ impl Process<Msg> for PartitionProc {
             Msg::Read { key } => {
                 ctx.consume(self.costs.read_ns + self.vector_cost());
                 self.metrics.record_read(self.dc, key.0, ctx.now());
-                let (value, vts) = self.state.read(key);
-                ctx.send(from, Msg::ReadReply { value, vts });
+                let (value, vts, origin) = self.state.read_versioned(key);
+                ctx.send(from, Msg::ReadReply { value, vts, origin });
             }
             Msg::Update { key, value, deps } => {
                 ctx.consume(self.costs.update_ns + self.vector_cost());

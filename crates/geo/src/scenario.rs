@@ -32,18 +32,19 @@
 //!   process is alive but unresponsive for a window; queued work drains
 //!   in order at the resume.
 //!
-//! Four presets cover the space (all enable the apply log and staleness
+//! Five presets cover the space (all enable the apply log and staleness
 //! tracking so fault-aware metrics — stale-read counts, visibility
 //! series, convergence-after-heal — are populated):
 //!
 //! | preset | deployment | faults |
 //! |---|---|---|
 //! | [`partitioned-3dc`](Scenario::partitioned_three_dc) | paper 3-DC | dc0–dc1 partitioned for ~a quarter of the run, then healed |
+//! | [`flapping-links`](Scenario::flapping_links) | paper 3-DC | dc0–dc1 cut and healed three times (10% of the run each cycle) |
 //! | [`gray-wan`](Scenario::gray_wan) | paper 3-DC | both links into dc2 gray (15% loss, +20 ms) for the middle half |
 //! | [`hub-and-spoke`](Scenario::hub_and_spoke) | 5 DCs via a hub | spoke↔spoke traffic priced through the hub, slow uplinks (asymmetric one-ways), one spoke partitioned from the hub mid-run |
 //! | [`asymmetric-5dc`](Scenario::asymmetric_five_dc) | wide 5-DC | permanent asymmetric one-ways, a gray window, a partition+heal, and a paused partition server — every fault class at once |
 //!
-//! All four take the run length in seconds and scale their fault windows
+//! All five take the run length in seconds and scale their fault windows
 //! proportionally, so `--quick` CI runs exercise the same schedule shape
 //! as full runs. Same seed ⇒ bit-identical reports, faults included.
 
@@ -347,6 +348,34 @@ impl Scenario {
         }
     }
 
+    /// `flapping-links`: the paper's 3-DC deployment where the dc0–dc1
+    /// link flaps — three partition/heal cycles, each cutting the pair
+    /// for a tenth of the run with a recovery gap of the same length in
+    /// between. Flapping is the failure shape retry storms and BGP
+    /// dampening are built around: the backlog never fully drains before
+    /// the next cut, so visibility saw-tooths instead of spiking once.
+    /// The last heal lands at 70% of the run, leaving room to assert
+    /// convergence like every other preset.
+    pub fn flapping_links(secs: u64) -> Scenario {
+        let d = units::secs(secs);
+        let faults = (0..3)
+            .map(|cycle| FaultEvent::Partition {
+                a: 0,
+                b: 1,
+                from: d * (2 * cycle + 2) / 10,
+                to: d * (2 * cycle + 3) / 10,
+            })
+            .collect();
+        let cfg = ClusterConfig {
+            faults,
+            ..Scenario::fault_base(secs)
+        };
+        Scenario {
+            name: "flapping-links".into(),
+            cfg,
+        }
+    }
+
     /// `asymmetric-5dc`: the wide 5-DC topology with every fault class at
     /// once — permanently asymmetric one-way latencies on two links, a
     /// gray window on the dc0↔dc2 link, a dc1–dc2 partition that heals,
@@ -424,11 +453,12 @@ impl Scenario {
         }
     }
 
-    /// The four fault presets at `secs` simulated seconds each — what the
+    /// The five fault presets at `secs` simulated seconds each — what the
     /// `fig_faults` harness and the CI fault matrix sweep.
     pub fn fault_presets(secs: u64) -> Vec<Scenario> {
         vec![
             Scenario::partitioned_three_dc(secs),
+            Scenario::flapping_links(secs),
             Scenario::gray_wan(secs),
             Scenario::hub_and_spoke(secs),
             Scenario::asymmetric_five_dc(secs),

@@ -86,9 +86,19 @@ impl PartitionState {
     /// READ (Alg. 2 l. 1–3): returns the stored value and its vector
     /// timestamp; missing keys read as an empty value at the zero vector.
     pub fn read(&self, key: Key) -> (Value, VectorTime) {
+        let (value, vts, _) = self.read_versioned(key);
+        (value, vts)
+    }
+
+    /// [`read`](Self::read) plus the returned version's origin
+    /// datacenter — together with `vts[origin]` that is the version's LWW
+    /// rank, which session-guarantee checkers compare reads by. Missing
+    /// keys read at origin `DcId(0)` with the zero vector (rank `(0, 0)`,
+    /// below every written version).
+    pub fn read_versioned(&self, key: Key) -> (Value, VectorTime, DcId) {
         match self.store.get(key) {
-            Some(v) => (v.value.clone(), v.vts.clone()),
-            None => (Value::new(), VectorTime::new(self.n_dcs)),
+            Some(v) => (v.value.clone(), v.vts.clone(), v.origin),
+            None => (Value::new(), VectorTime::new(self.n_dcs), DcId(0)),
         }
     }
 

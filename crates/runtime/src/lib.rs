@@ -5,16 +5,47 @@
 //! The paper's service-level experiments bypass the datastore: load
 //! generators connect *directly* to the ordering service, each simulating
 //! one partition of a very large datacenter. This crate reproduces that
-//! setup with OS threads and crossbeam channels:
+//! setup with OS threads:
 //!
 //! * [`service`] — the (optionally replicated) Eunomia service: feeder
 //!   threads batch timestamped operation ids to every replica (prefix
-//!   property via [`eunomia_core::replica::ReplicatedSender`]), replicas
-//!   ingest/deduplicate, the leader stabilizes; crash injection and
-//!   heartbeat-based fail-over for the Fig. 4 experiment.
+//!   property via [`eunomia_core::shard::LaneSender`]), replicas ingest
+//!   batch frames, dedupe by watermark, the leader stabilizes; crash
+//!   injection and heartbeat-based fail-over for the Fig. 4 experiment.
 //! * [`sequencer`] — the synchronous sequencer: client threads block on a
 //!   request/reply round trip per operation; chain replication for its
 //!   fault-tolerant variant.
+//!
+//! # Hot-path architecture: rings, frames, lanes
+//!
+//! The threaded hot path is built from three pieces, bottom up:
+//!
+//! 1. **Lock-free ring channels.** Every queue between threads is a
+//!    bounded MPMC ring (the vendored `crossbeam::channel::bounded`:
+//!    Vyukov sequence slots, cache-line-padded head/tail, spin-then-park
+//!    blocking). Hot loops drain with `try_recv_batch`, amortizing
+//!    synchronization over whole backlogs instead of paying a
+//!    lock/condvar round trip per message — the channel-shim tax the
+//!    ROADMAP flagged on both sides of every service comparison.
+//! 2. **Flat batch frames.** Ids travel in
+//!    [`eunomia_core::shard::BatchFrame`]s: one allocation per batch,
+//!    built by [`eunomia_core::shard::LaneSender`] with a binary search
+//!    plus bulk copies out of its ordered window ring.
+//! 3. **Sharded stabilizer.** Replicas run
+//!    [`eunomia_core::shard::ShardedReplicaState`]: one lane per feeder
+//!    holding ids in arrival order, at-least-once dedup by slicing a
+//!    frame's already-seen prefix (one `partition_point`, not a per-id
+//!    ordered-map probe), and the stable cutoff maintained as a
+//!    tournament-tree min over lane watermarks
+//!    (`eunomia_collections::TournamentTree` via `eunomia-core`), so a
+//!    watermark advance costs `O(log lanes)` and the θ-tick reads the
+//!    cutoff in `O(1)`.
+//!
+//! Per-run measurements (ids/s at stabilization, batch-size histogram,
+//! ingest-queue high-water, stabilization-latency percentiles) accumulate
+//! in [`eunomia_stats::ServiceStats`], returned by
+//! [`service::run_eunomia_service_with_stats`] and carried on
+//! `eunomia_geo::RunReport` next to the simulator's `EngineStats`.
 //!
 //! The machines differ from the authors' testbed (and this host time-
 //! shares threads on few cores), so absolute numbers differ from the

@@ -6,22 +6,31 @@
 //!   it stamps operation ids with a [`ScalarHlc`] over the process
 //!   monotonic clock, keeps at most `window_cap` unacknowledged ids (the
 //!   §5 id-only metadata — payloads travel the data path and never touch
-//!   Eunomia), and every `batch_interval` sends each replica everything
-//!   that replica has not acknowledged.
-//! * `replicas` service threads running [`ReplicaState`]: ingest batches,
-//!   deduplicate (at-least-once delivery), ack; every `theta` the current
-//!   leader drains stable operations and publishes the stable time; the
-//!   leader is the lowest-indexed replica with a fresh liveness beat, so
-//!   killing it fails over after roughly `omega_timeout`.
+//!   Eunomia) in a [`LaneSender`] ring, and every `batch_interval` ships
+//!   each replica one flat [`BatchFrame`] of everything that replica has
+//!   not acknowledged.
+//! * `replicas` service threads running [`ShardedReplicaState`]: frames
+//!   are drained in batches off a lock-free ring channel, deduplicated by
+//!   per-lane watermark (one binary search per frame, not one probe per
+//!   id), and acknowledged with watermarks; every `theta` the current
+//!   leader advances the tournament-tree stable cutoff, drains stable ids
+//!   and publishes the stable time; the leader is the lowest-indexed
+//!   replica with a fresh liveness beat, so killing it fails over after
+//!   roughly `omega_timeout`.
 //!
 //! Throughput is counted at stabilization (operations leaving the service
 //! towards remote datacenters), the same quantity the paper plots.
+//! [`run_eunomia_service_with_stats`] additionally returns the
+//! [`ServiceStats`] the hot path accumulates: ids/s at stabilization,
+//! batch-size and stabilization-latency distributions, and the ingest
+//! queue's high-water mark.
 
 use crate::ThroughputTimeline;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use eunomia_core::ids::{PartitionId, ReplicaId};
-use eunomia_core::replica::{ReplicaState, ReplicatedSender};
+use eunomia_core::shard::{BatchFrame, LaneSender, ShardedReplicaState};
 use eunomia_core::time::{ScalarHlc, Timestamp};
+use eunomia_stats::ServiceStats;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -63,13 +72,13 @@ impl Default for EunomiaBenchConfig {
 }
 
 enum ToReplica {
-    Batch {
-        partition: PartitionId,
-        ops: Vec<(Timestamp, ())>,
-        heartbeat: Option<Timestamp>,
-    },
+    Frame(BatchFrame),
     Stop,
 }
+
+/// Frames drained per replica wake (bounds the scratch buffer; the ring
+/// capacity is `feeders * 4`, so one constant covers every config).
+const DRAIN_MAX: usize = 256;
 
 struct Shared {
     stop: AtomicBool,
@@ -105,19 +114,27 @@ fn feeder_loop(
     acks: &Receiver<(ReplicaId, Timestamp)>,
 ) {
     let mut hlc = ScalarHlc::new();
-    let mut sender: ReplicatedSender<()> = ReplicatedSender::new(cfg.replicas);
+    let mut sender = LaneSender::new(cfg.replicas);
     let mut dead = vec![false; cfg.replicas];
+    let mut ack_buf: Vec<(ReplicaId, Timestamp)> = Vec::with_capacity(64);
     // Send-window tracking: transmit each id once and retransmit from the
     // ack only after a timeout without ack progress (at-least-once; the
-    // prefix property holds because replicas deduplicate by timestamp).
+    // prefix property holds because replicas slice off duplicates by
+    // watermark).
     let retransmit_after = cfg.batch_interval * 10 + Duration::from_millis(5);
     let mut last_sent = vec![Timestamp::ZERO; cfg.replicas];
     let mut last_progress = vec![Instant::now(); cfg.replicas];
+    // Per-replica spare frame buffers: a frame that could not be sent
+    // (ring full) hands its allocation back here, so a saturated replica
+    // costs a binary search + copy per interval, not an alloc too.
+    let mut spares: Vec<Vec<Timestamp>> = vec![Vec::new(); cfg.replicas];
     let mut backoff = cfg.batch_interval;
     while !shared.stop.load(Ordering::Relaxed) {
-        // Drain acks (and detect replicas the supervisor declared dead so
-        // their silence stops pinning the window).
-        while let Ok((r, ts)) = acks.try_recv() {
+        // Drain acks in one batch (and detect replicas the supervisor
+        // declared dead so their silence stops pinning the window).
+        ack_buf.clear();
+        acks.try_recv_batch(&mut ack_buf, usize::MAX);
+        for &(r, ts) in &ack_buf {
             if ts > sender.ack_of(r) {
                 last_progress[r.index()] = Instant::now();
             }
@@ -129,18 +146,19 @@ fn feeder_loop(
                 sender.mark_dead(ReplicaId(r as u32));
             }
         }
-        // Generate eagerly up to the window cap (ids only, §5).
+        // Generate eagerly up to the window cap (ids only, §5). The
+        // physical clock is read once per refill; the HLC's logical bump
+        // keeps ids strictly monotone within the burst.
         let room = cfg.window_cap.saturating_sub(sender.window_len());
-        for _ in 0..room {
-            let ts = hlc.tick_local(Timestamp(shared.now_ns()));
-            sender.push(ts, ());
-        }
-        // Ship per-replica batches.
         let physical = Timestamp(shared.now_ns());
+        for _ in 0..room {
+            sender.push(hlc.tick_local(physical));
+        }
+        // Ship per-replica frames.
         let heartbeat = if sender.window_len() == 0
             && hlc.heartbeat_due(physical, cfg.batch_interval.as_nanos() as u64)
         {
-            Some(hlc.heartbeat(physical))
+            Some(hlc.heartbeat(Timestamp(shared.now_ns())))
         } else {
             None
         };
@@ -152,28 +170,36 @@ fn feeder_loop(
             let rid = ReplicaId(r as u32);
             let floor = if last_progress[r].elapsed() > retransmit_after {
                 last_progress[r] = Instant::now();
-                sender.ack_of(rid) // Retransmit everything unacked.
+                Timestamp::ZERO // Retransmit everything unacked.
             } else {
-                sender.ack_of(rid).max(last_sent[r]) // New ids only.
+                last_sent[r] // New ids only.
             };
-            let ops = sender.batch_above(floor);
-            if ops.is_empty() && heartbeat.is_none() {
+            let spare = std::mem::take(&mut spares[r]);
+            let frame = sender.build_frame(partition, rid, floor, heartbeat, spare);
+            if frame.ids.is_empty() && heartbeat.is_none() {
+                spares[r] = frame.ids;
                 continue;
             }
-            if let Some((ts, _)) = ops.last() {
-                last_sent[r] = last_sent[r].max(*ts);
-            }
+            let newest = frame.ids.last().copied();
             // A full channel means the replica is saturated; drop and rely
-            // on the retransmission timeout.
-            if tx
-                .try_send(ToReplica::Batch {
-                    partition,
-                    ops,
-                    heartbeat,
-                })
-                .is_ok()
-            {
-                sent_something = true;
+            // on the retransmission timeout. `last_sent` advances only on
+            // a successful send: advancing it for a dropped frame would
+            // make the next frame skip the dropped ids, the replica's
+            // watermark would jump the gap, and the ack would prune them
+            // from the window unsent — every frame must stay a contiguous
+            // suffix of the unacked stream (the `shard` dedup contract).
+            match tx.try_send(ToReplica::Frame(frame)) {
+                Ok(()) => {
+                    sent_something = true;
+                    if let Some(ts) = newest {
+                        last_sent[r] = last_sent[r].max(ts);
+                    }
+                }
+                Err(TrySendError::Full(ToReplica::Frame(f)))
+                | Err(TrySendError::Disconnected(ToReplica::Frame(f))) => {
+                    spares[r] = f.ids;
+                }
+                Err(_) => {}
             }
         }
         // Adaptive pacing: a feeder whose window is full and which shipped
@@ -196,31 +222,40 @@ fn replica_loop(
     shared: &Shared,
     rx: &Receiver<ToReplica>,
     ack_txs: &[Sender<(ReplicaId, Timestamp)>],
-) {
-    let mut state: ReplicaState<()> = ReplicaState::new(ReplicaId(me as u32), n_partitions);
+) -> ServiceStats {
+    let mut state = ShardedReplicaState::new(ReplicaId(me as u32), n_partitions);
+    let mut stats = ServiceStats::default();
     let mut next_theta = Instant::now() + cfg.theta;
-    let mut drained: Vec<(eunomia_core::buffer::OpKey, ())> = Vec::new();
-    loop {
+    let mut frames: Vec<ToReplica> = Vec::with_capacity(DRAIN_MAX);
+    let mut latency_scratch: Vec<u64> = Vec::new();
+    let rid = ReplicaId(me as u32);
+    'run: loop {
         if shared.stop.load(Ordering::Relaxed) || !shared.alive[me].load(Ordering::Relaxed) {
-            return;
+            break 'run;
         }
-        let timeout = next_theta.saturating_duration_since(Instant::now());
-        match rx.recv_timeout(timeout) {
-            Ok(ToReplica::Batch {
-                partition,
-                ops,
-                heartbeat,
-            }) => {
-                let mut ack = state
-                    .new_batch(partition, ops)
-                    .expect("bench wiring guarantees valid partitions");
-                if let Some(hb) = heartbeat {
-                    ack = state.heartbeat(partition, hb).expect("valid partition");
-                }
-                let _ = ack_txs[partition.index()].try_send((ReplicaId(me as u32), ack));
+        // Batch ingestion: drain whatever is queued in one sweep; park
+        // until the next θ tick only when the ring is empty.
+        frames.clear();
+        stats.queue_depth_high_water = stats.queue_depth_high_water.max(rx.len() as u64);
+        if rx.try_recv_batch(&mut frames, DRAIN_MAX) == 0 {
+            let timeout = next_theta.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(timeout) {
+                Ok(msg) => frames.push(msg),
+                Err(RecvTimeoutError::Disconnected) => break 'run,
+                Err(RecvTimeoutError::Timeout) => {}
             }
-            Ok(ToReplica::Stop) | Err(RecvTimeoutError::Disconnected) => return,
-            Err(RecvTimeoutError::Timeout) => {}
+        }
+        for msg in frames.drain(..) {
+            let frame = match msg {
+                ToReplica::Frame(f) => f,
+                ToReplica::Stop => break 'run,
+            };
+            let ack = state
+                .ingest(&frame)
+                .expect("bench wiring guarantees valid partitions");
+            stats.frames += 1;
+            stats.batch_sizes.record(frame.ids.len() as u64);
+            let _ = ack_txs[frame.partition.index()].try_send((rid, ack));
         }
         if Instant::now() >= next_theta {
             next_theta = Instant::now() + cfg.theta;
@@ -228,16 +263,27 @@ fn replica_loop(
             let leader = shared.leader(cfg.omega_timeout);
             state.set_leader(ReplicaId(leader.unwrap_or(me) as u32));
             if leader == Some(me) {
-                drained.clear();
-                if let Some(stable) = state.leader_process_stable(&mut drained) {
-                    // Publish the stable time; count each stabilized op
-                    // exactly once across leaders via a max-CAS.
-                    let new = stable.0;
-                    let prev = shared.global_stable.fetch_max(new, Ordering::SeqCst);
-                    if prev < new {
+                // Tentatively drain, buffering latencies; count (and
+                // flush the latency samples) only if this drain advanced
+                // the globally published stable time, so overlapping
+                // leaders during fail-over can neither double-count nor
+                // double-sample the histogram.
+                let now = shared.now_ns();
+                latency_scratch.clear();
+                let scratch = &mut latency_scratch;
+                let stable = state.leader_process_stable_with(|_, ts| {
+                    scratch.push(now.saturating_sub(ts.0));
+                });
+                if let Some(stable) = stable {
+                    let prev = shared.global_stable.fetch_max(stable.0, Ordering::SeqCst);
+                    if prev < stable.0 {
+                        stats.stabilized_ids += latency_scratch.len() as u64;
                         shared
                             .stabilized
-                            .fetch_add(drained.len() as u64, Ordering::Relaxed);
+                            .fetch_add(latency_scratch.len() as u64, Ordering::Relaxed);
+                        for &ns in &latency_scratch {
+                            stats.stabilization_latency.record(ns);
+                        }
                     }
                 }
             } else {
@@ -246,6 +292,9 @@ fn replica_loop(
             }
         }
     }
+    stats.accepted_ids = state.total_accepted();
+    stats.duplicate_ids = state.total_duplicates();
+    stats
 }
 
 /// Runs the threaded Eunomia service benchmark.
@@ -253,6 +302,15 @@ fn replica_loop(
 /// Returns the per-second stabilization timeline. With `cfg.crashes`
 /// non-empty, replicas die at the scheduled offsets (the Fig. 4 setup).
 pub fn run_eunomia_service(cfg: &EunomiaBenchConfig) -> ThroughputTimeline {
+    run_eunomia_service_with_stats(cfg).0
+}
+
+/// Runs the threaded Eunomia service benchmark and also returns the
+/// merged [`ServiceStats`] of all replicas (batch sizes, queue depths,
+/// stabilization latency, ids/s).
+pub fn run_eunomia_service_with_stats(
+    cfg: &EunomiaBenchConfig,
+) -> (ThroughputTimeline, ServiceStats) {
     assert!(
         cfg.feeders > 0 && cfg.replicas > 0,
         "need feeders and replicas"
@@ -276,25 +334,28 @@ pub fn run_eunomia_service(cfg: &EunomiaBenchConfig) -> ThroughputTimeline {
     let mut ack_txs = Vec::new();
     let mut ack_rxs = Vec::new();
     for _ in 0..cfg.feeders {
-        let (tx, rx) = unbounded::<(ReplicaId, Timestamp)>();
+        // Watermark acks supersede each other: a full ring just drops an
+        // ack the next one covers.
+        let (tx, rx) = bounded::<(ReplicaId, Timestamp)>(cfg.replicas * 16);
         ack_txs.push(tx);
         ack_rxs.push(rx);
     }
 
-    let mut handles = Vec::new();
+    let mut replica_handles = Vec::new();
+    let mut feeder_handles = Vec::new();
     for (me, rx) in replica_rxs.into_iter().enumerate() {
         let cfg = cfg.clone();
         let shared = shared.clone();
         let ack_txs = ack_txs.clone();
-        handles.push(std::thread::spawn(move || {
-            replica_loop(me, cfg.feeders, &cfg, &shared, &rx, &ack_txs);
+        replica_handles.push(std::thread::spawn(move || {
+            replica_loop(me, cfg.feeders, &cfg, &shared, &rx, &ack_txs)
         }));
     }
     for (p, rx) in ack_rxs.into_iter().enumerate() {
         let cfg = cfg.clone();
         let shared = shared.clone();
         let txs = replica_txs.clone();
-        handles.push(std::thread::spawn(move || {
+        feeder_handles.push(std::thread::spawn(move || {
             feeder_loop(PartitionId(p as u32), &cfg, &shared, &txs, &rx);
         }));
     }
@@ -335,15 +396,28 @@ pub fn run_eunomia_service(cfg: &EunomiaBenchConfig) -> ThroughputTimeline {
         let _ = tx.try_send(ToReplica::Stop);
     }
     let elapsed = start.elapsed();
-    for h in handles {
+    for h in feeder_handles {
         let _ = h.join();
     }
-    let total = shared.stabilized.load(Ordering::Relaxed);
-    ThroughputTimeline {
-        per_second,
-        total,
-        elapsed,
+    let mut stats = ServiceStats::default();
+    for h in replica_handles {
+        if let Ok(s) = h.join() {
+            stats.merge(&s);
+        }
     }
+    stats.elapsed = elapsed;
+    // The shared counter is authoritative (a replica killed mid-update
+    // may not have flushed its local copy).
+    let total = shared.stabilized.load(Ordering::Relaxed);
+    stats.stabilized_ids = total;
+    (
+        ThroughputTimeline {
+            per_second,
+            total,
+            elapsed,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -362,14 +436,25 @@ mod tests {
 
     #[test]
     fn single_replica_stabilizes_operations() {
-        let t = run_eunomia_service(&quick(4, 1));
+        let (t, stats) = run_eunomia_service_with_stats(&quick(4, 1));
         assert!(t.total > 1_000, "stabilized only {} ops", t.total);
+        assert_eq!(stats.stabilized_ids, t.total);
+        assert!(stats.frames > 0);
+        assert!(stats.batch_sizes.count() > 0);
+        assert!(
+            stats.stabilization_latency.count() >= t.total,
+            "every stabilized id contributes a latency sample"
+        );
+        let p50 = stats.stabilization_latency_ms(50.0).unwrap();
+        assert!(p50 > 0.0, "stabilization takes nonzero time: {p50}");
     }
 
     #[test]
     fn replicated_service_still_makes_progress() {
-        let t = run_eunomia_service(&quick(4, 3));
+        let (t, stats) = run_eunomia_service_with_stats(&quick(4, 3));
         assert!(t.total > 1_000, "stabilized only {} ops", t.total);
+        // All three replicas ingest every frame at least once.
+        assert!(stats.accepted_ids >= 3 * t.total, "replicas ingest 3x");
     }
 
     #[test]

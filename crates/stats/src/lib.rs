@@ -8,6 +8,10 @@
 //! * [`TimeSeries`] — fixed-width time buckets for throughput timelines
 //!   (e.g. the failure-impact plot, Fig. 4 of the paper).
 //! * [`Summary`] — Welford online mean/variance with min/max.
+//! * [`ServiceStats`] — counters and distributions of one threaded-service
+//!   run (stabilized ids/s, batch sizes, queue depth, stabilization
+//!   latency), shared by `eunomia-runtime`, `eunomia-geo` and the bench
+//!   harnesses.
 //!
 //! All values are `u64`; callers choose the unit (this workspace uses
 //! nanoseconds for latencies and operations for counters).
@@ -26,10 +30,12 @@
 //! ```
 
 mod histogram;
+mod service;
 mod summary;
 mod timeseries;
 
 pub use histogram::Histogram;
+pub use service::ServiceStats;
 pub use summary::Summary;
 pub use timeseries::TimeSeries;
 

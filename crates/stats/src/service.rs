@@ -1,0 +1,127 @@
+//! Counters and distributions of one threaded-service run.
+//!
+//! The threaded runtime (`eunomia-runtime`) fills one [`ServiceStats`]
+//! per run; `eunomia-geo` carries it on `RunReport` (alongside the
+//! simulator's `EngineStats`) and `perf_service` commits it to
+//! `BENCH_service.json`. It lives here so the runtime, the geo layer and
+//! the bench harnesses can share it without depending on each other.
+
+use crate::Histogram;
+use std::time::Duration;
+
+/// Measurements of the threaded Eunomia service's hot path.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Ids that left the service stabilized — the paper's throughput
+    /// quantity (operations leaving towards remote datacenters).
+    pub stabilized_ids: u64,
+    /// Ids accepted by replicas (non-duplicate).
+    pub accepted_ids: u64,
+    /// Duplicate id deliveries filtered by the watermark dedup.
+    pub duplicate_ids: u64,
+    /// Batch frames ingested by replicas.
+    pub frames: u64,
+    /// Distribution of ids per ingested frame.
+    pub batch_sizes: Histogram,
+    /// Highest frame backlog observed on any replica's ingest queue.
+    pub queue_depth_high_water: u64,
+    /// Stabilization latency (ns): id issue (its timestamp) to the
+    /// leader's stable drain that emitted it.
+    pub stabilization_latency: Histogram,
+    /// Measured wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ServiceStats {
+    /// Ids stabilized per wall-clock second.
+    pub fn ids_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.stabilized_ids as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Mean ids per ingested frame.
+    pub fn mean_batch_size(&self) -> f64 {
+        self.batch_sizes.mean().unwrap_or(0.0)
+    }
+
+    /// Stabilization-latency percentile in milliseconds (`None` until at
+    /// least one id stabilized).
+    pub fn stabilization_latency_ms(&self, p: f64) -> Option<f64> {
+        self.stabilization_latency
+            .percentile(p)
+            .map(|ns| ns as f64 / 1e6)
+    }
+
+    /// Folds another replica's (or run's) stats into this one: counters
+    /// add, histograms merge, high-waters take the max, and the longer
+    /// elapsed time wins (replica threads of one run overlap in time).
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.stabilized_ids += other.stabilized_ids;
+        self.accepted_ids += other.accepted_ids;
+        self.duplicate_ids += other.duplicate_ids;
+        self.frames += other.frames;
+        self.batch_sizes.merge(&other.batch_sizes);
+        self.queue_depth_high_water = self
+            .queue_depth_high_water
+            .max(other.queue_depth_high_water);
+        self.stabilization_latency
+            .merge(&other.stabilization_latency);
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_percentiles() {
+        let mut s = ServiceStats {
+            stabilized_ids: 2_000,
+            elapsed: Duration::from_secs(2),
+            ..ServiceStats::default()
+        };
+        assert!((s.ids_per_sec() - 1_000.0).abs() < 1e-9);
+        assert_eq!(s.stabilization_latency_ms(99.0), None);
+        for ns in [1_000_000u64, 2_000_000, 30_000_000] {
+            s.stabilization_latency.record(ns);
+        }
+        let p50 = s.stabilization_latency_ms(50.0).unwrap();
+        assert!((1.0..30.0).contains(&p50), "{p50}");
+        assert_eq!(ServiceStats::default().ids_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_watermarks() {
+        let mut a = ServiceStats {
+            stabilized_ids: 10,
+            accepted_ids: 12,
+            duplicate_ids: 1,
+            frames: 3,
+            queue_depth_high_water: 4,
+            elapsed: Duration::from_secs(1),
+            ..ServiceStats::default()
+        };
+        a.batch_sizes.record(4);
+        let mut b = ServiceStats {
+            stabilized_ids: 5,
+            accepted_ids: 5,
+            duplicate_ids: 0,
+            frames: 2,
+            queue_depth_high_water: 9,
+            elapsed: Duration::from_millis(500),
+            ..ServiceStats::default()
+        };
+        b.batch_sizes.record(2);
+        b.batch_sizes.record(3);
+        a.merge(&b);
+        assert_eq!(a.stabilized_ids, 15);
+        assert_eq!(a.accepted_ids, 17);
+        assert_eq!(a.frames, 5);
+        assert_eq!(a.queue_depth_high_water, 9);
+        assert_eq!(a.batch_sizes.count(), 3);
+        assert_eq!(a.elapsed, Duration::from_secs(1));
+    }
+}

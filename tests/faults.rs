@@ -187,6 +187,117 @@ fn control_run_without_faults_reports_no_fault_metrics() {
     assert_eq!(report.stale_reads, 0, "tracking is off by default");
     assert!(report.heal_convergence().is_none());
     assert!(report.convergence_after_heal_ms().is_none());
+    assert_eq!(report.availability.unhealed_partitions, 0);
+    assert!(report.unavailable_ms().iter().all(|&ms| ms == 0.0));
+    assert_eq!(report.dc_availability(), vec![1.0; report.n_dcs]);
+}
+
+/// A partition that never heals (split-brain until the end of the run):
+/// convergence-after-heal is rightly unmeasurable, and instead the report
+/// accounts the cut — per-DC unavailable time and the unhealed count.
+#[test]
+fn unhealed_partition_reports_availability_instead_of_convergence() {
+    let secs = 8u64;
+    let d = units::secs(secs);
+    let sc = Scenario::partitioned_three_dc(secs)
+        .named("split-brain")
+        .with(|c| {
+            c.partitions_per_dc = 2;
+            c.clients_per_dc = 2;
+            c.faults = vec![FaultEvent::Partition {
+                a: 0,
+                b: 1,
+                from: d / 2,
+                to: d, // never heals
+            }];
+        });
+    let report = run(SystemId::EunomiaKv, &sc);
+    assert!(report.total_ops > 500, "both sides keep serving");
+    assert_eq!(report.last_heal, None, "no heal inside the run");
+    assert!(
+        report.heal_convergence().is_none(),
+        "convergence-after-heal undefined without a heal"
+    );
+    assert_eq!(report.availability.unhealed_partitions, 1);
+    // dc0 and dc1 each lose the second half of the run; dc2 stays whole.
+    let half_ms = units::to_ms(d / 2);
+    let unavailable = report.unavailable_ms();
+    assert!((unavailable[0] - half_ms).abs() < 1e-6);
+    assert!((unavailable[1] - half_ms).abs() < 1e-6);
+    assert_eq!(unavailable[2], 0.0);
+    let av = report.dc_availability();
+    assert!((av[0] - 0.5).abs() < 1e-9, "{av:?}");
+    assert_eq!(av[2], 1.0);
+    // The cut really was in force: traffic between the pair deferred and
+    // never delivered before the end.
+    assert!(report.engine.messages_deferred > 0);
+}
+
+/// Per-client session guarantees under partition/heal faults: every
+/// client's reads observe non-decreasing LWW ranks per key (monotonic
+/// reads), and reads after the client's own write to a key never observe
+/// a rank below that write (read-your-writes). Ranks are
+/// `(vts[origin], origin)` — exactly the order the store arbitrates
+/// conflicting versions by.
+#[test]
+fn sessions_keep_ryw_and_monotonic_reads_under_partition_faults() {
+    for preset in [
+        Scenario::partitioned_three_dc(8),
+        Scenario::flapping_links(8),
+    ] {
+        let sc = preset.with(|c| {
+            c.partitions_per_dc = 2;
+            c.clients_per_dc = 2;
+            c.track_sessions = true;
+        });
+        let report = run(SystemId::EunomiaKv, &sc);
+        let log = report.metrics.session_log();
+        assert!(
+            log.len() as u64 == report.total_ops,
+            "{}: every completed op must be in the session log ({} vs {})",
+            sc.name(),
+            log.len(),
+            report.total_ops
+        );
+        // Per client, per key: last read rank and last own-write rank.
+        let mut last_read: HashMap<(u32, u64), (u64, u16)> = HashMap::new();
+        let mut own_write: HashMap<(u32, u64), (u64, u16)> = HashMap::new();
+        let mut reads_checked = 0u64;
+        for rec in &log {
+            let rank = rec.rank();
+            if rec.is_update {
+                own_write.insert((rec.client, rec.key), rank);
+                continue;
+            }
+            reads_checked += 1;
+            if let Some(&prev) = last_read.get(&(rec.client, rec.key)) {
+                assert!(
+                    rank >= prev,
+                    "{}: monotonic reads violated: client {} key {} saw rank {rank:?} \
+                     after {prev:?}",
+                    sc.name(),
+                    rec.client,
+                    rec.key
+                );
+            }
+            if let Some(&w) = own_write.get(&(rec.client, rec.key)) {
+                assert!(
+                    rank >= w,
+                    "{}: read-your-writes violated: client {} key {} read rank {rank:?} \
+                     below its own write {w:?}",
+                    sc.name(),
+                    rec.client,
+                    rec.key
+                );
+            }
+            last_read.insert((rec.client, rec.key), rank);
+        }
+        assert!(
+            reads_checked > 1_000,
+            "{}: too few reads to be meaningful: {reads_checked}",
+            sc.name()
+        );
+    }
 }
 
 proptest! {
