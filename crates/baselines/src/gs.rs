@@ -372,6 +372,33 @@ impl Process<BMsg> for GsPartitionProc {
             _ => debug_assert!(false, "unknown timer {tag}"),
         }
     }
+
+    fn mc_state(&self, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash as _;
+        h.write_usize(self.dc);
+        h.write_usize(self.pidx);
+        self.store.state_digest(h);
+        h.write_u64(self.max_ts.0);
+        self.pvc.hash(&mut h);
+        // Buffered remote updates: keys and payloads matter, the recorded
+        // arrival times are visibility bookkeeping only (the engine's
+        // time abstraction — see `Simulation::mc_fingerprint`).
+        for q in &self.pending {
+            h.write_usize(q.len());
+            for (ts, (update, _arrival)) in q {
+                (ts, update).hash(&mut h);
+            }
+        }
+        self.stable.hash(&mut h);
+        // Same abstraction for the clock-wait queue: the waiting ops'
+        // identity is state, their wake instants are time.
+        h.write_usize(self.waiting.len());
+        for w in &self.waiting {
+            h.write_u32(w.client.0);
+            (w.key, &w.value, &w.deps).hash(&mut h);
+        }
+        true
+    }
 }
 
 /// Per-datacenter aggregator: computes the entrywise minimum of partition
@@ -433,6 +460,13 @@ impl Process<BMsg> for GsAggregatorProc {
         }
         ctx.set_timer(self.cfg.stab_aggregation_interval, TIMER_AGGREGATE);
     }
+
+    fn mc_state(&self, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash as _;
+        h.write_usize(self.dc);
+        self.reports.hash(&mut h);
+        true
+    }
 }
 
 /// Closed-loop client for the global-stabilization systems.
@@ -449,6 +483,7 @@ pub struct GsClientProc {
     metrics: GeoMetrics,
     issued_at: SimTime,
     pending_is_update: bool,
+    completed: u64,
 }
 
 impl GsClientProc {
@@ -462,6 +497,7 @@ impl GsClientProc {
             metrics,
             issued_at: 0,
             pending_is_update: false,
+            completed: 0,
         }
     }
 
@@ -495,7 +531,14 @@ impl GsClientProc {
         let latency = ctx.now().saturating_sub(self.issued_at);
         self.metrics
             .record_op(self.dc, ctx.now(), latency, self.pending_is_update);
-        self.issue(ctx);
+        self.completed += 1;
+        if self
+            .cfg
+            .ops_per_client
+            .is_none_or(|budget| self.completed < budget)
+        {
+            self.issue(ctx);
+        }
     }
 }
 
@@ -514,6 +557,16 @@ impl Process<BMsg> for GsClientProc {
                 debug_assert!(false, "gs client received unexpected message: {other:?}");
             }
         }
+    }
+
+    fn mc_state(&self, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash as _;
+        h.write_usize(self.dc);
+        self.vclock.hash(&mut h);
+        self.gen.state_digest(h);
+        self.pending_is_update.hash(&mut h);
+        h.write_u64(self.completed);
+        true
     }
 }
 

@@ -31,7 +31,9 @@ pub mod msg;
 pub mod seq;
 
 use eunomia_geo::harness::RunReport;
-use eunomia_geo::{register_runner, ClusterConfig, SystemId};
+use eunomia_geo::mc::{drive, McReport, McScenario};
+use eunomia_geo::{register_mc_runner, register_runner, ClusterConfig, SystemId};
+use eunomia_sim::McTrace;
 use std::sync::Once;
 
 fn run_baseline(id: SystemId, cfg: &ClusterConfig) -> RunReport {
@@ -40,6 +42,45 @@ fn run_baseline(id: SystemId, cfg: &ClusterConfig) -> RunReport {
         SystemId::Cure => gs::run(gs::StabilizationMode::Vector, cfg.clone()),
         SystemId::SSeq => seq::run(seq::SeqMode::Synchronous, cfg.clone()),
         SystemId::ASeq => seq::run(seq::SeqMode::Asynchronous, cfg.clone()),
+        native => unreachable!("{native} is assembled by eunomia-geo"),
+    }
+}
+
+fn mc_baseline(id: SystemId, sc: &McScenario, trace: Option<&McTrace>) -> McReport {
+    let cfg = sc.cfg.clone();
+    match id {
+        SystemId::GentleRain | SystemId::Cure => {
+            let mode = if id == SystemId::GentleRain {
+                gs::StabilizationMode::Scalar
+            } else {
+                gs::StabilizationMode::Vector
+            };
+            drive(
+                id.label(),
+                sc,
+                move || {
+                    let (sim, metrics, _) = gs::build(mode, cfg.clone());
+                    (sim, metrics)
+                },
+                trace,
+            )
+        }
+        SystemId::SSeq | SystemId::ASeq => {
+            let mode = if id == SystemId::SSeq {
+                seq::SeqMode::Synchronous
+            } else {
+                seq::SeqMode::Asynchronous
+            };
+            drive(
+                id.label(),
+                sc,
+                move || {
+                    let (sim, metrics, _) = seq::build(mode, cfg.clone());
+                    (sim, metrics)
+                },
+                trace,
+            )
+        }
         native => unreachable!("{native} is assembled by eunomia-geo"),
     }
 }
@@ -58,6 +99,7 @@ pub fn install() {
             SystemId::ASeq,
         ] {
             register_runner(id, run_baseline);
+            register_mc_runner(id, mc_baseline);
         }
     });
 }

@@ -12,7 +12,7 @@ use eunomia_core::time::{Timestamp, VectorTime};
 use eunomia_kv::{Key, Update, Value};
 
 /// All messages of the GentleRain / Cure / S-Seq / A-Seq systems.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub enum BMsg {
     /// Client → partition: read.
     Read {

@@ -249,6 +249,20 @@ impl Process<BMsg> for SeqPartitionProc {
             }
         }
     }
+
+    fn mc_state(&self, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash as _;
+        h.write_usize(self.dc);
+        h.write_usize(self.pidx);
+        self.store.state_digest(h);
+        h.write_usize(self.pending.len());
+        for p in &self.pending {
+            h.write_u32(p.client.0);
+            (p.key, &p.value, &p.deps).hash(&mut h);
+        }
+        h.write_u64(self.provisional);
+        true
+    }
 }
 
 /// The per-datacenter sequencer service.
@@ -285,6 +299,12 @@ impl Process<BMsg> for SequencerProc {
                 debug_assert!(false, "sequencer received unexpected message: {other:?}");
             }
         }
+    }
+
+    fn mc_state(&self, h: &mut dyn std::hash::Hasher) -> bool {
+        h.write_u64(self.state.last());
+        h.write_u64(self.requests);
+        true
     }
 }
 
@@ -386,6 +406,24 @@ impl Process<BMsg> for SeqReceiverProc {
         self.flush(ctx);
         ctx.set_timer(self.cfg.rho, TIMER_RHO);
     }
+
+    fn mc_state(&self, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash as _;
+        h.write_usize(self.dc);
+        // Queued sequenced updates: identity only — the recorded arrival
+        // instants are visibility bookkeeping, excluded by the engine's
+        // time abstraction (see `Simulation::mc_fingerprint`).
+        for q in &self.queues {
+            h.write_usize(q.len());
+            for (seq, (update, _arrival)) in q {
+                (seq, update).hash(&mut h);
+            }
+        }
+        self.next_expected.hash(&mut h);
+        self.site_seq.hash(&mut h);
+        self.in_flight.hash(&mut h);
+        true
+    }
 }
 
 /// Closed-loop client for the sequencer systems (vector of per-DC
@@ -399,6 +437,7 @@ pub struct SeqClientProc {
     metrics: GeoMetrics,
     issued_at: SimTime,
     pending_is_update: bool,
+    completed: u64,
 }
 
 impl SeqClientProc {
@@ -412,6 +451,7 @@ impl SeqClientProc {
             metrics,
             issued_at: 0,
             pending_is_update: false,
+            completed: 0,
         }
     }
 
@@ -453,12 +493,29 @@ impl Process<BMsg> for SeqClientProc {
                 let latency = ctx.now().saturating_sub(self.issued_at);
                 self.metrics
                     .record_op(self.dc, ctx.now(), latency, self.pending_is_update);
-                self.issue(ctx);
+                self.completed += 1;
+                if self
+                    .cfg
+                    .ops_per_client
+                    .is_none_or(|budget| self.completed < budget)
+                {
+                    self.issue(ctx);
+                }
             }
             other => {
                 debug_assert!(false, "seq client received unexpected message: {other:?}");
             }
         }
+    }
+
+    fn mc_state(&self, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash as _;
+        h.write_usize(self.dc);
+        self.vclock.hash(&mut h);
+        self.gen.state_digest(h);
+        self.pending_is_update.hash(&mut h);
+        h.write_u64(self.completed);
+        true
     }
 }
 

@@ -1,0 +1,221 @@
+//! Model-checking matrix: exhaustive schedule exploration of all six
+//! systems on their 2-DC certification scenarios, plus the seeded
+//! violation demo (Eventual breaks causal delivery on two independent
+//! FIFO links; EunomiaKV certifies the very same deployment).
+//!
+//! Every certification run must come back `Certified` with a complete
+//! (untruncated) search; the demo must come back `Violated` with a
+//! counterexample that replays to the identical verdict. Any other
+//! outcome exits non-zero. Explored-state counts go to `BENCH_mc.json` —
+//! the search is deterministic (replay-based DFS over a pinned
+//! fingerprint hash), so CI gates on *exact* equality: a drifting count
+//! means the explored schedule space silently changed.
+//!
+//! Usage: `cargo run --release -p eunomia-bench --bin fig_mc [-- --systems eunomia,cure]`
+//!
+//! (`--quick` is accepted but changes nothing: the scenarios are already
+//! sized for exhaustive search, and shrinking them would change the
+//! counts CI pins.)
+
+use eunomia_bench::BenchArgs;
+use eunomia_geo::{mc_replay, mc_run, McReport, McScenario, SystemId};
+use eunomia_sim::McVerdict;
+use std::fmt::Write as _;
+
+struct Cell {
+    system: SystemId,
+    scenario: String,
+    expected_certified: bool,
+    report: McReport,
+    /// For violated runs: did the counterexample replay to the same
+    /// step and message on a fresh cluster?
+    replayed: Option<bool>,
+}
+
+fn verdict_label(v: &McVerdict) -> &'static str {
+    if v.is_certified() {
+        "certified"
+    } else {
+        "violated"
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    eunomia_bench::banner(
+        "fig_mc",
+        "model checking: six-system certification matrix + seeded violation demo",
+        "every certify scenario is Certified with a complete search; the demo \
+         violates causal order and its trace replays; explored-state counts are \
+         deterministic (CI gates on exact equality)",
+    );
+
+    let systems = args.systems(&SystemId::all());
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    for &sys in &systems {
+        let sc = McScenario::certify(sys);
+        let report = mc_run(sys, &sc);
+        if !report.verdict.is_certified() {
+            failures.push(format!("{sys} x {}: {:?}", sc.name, report.verdict));
+        }
+        if !report.complete {
+            failures.push(format!(
+                "{sys} x {}: search truncated ({:?})",
+                sc.name, report.stats
+            ));
+        }
+        cells.push(Cell {
+            system: sys,
+            scenario: sc.name.clone(),
+            expected_certified: true,
+            report,
+            replayed: None,
+        });
+    }
+
+    // The violation demo: the same two-partition deployment must break
+    // the eventually consistent baseline and certify for EunomiaKV.
+    let demo = McScenario::violation_demo();
+    for (sys, expected_certified) in [(SystemId::Eventual, false), (SystemId::EunomiaKv, true)] {
+        if !args.wants(sys) {
+            continue;
+        }
+        let report = mc_run(sys, &demo);
+        let mut replayed = None;
+        match (&report.verdict, expected_certified) {
+            (McVerdict::Certified, true) => {}
+            (
+                McVerdict::Violated {
+                    step,
+                    message,
+                    trace,
+                },
+                false,
+            ) => {
+                let again = mc_replay(sys, &demo, trace);
+                let ok = matches!(
+                    &again.verdict,
+                    McVerdict::Violated { step: s, message: m, .. }
+                        if s == step && m == message
+                );
+                if !ok {
+                    failures.push(format!(
+                        "{sys} x {}: counterexample did not replay: {:?}",
+                        demo.name, again.verdict
+                    ));
+                }
+                replayed = Some(ok);
+            }
+            (v, want) => {
+                failures.push(format!(
+                    "{sys} x {}: expected {}, got {}",
+                    demo.name,
+                    if want { "certified" } else { "violated" },
+                    verdict_label(v)
+                ));
+            }
+        }
+        cells.push(Cell {
+            system: sys,
+            scenario: demo.name.clone(),
+            expected_certified,
+            report,
+            replayed,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.scenario.clone(),
+                c.system.to_string(),
+                verdict_label(&c.report.verdict).to_string(),
+                format!("{}", c.report.stats.explored),
+                format!("{}", c.report.stats.pruned),
+                format!("{}", c.report.stats.transitions),
+                format!("{}", c.report.stats.leaves),
+                format!("{}", c.report.stats.deepest),
+                match c.replayed {
+                    Some(true) => "yes".to_string(),
+                    Some(false) => "NO".to_string(),
+                    None => "-".to_string(),
+                },
+            ]
+        })
+        .collect();
+    eunomia_bench::print_table(
+        &[
+            "scenario",
+            "system",
+            "verdict",
+            "explored",
+            "pruned",
+            "transitions",
+            "leaves",
+            "deepest",
+            "replayed",
+        ],
+        &rows,
+    );
+
+    let json = render_json(&cells);
+    let path = "BENCH_mc.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path} ({} runs)", cells.len());
+
+    if !failures.is_empty() {
+        eprintln!("\nMODEL-CHECKING FAILURES:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "all {} runs matched their expected verdicts ({} states explored in total)",
+        cells.len(),
+        cells.iter().map(|c| c.report.stats.explored).sum::<u64>()
+    );
+}
+
+fn render_json(cells: &[Cell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fig_mc\",");
+    out.push_str("  \"runs\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let s = c.report.stats;
+        out.push_str("    {");
+        let _ = write!(
+            out,
+            "\"system\": \"{}\", \"scenario\": \"{}\", \
+             \"expected\": \"{}\", \"verdict\": \"{}\", \"complete\": {}, \
+             \"explored\": {}, \"pruned\": {}, \"transitions\": {}, \
+             \"leaves\": {}, \"truncated\": {}, \"deepest\": {}, \"replayed\": {}",
+            c.system,
+            c.scenario,
+            if c.expected_certified {
+                "certified"
+            } else {
+                "violated"
+            },
+            verdict_label(&c.report.verdict),
+            c.report.complete,
+            s.explored,
+            s.pruned,
+            s.transitions,
+            s.leaves,
+            s.truncated,
+            s.deepest,
+            match c.replayed {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            },
+        );
+        out.push_str(if i + 1 == cells.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -1,0 +1,231 @@
+//! State fingerprinting for the model checker.
+//!
+//! Exhaustive schedule exploration prunes revisited states by a 64-bit
+//! hash of the global state (SPIN-style hash compaction). Two pieces live
+//! here so every crate digests state the same way:
+//!
+//! * [`Fnv64`] — a deterministic [`std::hash::Hasher`] (FNV-1a). The std
+//!   `DefaultHasher` makes no cross-version stability promise, and the
+//!   model-checking CI gate compares explored-state counts against a
+//!   committed baseline, so the hash function must be pinned.
+//! * [`FingerprintSet`] — an open-addressing set of `u64` fingerprints,
+//!   leaner than `HashSet<u64>` (no per-entry hashing, no `RandomState`)
+//!   for the million-insert loops of a DFS sweep.
+//!
+//! Unordered collections (e.g. a `HashMap` of staged updates) must fold
+//! into the digest commutatively or the fingerprint would depend on
+//! iteration order; [`combine_unordered`] is the canonical fold.
+
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a 64-bit hasher: deterministic across runs, processes and rust
+/// versions (unlike `DefaultHasher`, which only promises determinism
+/// within one process).
+#[derive(Clone, Debug)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Hashes one value with [`Fnv64`].
+pub fn hash_one<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = Fnv64::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Commutative fold of per-element digests, for hashing unordered
+/// collections: `combine_unordered(acc, h)` gives the same result
+/// whatever order elements are visited in, while a finishing
+/// `write_u64(acc)` into the outer hasher still mixes positions of the
+/// *collection* within the overall state.
+pub fn combine_unordered(acc: u64, element_digest: u64) -> u64 {
+    // Addition is commutative; the multiply inside each element digest
+    // already diffuses, so plain wrapping addition suffices and keeps
+    // insert/remove of the same element exactly invertible.
+    acc.wrapping_add(element_digest)
+}
+
+/// Open-addressing set of 64-bit fingerprints (linear probing, power-of-two
+/// capacity, ~⅔ max load).
+///
+/// Zero is a valid fingerprint: it is remapped internally so the empty
+/// slot marker never collides with user data.
+#[derive(Clone, Debug)]
+pub struct FingerprintSet {
+    slots: Vec<u64>,
+    len: usize,
+    mask: usize,
+}
+
+const EMPTY: u64 = 0;
+/// Stand-in for a genuine zero fingerprint (an arbitrary odd constant).
+const ZERO_ALIAS: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FingerprintSet {
+    /// An empty set with a small initial table.
+    pub fn new() -> Self {
+        FingerprintSet::with_capacity(1024)
+    }
+
+    /// An empty set pre-sized for roughly `n` fingerprints.
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = (n.max(16) * 3 / 2).next_power_of_two();
+        FingerprintSet {
+            slots: vec![EMPTY; cap],
+            len: 0,
+            mask: cap - 1,
+        }
+    }
+
+    /// Number of distinct fingerprints stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no fingerprint has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn key_of(fp: u64) -> u64 {
+        if fp == EMPTY {
+            ZERO_ALIAS
+        } else {
+            fp
+        }
+    }
+
+    /// Inserts `fp`, returning `true` if it was not present before.
+    pub fn insert(&mut self, fp: u64) -> bool {
+        if (self.len + 1) * 3 > self.slots.len() * 2 {
+            self.grow();
+        }
+        let key = Self::key_of(fp);
+        let mut i = (key as usize) & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY {
+                self.slots[i] = key;
+                self.len += 1;
+                return true;
+            }
+            if slot == key {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Whether `fp` has been inserted.
+    pub fn contains(&self, fp: u64) -> bool {
+        let key = Self::key_of(fp);
+        let mut i = (key as usize) & self.mask;
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY {
+                return false;
+            }
+            if slot == key {
+                return true;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        self.mask = new_cap - 1;
+        for key in old {
+            if key == EMPTY {
+                continue;
+            }
+            let mut i = (key as usize) & self.mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = key;
+        }
+    }
+}
+
+impl Default for FingerprintSet {
+    fn default() -> Self {
+        FingerprintSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_deterministic_and_sensitive() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_ne!(hash_one(&42u64), hash_one(&43u64));
+        assert_ne!(hash_one(&(1u8, 2u8)), hash_one(&(2u8, 1u8)));
+    }
+
+    #[test]
+    fn combine_unordered_is_order_insensitive() {
+        let a = hash_one(&"a");
+        let b = hash_one(&"b");
+        let c = hash_one(&"c");
+        let x = combine_unordered(combine_unordered(combine_unordered(0, a), b), c);
+        let y = combine_unordered(combine_unordered(combine_unordered(0, c), a), b);
+        assert_eq!(x, y);
+        assert_ne!(x, combine_unordered(combine_unordered(0, a), b));
+    }
+
+    #[test]
+    fn set_insert_contains_and_growth() {
+        let mut s = FingerprintSet::with_capacity(4);
+        assert!(s.is_empty());
+        for i in 0..10_000u64 {
+            assert!(s.insert(hash_one(&i)), "first insert of {i}");
+        }
+        assert_eq!(s.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert!(!s.insert(hash_one(&i)), "reinsert of {i}");
+            assert!(s.contains(hash_one(&i)));
+        }
+        assert!(!s.contains(hash_one(&99_999u64)));
+    }
+
+    #[test]
+    fn zero_fingerprint_is_storable() {
+        let mut s = FingerprintSet::new();
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(s.contains(0));
+        assert!(!s.insert(0));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -39,11 +39,13 @@
 
 mod avl;
 mod btree_adapter;
+pub mod fingerprint;
 mod rbtree;
 mod tournament;
 
 pub use avl::AvlTree;
 pub use btree_adapter::BTreeAdapter;
+pub use fingerprint::{combine_unordered, hash_one, FingerprintSet, Fnv64};
 pub use rbtree::RbTree;
 pub use tournament::TournamentTree;
 

@@ -81,6 +81,19 @@ impl OmegaState {
     pub fn me(&self) -> ReplicaId {
         self.me
     }
+
+    /// Folds the detector state into `h` for model-checking state
+    /// hashing. `last_heard` holds heartbeat arrival *clock readings* —
+    /// under the perfect-zero clocks MC configs use these are always
+    /// zero, so including them is exact there and merely conservative
+    /// (over-splitting, never over-merging) elsewhere.
+    pub fn state_digest(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u32(self.me.0);
+        for ts in &self.last_heard {
+            h.write_u64(ts.0);
+        }
+        h.write_u64(self.timeout);
+    }
 }
 
 #[cfg(test)]

@@ -190,6 +190,27 @@ impl<T, M: OrderedMap<OpKey, T>> ReplicaState<T, M> {
     }
 }
 
+impl<T: std::hash::Hash, M: OrderedMap<OpKey, T>> ReplicaState<T, M> {
+    /// Folds this replica's protocol state into `h` for model-checking
+    /// state hashing: partition times, the buffered op set (visited in
+    /// key order — already canonical), leadership and the stable
+    /// watermark, plus the accepted/duplicate counters (the duplicate
+    /// filter's behaviour depends on them only through `partition_time`,
+    /// but they distinguish histories under injected redelivery).
+    pub fn state_digest(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash as _;
+        h.write_u32(self.id.0);
+        for ts in &self.partition_time {
+            h.write_u64(ts.0);
+        }
+        self.ops.for_each(|k, v| (k, v).hash(&mut h));
+        h.write_u32(self.leader.0);
+        h.write_u64(self.last_stable.0);
+        h.write_u64(self.total_accepted);
+        h.write_u64(self.total_duplicates);
+    }
+}
+
 /// Partition-side sender that maintains the prefix property (§3.3).
 ///
 /// Keeps a window of operations not yet acknowledged by every *live*
@@ -311,6 +332,25 @@ impl<T: Clone> ReplicatedSender<T> {
     /// Highest ack recorded for `replica`.
     pub fn ack_of(&self, replica: ReplicaId) -> Timestamp {
         self.acks[replica.index()]
+    }
+}
+
+impl<T: Clone + std::hash::Hash> ReplicatedSender<T> {
+    /// Folds the sender's window, acks and liveness view into `h` for
+    /// model-checking state hashing (the window iterates in timestamp
+    /// order — already canonical).
+    pub fn state_digest(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash as _;
+        h.write_usize(self.window.len());
+        for entry in &self.window {
+            entry.hash(&mut h);
+        }
+        for ack in &self.acks {
+            h.write_u64(ack.0);
+        }
+        for alive in &self.alive {
+            h.write_u8(*alive as u8);
+        }
     }
 }
 

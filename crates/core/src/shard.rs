@@ -8,6 +8,12 @@
 //! ordering them again against every other partition's ids — before the
 //! stable cutoff is even known — is wasted work.
 //!
+//! Audit note: this hot path is deliberately `unsafe`-free — the ring
+//! buffers and the tournament tree are plain indexed `Vec`s — and the
+//! seal below keeps it that way (the lock-free unsafe lives in
+//! `vendor/crossbeam`, where every block carries a `SAFETY:` comment and
+//! the `interleave` checker enumerates the ring's schedules).
+//!
 //! This module shards the replica into **per-feeder lanes**:
 //!
 //! * Each lane keeps the feeder's ids in arrival (= timestamp) order in a
@@ -28,6 +34,9 @@
 //! [`ReplicaState`](crate::replica::ReplicaState) is not needed by
 //! the service: stabilized ids are acknowledged back to their own feeder,
 //! and the stable *time* is what remote datacenters consume).
+
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use crate::eunomia::EunomiaError;
 use crate::ids::{PartitionId, ReplicaId};

@@ -156,4 +156,17 @@ impl Process<Msg> for ClientProc {
             }
         }
     }
+
+    fn mc_state(&self, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash as _;
+        self.session.state_digest(h);
+        // The generator's counters decide the keys/kinds of future ops;
+        // `issued_at` is excluded (pure latency bookkeeping).
+        self.gen.state_digest(h);
+        h.write_u32(self.id);
+        self.pending_is_update.hash(&mut h);
+        h.write_u64(self.pending_key);
+        h.write_u64(self.completed);
+        true
+    }
 }

@@ -209,4 +209,13 @@ impl Process<Msg> for ReplicaProc {
             _ => debug_assert!(false, "unknown timer {tag}"),
         }
     }
+
+    fn mc_state(&self, h: &mut dyn std::hash::Hasher) -> bool {
+        self.state.state_digest(h);
+        self.omega.state_digest(h);
+        h.write_usize(self.dc);
+        h.write_u32(self.rid.0);
+        h.write_u64(self.last_shipped_stable.0);
+        true
+    }
 }

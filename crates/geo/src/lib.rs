@@ -43,6 +43,7 @@ pub mod config;
 pub mod eunomia_proc;
 pub mod faults;
 pub mod harness;
+pub mod mc;
 pub mod metrics;
 pub mod msg;
 pub mod partition;
@@ -59,6 +60,7 @@ pub use eunomia_sim::EngineStats;
 pub use eunomia_stats::ServiceStats;
 pub use faults::{apply_faults, dc_unavailability, DcAvailability, FaultEvent};
 pub use harness::{HealConvergence, RunReport};
+pub use mc::{mc_replay, mc_run, register_mc_runner, McReport, McScenario, McSystemRunner};
 pub use metrics::GeoMetrics;
 pub use msg::Msg;
 pub use scenario::{Scenario, Sweep, SweepCell, SweepResults};

@@ -7,7 +7,7 @@ use eunomia_kv::{Key, Update, UpdateId, Value};
 /// Metadata record a partition sends to Eunomia for one update (§5:
 /// identifier plus the vector needed by remote dependency checks — never
 /// the value payload).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct OpMeta {
     /// Lightweight update identifier.
     pub id: UpdateId,
@@ -16,7 +16,7 @@ pub struct OpMeta {
 }
 
 /// One entry of a [`Msg::MetaBundle`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct BundleEntry {
     /// The Eunomia replica this batch is destined for.
     pub replica: ReplicaId,
@@ -30,7 +30,7 @@ pub struct BundleEntry {
 
 /// One stabilized operation as shipped to remote receivers, in stable
 /// order.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct StableOp {
     /// Origin partition (the remote sibling holds the payload).
     pub partition: PartitionId,
@@ -41,7 +41,7 @@ pub struct StableOp {
 }
 
 /// All messages exchanged in the EunomiaKV and Eventual systems.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub enum Msg {
     /// Client → partition: read request.
     Read {

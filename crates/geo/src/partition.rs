@@ -368,4 +368,30 @@ impl Process<Msg> for PartitionProc {
         let next = self.effective_interval(ctx.now());
         ctx.set_timer(next, TIMER_BATCH);
     }
+
+    fn mc_state(&self, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use eunomia_collections::{combine_unordered, hash_one};
+        use std::hash::Hash as _;
+        self.state.state_digest(h);
+        self.sender.state_digest(h);
+        self.replica_alive.hash(&mut h);
+        // Suspicion timers matter only through their is-armed bit: under
+        // the zero-latency MC clock every armed timer reads the same
+        // instant, and elsewhere hashing raw times would split states that
+        // behave identically.
+        for slot in &self.awaiting_since {
+            h.write_u8(slot.is_some() as u8);
+        }
+        // `last_flush` and `data_arrival` feed only latency metrics and
+        // the stall-hygiene heuristic; both are time bookkeeping, not
+        // protocol state.
+        let mut pending = 0u64;
+        for (k, v) in &self.pending_log {
+            pending = combine_unordered(pending, hash_one(&(k, v)));
+        }
+        h.write_usize(self.pending_log.len());
+        h.write_u64(pending);
+        self.relay_buffer.hash(&mut h);
+        true
+    }
 }

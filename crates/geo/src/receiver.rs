@@ -216,6 +216,17 @@ impl Process<Msg> for ReceiverProc {
         self.flush(ctx);
         ctx.set_timer(self.cfg.rho, TIMER_RHO);
     }
+
+    fn mc_state(&self, mut h: &mut dyn std::hash::Hasher) -> bool {
+        use std::hash::Hash as _;
+        h.write_usize(self.dc);
+        self.queues.hash(&mut h);
+        self.site_time.hash(&mut h);
+        self.covered.hash(&mut h);
+        self.stashed.hash(&mut h);
+        self.in_flight.hash(&mut h);
+        true
+    }
 }
 
 #[cfg(test)]

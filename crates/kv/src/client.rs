@@ -102,6 +102,17 @@ impl ClientState {
     pub fn updates(&self) -> u64 {
         self.updates
     }
+
+    /// Folds the session state into `h` for model-checking state hashing:
+    /// the dependency vector plus the read/update counts (both shape
+    /// which version a future read may legally return).
+    pub fn state_digest(&self, mut h: &mut dyn std::hash::Hasher) {
+        use std::hash::Hash as _;
+        self.vclock.hash(&mut h);
+        h.write_u16(self.home.0);
+        h.write_u64(self.reads);
+        h.write_u64(self.updates);
+    }
 }
 
 #[cfg(test)]

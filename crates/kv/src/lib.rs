@@ -82,7 +82,7 @@ pub struct UpdateId {
 
 /// A fully described update as shipped between sibling partitions (the
 /// data path of §5) and as buffered before remote application.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Update {
     /// Updated key.
     pub key: Key,

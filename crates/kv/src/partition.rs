@@ -221,6 +221,32 @@ impl PartitionState {
     pub fn store(&self) -> &VersionedStore {
         &self.store
     }
+
+    /// Folds this partition's protocol state into `h` for model-checking
+    /// state hashing. Includes the store, the HLC reading (it gates
+    /// future timestamps) and both rendezvous maps (commutatively);
+    /// `local_updates`/`remote_applies` counters ride along because they
+    /// count applied protocol steps, which *is* behavioural history under
+    /// the at-least-once transport the checker can inject.
+    pub fn state_digest(&self, h: &mut dyn std::hash::Hasher) {
+        use eunomia_collections::{combine_unordered, hash_one};
+        h.write_u32(self.id.0);
+        h.write_u16(self.dc.0);
+        self.store.state_digest(h);
+        h.write_u64(self.clock.last().0);
+        let mut staged = 0u64;
+        for (k, v) in &self.staged_data {
+            staged = combine_unordered(staged, hash_one(&(k, v)));
+        }
+        h.write_u64(staged);
+        let mut pending = 0u64;
+        for (k, v) in &self.pending_applies {
+            pending = combine_unordered(pending, hash_one(&(k, v)));
+        }
+        h.write_u64(pending);
+        h.write_u64(self.local_updates);
+        h.write_u64(self.remote_applies);
+    }
 }
 
 #[cfg(test)]

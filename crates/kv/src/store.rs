@@ -6,7 +6,7 @@ use eunomia_core::time::{Timestamp, VectorTime};
 use std::collections::HashMap;
 
 /// One stored version of a key.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct StoredVersion {
     /// The value payload.
     pub value: Value,
@@ -100,6 +100,19 @@ impl VersionedStore {
     /// Iterates over all `(key, version)` pairs (unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = (Key, &StoredVersion)> + '_ {
         self.map.iter().map(|(k, v)| (Key(*k), v))
+    }
+
+    /// Folds the store's contents into `h` for model-checking state
+    /// hashing: the key→version map commutatively (the backing map is
+    /// unordered), write counters excluded (bookkeeping, not behaviour).
+    pub fn state_digest(&self, h: &mut dyn std::hash::Hasher) {
+        use eunomia_collections::{combine_unordered, hash_one};
+        let mut acc = 0u64;
+        for (k, v) in &self.map {
+            acc = combine_unordered(acc, hash_one(&(k, v)));
+        }
+        h.write_u64(acc);
+        h.write_usize(self.map.len());
     }
 }
 

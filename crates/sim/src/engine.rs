@@ -67,12 +67,47 @@ pub trait Process<M> {
     fn on_timer(&mut self, ctx: &mut Context<'_, M>, tag: u64) {
         let _ = (ctx, tag);
     }
+
+    /// Folds this process's protocol-visible state into `h` for
+    /// model-checking state-hash pruning (see [`Simulation::mc_fingerprint`])
+    /// and returns `true` if the digest is complete.
+    ///
+    /// The default returns `false` — an opaque process — which disables
+    /// pruning for any simulation containing it (exploration stays sound,
+    /// just unpruned). Implementations must hash only state that affects
+    /// future behaviour: protocol fields yes, wall-clock bookkeeping and
+    /// metrics counters no, unordered maps folded commutatively (see
+    /// `eunomia_collections::combine_unordered`).
+    fn mc_state(&self, h: &mut dyn std::hash::Hasher) -> bool {
+        let _ = h;
+        false
+    }
 }
 
 enum Work<M> {
     Start,
     Message { from: ProcessId, msg: M },
     Timer { tag: u64, id: u64 },
+}
+
+/// A schedulable event the model checker may pick as the next step while
+/// the simulation is in MC mode (see [`Simulation::mc_begin`]).
+///
+/// Message delivery is offered per ordered `(from, to)` link: the network
+/// is FIFO per link, so the only free choice *within* a link is nothing —
+/// the oldest in-flight message is the one delivered — while the
+/// interleaving *between* links (and against timers) is the checker's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum McEvent {
+    /// Deliver the oldest in-flight message on the link `from → to`.
+    Deliver {
+        /// Sending process.
+        from: ProcessId,
+        /// Receiving process.
+        to: ProcessId,
+    },
+    /// Fire the earliest (by schedule order) live pending timer.
+    Timer,
 }
 
 /// What a heap entry points at. Arrivals carry a message payload, so
@@ -347,6 +382,14 @@ pub struct Simulation<M> {
     scratch_timers: Vec<(SimTime, u64, u64)>,
     stats: EngineStats,
     started: bool,
+    /// Model-checking mode: scheduling decisions are externalized. While
+    /// set, newly scheduled events land in `mc_queue` (an unordered pool)
+    /// instead of the time-ordered heap, and the model checker picks which
+    /// pending event fires next via [`Simulation::mc_fire`].
+    mc_mode: bool,
+    /// Pending events while in MC mode. Per-link FIFO order is recovered
+    /// from `(time, seq)`; *between* links the checker chooses freely.
+    mc_queue: Vec<HeapEntry>,
 }
 
 impl<M> Simulation<M> {
@@ -376,6 +419,8 @@ impl<M> Simulation<M> {
             scratch_timers: Vec::new(),
             stats: EngineStats::default(),
             started: false,
+            mc_mode: false,
+            mc_queue: Vec::new(),
         }
     }
 
@@ -497,11 +542,16 @@ impl<M> Simulation<M> {
     #[inline]
     fn push_entry(&mut self, time: SimTime, what: Target) {
         self.seq += 1;
-        self.heap.push(Reverse(HeapEntry {
+        let entry = HeapEntry {
             time,
             seq: self.seq,
             what,
-        }));
+        };
+        if self.mc_mode {
+            self.mc_queue.push(entry);
+            return;
+        }
+        self.heap.push(Reverse(entry));
         if self.heap.len() > self.stats.heap_peak {
             self.stats.heap_peak = self.heap.len();
         }
@@ -780,6 +830,314 @@ impl<M> Simulation<M> {
         *last = arrival;
         self.stats.messages_routed += 1;
         self.push_arrive(arrival, to, Work::Message { from, msg });
+    }
+
+    // --- Model-checking hooks -------------------------------------------
+    //
+    // `mc_begin` flips the engine into MC mode: every event scheduled from
+    // then on lands in `mc_queue` instead of the heap, and an external
+    // model checker (see `crate::mc`) decides the order with `mc_fire`.
+    // `mc_close` hands control back for a normal timed run (quiescence
+    // closure). Crash/pause schedules and in-handler randomness are out of
+    // scope: MC configs use zero latency/jitter and no fault schedules.
+
+    /// Enters model-checking mode and runs every process's `on_start`
+    /// eagerly, in process-id order.
+    ///
+    /// Start events are a deterministic prologue, not a scheduling choice:
+    /// exploring their `n!` permutations would explode the state space
+    /// without exercising any protocol behaviour (starts only arm timers
+    /// and send initial messages; the *deliveries* are where orderings
+    /// diverge, and those remain fully under checker control).
+    ///
+    /// # Panics
+    /// Panics if the run has already started, or if crash/pause events or
+    /// a fault schedule were installed (unsupported in MC mode).
+    pub fn mc_begin(&mut self) {
+        assert!(!self.started, "mc_begin must precede any run_until");
+        assert!(
+            self.fault_schedule.is_none(),
+            "fault schedules are not supported in MC mode (use Drop/Dup choices)"
+        );
+        assert!(
+            self.heap.is_empty(),
+            "crash/pause schedules are not supported in MC mode"
+        );
+        self.mc_mode = true;
+        self.start_if_needed();
+        for pid in 0..self.slots.len() as u32 {
+            let idx = self
+                .mc_queue
+                .iter()
+                .position(|e| match e.what {
+                    Target::Arrive { slot } => matches!(
+                        &self.arrivals[slot as usize],
+                        Some((to, Work::Start)) if to.0 == pid
+                    ),
+                    _ => false,
+                })
+                .expect("every process has a pending start arrival");
+            self.mc_run_entry(idx);
+        }
+    }
+
+    /// Whether the simulation is currently in MC mode.
+    pub fn mc_active(&self) -> bool {
+        self.mc_mode
+    }
+
+    /// In-flight (undelivered) messages while in MC mode.
+    pub fn mc_pending_messages(&self) -> usize {
+        self.mc_queue
+            .iter()
+            .filter(|e| match e.what {
+                Target::Arrive { slot } => matches!(
+                    &self.arrivals[slot as usize],
+                    Some((_, Work::Message { .. }))
+                ),
+                _ => false,
+            })
+            .count()
+    }
+
+    /// The schedulable events at the current state, deterministically
+    /// ordered: one `Deliver` per ordered link with an in-flight message
+    /// (sorted by `(from, to)`), then `Timer` if any live timer is
+    /// pending. An empty result means the state is quiescent up to timers
+    /// already excluded by the caller's budget.
+    pub fn mc_candidates(&self) -> Vec<McEvent> {
+        let mut links: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
+        let mut timer = false;
+        for e in &self.mc_queue {
+            let Target::Arrive { slot } = e.what else {
+                debug_assert!(false, "only arrivals may be pending in MC mode");
+                continue;
+            };
+            match &self.arrivals[slot as usize] {
+                Some((to, Work::Message { from, .. })) => {
+                    links.insert((from.0, to.0));
+                }
+                Some((_, Work::Timer { id, .. })) => {
+                    // Cancelled timers still hold a queue entry but their
+                    // generation is dead; firing them is a no-op, so they
+                    // are not offered as choices.
+                    timer |= self.timer_table.is_live(*id);
+                }
+                Some((_, Work::Start)) => {
+                    debug_assert!(false, "start arrivals fire inside mc_begin")
+                }
+                None => debug_assert!(false, "pending arrival slot must be filled"),
+            }
+        }
+        let mut out: Vec<McEvent> = links
+            .into_iter()
+            .map(|(f, t)| McEvent::Deliver {
+                from: ProcessId(f),
+                to: ProcessId(t),
+            })
+            .collect();
+        if timer {
+            out.push(McEvent::Timer);
+        }
+        out
+    }
+
+    /// Fires one schedulable event: the oldest in-flight message on the
+    /// given link, or the earliest live timer. Any events the handler
+    /// schedules join the pending pool. Returns `false` if no matching
+    /// event is pending (stale choice).
+    pub fn mc_fire(&mut self, ev: McEvent) -> bool {
+        assert!(self.mc_mode, "mc_fire outside MC mode");
+        match self.mc_find(ev) {
+            Some(idx) => {
+                self.mc_run_entry(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops (loses) the oldest in-flight message on `from → to`,
+    /// modelling a lossy transport. Returns `false` if the link is empty.
+    pub fn mc_drop(&mut self, from: ProcessId, to: ProcessId) -> bool {
+        assert!(self.mc_mode, "mc_drop outside MC mode");
+        let Some(idx) = self.mc_find(McEvent::Deliver { from, to }) else {
+            return false;
+        };
+        let e = self.mc_queue.swap_remove(idx);
+        let Target::Arrive { slot } = e.what else {
+            unreachable!("mc_find returns arrivals only");
+        };
+        self.arrivals[slot as usize] = None;
+        self.free_arrivals.push(slot);
+        true
+    }
+
+    /// Index into `mc_queue` of the oldest (per-link FIFO, i.e. minimal
+    /// `(time, seq)`) pending event matching `ev`.
+    fn mc_find(&self, ev: McEvent) -> Option<usize> {
+        let mut best: Option<(usize, SimTime, u64)> = None;
+        for (i, e) in self.mc_queue.iter().enumerate() {
+            let Target::Arrive { slot } = e.what else {
+                continue;
+            };
+            let hit = match (&ev, &self.arrivals[slot as usize]) {
+                (McEvent::Deliver { from, to }, Some((t, Work::Message { from: f, .. }))) => {
+                    f == from && t == to
+                }
+                (McEvent::Timer, Some((_, Work::Timer { id, .. }))) => {
+                    self.timer_table.is_live(*id)
+                }
+                _ => false,
+            };
+            if hit && best.is_none_or(|(_, bt, bs)| (e.time, e.seq) < (bt, bs)) {
+                best = Some((i, e.time, e.seq));
+            }
+        }
+        best.map(|(i, _, _)| i)
+    }
+
+    /// Removes entry `idx` from the pending pool and runs it, then drains
+    /// any internal Dispatch events it produced (a busy process's queued
+    /// work is engine bookkeeping, not a scheduling choice).
+    fn mc_run_entry(&mut self, idx: usize) {
+        let e = self.mc_queue.swap_remove(idx);
+        if e.time > self.now {
+            self.now = e.time;
+        }
+        match e.what {
+            Target::Arrive { slot } => {
+                let (to, work) = self.arrivals[slot as usize]
+                    .take()
+                    .expect("arrival slot filled");
+                self.free_arrivals.push(slot);
+                self.arrive(to, work);
+            }
+            Target::Dispatch { to } => self.dispatch(to),
+            _ => unreachable!("crash/pause events are rejected by mc_begin"),
+        }
+        loop {
+            let mut best: Option<(usize, SimTime, u64)> = None;
+            for (i, e) in self.mc_queue.iter().enumerate() {
+                if matches!(e.what, Target::Dispatch { .. })
+                    && best.is_none_or(|(_, bt, bs)| (e.time, e.seq) < (bt, bs))
+                {
+                    best = Some((i, e.time, e.seq));
+                }
+            }
+            let Some((i, _, _)) = best else { break };
+            let e = self.mc_queue.swap_remove(i);
+            if e.time > self.now {
+                self.now = e.time;
+            }
+            let Target::Dispatch { to } = e.what else {
+                unreachable!();
+            };
+            self.dispatch(to);
+        }
+    }
+
+    /// Exits MC mode and runs the remaining (checker-untouched) events
+    /// plus everything they trigger for `horizon` more nanoseconds of
+    /// simulated time — the quiescence closure that lets timer-driven
+    /// machinery (metadata flushes, stabilization rounds) finish so
+    /// convergence predicates can be checked on a settled state.
+    pub fn mc_close(&mut self, horizon: SimTime) {
+        assert!(self.mc_mode, "mc_close outside MC mode");
+        self.mc_mode = false;
+        for e in std::mem::take(&mut self.mc_queue) {
+            self.heap.push(Reverse(e));
+        }
+        let deadline = self.now + horizon;
+        self.run_until(deadline);
+    }
+}
+
+impl<M: Clone> Simulation<M> {
+    /// Delivers the oldest in-flight message on `from → to` *and*
+    /// re-enqueues a copy behind it on the same link, modelling an
+    /// at-least-once transport (duplicate delivery). Returns `false` if
+    /// the link is empty.
+    pub fn mc_fire_dup(&mut self, from: ProcessId, to: ProcessId) -> bool {
+        assert!(self.mc_mode, "mc_fire_dup outside MC mode");
+        let Some(idx) = self.mc_find(McEvent::Deliver { from, to }) else {
+            return false;
+        };
+        let (time, slot) = {
+            let e = &self.mc_queue[idx];
+            let Target::Arrive { slot } = e.what else {
+                unreachable!("mc_find returns arrivals only");
+            };
+            (e.time, slot)
+        };
+        let msg = match &self.arrivals[slot as usize] {
+            Some((_, Work::Message { msg, .. })) => msg.clone(),
+            _ => unreachable!("mc_find matched a message arrival"),
+        };
+        // The copy gets a fresh (larger) seq, so it sits *behind* the
+        // original in the link's FIFO order; `idx` stays valid because
+        // push only appends.
+        self.push_arrive(time, to, Work::Message { from, msg });
+        self.mc_run_entry(idx);
+        true
+    }
+}
+
+impl<M: std::hash::Hash> Simulation<M> {
+    /// A 64-bit fingerprint of the global state for MC pruning, or `None`
+    /// if any live process keeps the default opaque
+    /// [`Process::mc_state`] (pruning then stays off — sound, just slow).
+    ///
+    /// The digest covers each process's protocol state, the multiset of
+    /// in-flight messages (commutatively — the pending pool is unordered),
+    /// pending live timers by owner and tag, and the RNG state. It
+    /// deliberately *excludes* simulated time, arrival times and timer
+    /// generation ids: two states differing only in clock readings behave
+    /// identically under the zero-latency configs MC runs use, and folding
+    /// time in would make every interleaving look unique, defeating
+    /// pruning. Predicates are still checked on every traversed edge
+    /// before the prune test, so collapsing time-equivalent states never
+    /// skips a violation reachable along the pruned path's prefix.
+    pub fn mc_fingerprint(&self) -> Option<u64> {
+        use eunomia_collections::{combine_unordered, hash_one, Fnv64};
+        use std::hash::Hasher as _;
+        let mut h = Fnv64::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let proc = slot
+                .proc
+                .as_ref()
+                .expect("no handler is running while fingerprinting");
+            h.write_usize(i);
+            if !proc.mc_state(&mut h) {
+                return None;
+            }
+            // Queued work only exists for busy/paused processes; MC
+            // configs use zero service costs and no pauses.
+            debug_assert!(slot.queue.is_empty(), "unexpected queued work in MC mode");
+        }
+        let mut pending = 0u64;
+        for e in &self.mc_queue {
+            let Target::Arrive { slot } = e.what else {
+                continue;
+            };
+            match &self.arrivals[slot as usize] {
+                Some((to, Work::Message { from, msg })) => {
+                    pending = combine_unordered(pending, hash_one(&(1u8, from.0, to.0, msg)));
+                }
+                Some((to, Work::Timer { tag, id })) if self.timer_table.is_live(*id) => {
+                    pending = combine_unordered(pending, hash_one(&(2u8, to.0, *tag)));
+                }
+                _ => {}
+            }
+        }
+        h.write_u64(pending);
+        // Two states with different RNG positions can diverge on the next
+        // client op draw; sample (a clone of) the stream instead of
+        // depending on StdRng's internals being hashable.
+        let mut rng = self.rng.clone();
+        h.write_u64(rng.random());
+        h.write_u64(rng.random());
+        Some(h.finish())
     }
 }
 

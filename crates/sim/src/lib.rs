@@ -69,11 +69,13 @@
 mod clock;
 mod engine;
 mod faults;
+pub mod mc;
 mod network;
 
 pub use clock::ClockModel;
-pub use engine::{Context, EngineStats, Process, ProcessId, Simulation};
+pub use engine::{Context, EngineStats, McEvent, Process, ProcessId, Simulation};
 pub use faults::FaultSchedule;
+pub use mc::{McChoice, McOptions, McOutcome, McPhase, McStats, McTrace, McVerdict, ModelChecker};
 pub use network::{NodeId, Topology, TopologyError};
 
 /// Simulated time in nanoseconds since the start of the run.

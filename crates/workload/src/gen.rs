@@ -84,6 +84,16 @@ impl OpGenerator {
     pub fn value_size(&self) -> usize {
         self.value.len()
     }
+
+    /// Folds the generator's configuration and progress counters into `h`
+    /// for model-checking state hashing (the next op depends on the RNG,
+    /// hashed separately by the engine, and on nothing else here).
+    pub fn state_digest(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u8(self.read_pct);
+        h.write_usize(self.value.len());
+        h.write_u64(self.generated);
+        h.write_u64(self.updates);
+    }
 }
 
 #[cfg(test)]

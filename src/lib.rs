@@ -83,8 +83,8 @@ pub use eunomia_stats as stats;
 pub use eunomia_workload as workload;
 
 pub use eunomia_geo::{
-    ClusterConfig, ClusterConfigBuilder, ConfigError, FaultEvent, HealConvergence, ReplicaCrash,
-    RunReport, Scenario, Sweep, SweepResults, SystemId,
+    ClusterConfig, ClusterConfigBuilder, ConfigError, FaultEvent, HealConvergence, McReport,
+    McScenario, ReplicaCrash, RunReport, Scenario, Sweep, SweepResults, SystemId,
 };
 
 /// Builds, runs and reports `id` under `scenario` — with the baseline
@@ -92,6 +92,21 @@ pub use eunomia_geo::{
 pub fn run(id: SystemId, scenario: &Scenario) -> RunReport {
     eunomia_baselines::install();
     eunomia_geo::run(id, scenario)
+}
+
+/// Model-checks `id` under `sc` (exhaustive schedule exploration with
+/// causal/session/convergence predicates) — with the baseline MC runners
+/// installed, so all six systems work out of the box.
+pub fn mc_run(id: SystemId, sc: &McScenario) -> McReport {
+    eunomia_baselines::install();
+    eunomia_geo::mc_run(id, sc)
+}
+
+/// Replays a counterexample trace produced by [`mc_run`] against a fresh
+/// build of the same scenario.
+pub fn mc_replay(id: SystemId, sc: &McScenario, trace: &sim::McTrace) -> McReport {
+    eunomia_baselines::install();
+    eunomia_geo::mc_replay(id, sc, trace)
 }
 
 /// A [`Sweep`] with the baseline runners installed — use this instead of

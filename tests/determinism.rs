@@ -64,6 +64,32 @@ fn different_seeds_differ() {
 }
 
 #[test]
+fn model_checking_is_deterministic() {
+    // The MC search is replay-based DFS over a deterministic engine with
+    // a pinned fingerprint hash, so for a fixed scenario every counter —
+    // not just the verdict — must be bit-identical across runs. CI gates
+    // on the explored-state counts (BENCH_mc.json); this is the property
+    // that makes that gate meaningful.
+    use eunomia::{mc_run, McScenario};
+    for id in [SystemId::EunomiaKv, SystemId::Cure] {
+        let sc = McScenario::certify(id);
+        let a = mc_run(id, &sc);
+        let b = mc_run(id, &sc);
+        assert_eq!(a.stats, b.stats, "{id}: exploration counters drifted");
+        assert_eq!(a.verdict, b.verdict, "{id}");
+        assert!(a.verdict.is_certified(), "{id}: {:?}", a.verdict);
+    }
+    // A violating search must also reproduce its counterexample exactly
+    // (same counters, same trace), or replay-based debugging is fiction.
+    let sc = McScenario::violation_demo();
+    let a = mc_run(SystemId::Eventual, &sc);
+    let b = mc_run(SystemId::Eventual, &sc);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.verdict, b.verdict);
+    assert!(!a.verdict.is_certified());
+}
+
+#[test]
 fn engine_stats_are_populated_and_consistent() {
     let r = run(SystemId::EunomiaKv, &Scenario::small_test());
     let e = r.engine;

@@ -1,0 +1,126 @@
+//! Model-checking integration tests: the six-system certification matrix
+//! plus the fault-injection budgets (drops, duplicate deliveries).
+//!
+//! These drive `eunomia::mc_run` — exhaustive schedule exploration with
+//! causal-delivery, session-guarantee and convergence predicates — over
+//! the tiny 2-DC MC deployments of `McScenario::certify`. The deeper
+//! single-system counterexample/replay coverage lives next to the runner
+//! in `crates/geo/src/mc.rs`.
+
+use eunomia::sim::McVerdict;
+use eunomia::{mc_replay, mc_run, McScenario, SystemId};
+
+/// Every system of the paper's evaluation certifies its MC scenario with
+/// a complete (untruncated) search. This is the acceptance bar of the
+/// model-checking work: causal delivery and session guarantees hold on
+/// every explored schedule, convergence holds at every quiescence.
+#[test]
+fn all_six_systems_certify_exhaustively() {
+    for id in SystemId::all() {
+        let sc = McScenario::certify(id);
+        let report = mc_run(id, &sc);
+        assert!(
+            report.verdict.is_certified(),
+            "{id} failed certification: {:?}",
+            report.verdict
+        );
+        assert!(
+            report.complete,
+            "{id}: search truncated: {:?}",
+            report.stats
+        );
+        assert!(
+            report.stats.explored > 1,
+            "{id}: degenerate search: {:?}",
+            report.stats
+        );
+        assert_eq!(report.stats.truncated, 0, "{id}");
+    }
+}
+
+/// The seeded violation scenario: two partitions per DC give one origin
+/// two independent FIFO links, and the checker finds a schedule where the
+/// eventually consistent baseline applies updates out of origin-timestamp
+/// order. The counterexample replays bit-identically on a fresh cluster.
+#[test]
+fn counterexample_traces_replay_deterministically() {
+    let sc = McScenario::violation_demo();
+    let report = mc_run(SystemId::Eventual, &sc);
+    let McVerdict::Violated {
+        step,
+        message,
+        trace,
+    } = report.verdict
+    else {
+        panic!("Eventual must violate causal order on the two-link demo");
+    };
+    assert!(message.contains("causal"), "{message}");
+    assert!(!trace.choices.is_empty());
+    for _ in 0..2 {
+        let replay = mc_replay(SystemId::Eventual, &sc, &trace);
+        let McVerdict::Violated {
+            step: rstep,
+            message: rmessage,
+            trace: rtrace,
+        } = replay.verdict
+        else {
+            panic!("replay must reproduce the violation");
+        };
+        assert_eq!(
+            (rstep, rmessage, rtrace),
+            (step, message.clone(), trace.clone())
+        );
+    }
+}
+
+/// Bounded-random walks are the escape hatch for deployments too large
+/// to exhaust: a two-partition EunomiaKV config sampled over 64 seeded
+/// schedules. No violation may surface, and the report must not claim
+/// completeness for a sample.
+#[test]
+fn bounded_random_walks_cover_larger_configs() {
+    let mut sc = McScenario::certify(SystemId::EunomiaKv)
+        .named("random-walk")
+        .randomized(64, 2024);
+    sc.cfg.partitions_per_dc = 2;
+    let report = mc_run(SystemId::EunomiaKv, &sc);
+    assert!(report.verdict.is_certified(), "{:?}", report.verdict);
+    assert!(!report.complete, "a random sample is never a certificate");
+    assert!(report.stats.explored > 64, "{:?}", report.stats);
+}
+
+/// With a drop budget, lossy transport becomes part of the explored
+/// schedule space: some schedule drops a replication message, and the
+/// quiescence convergence predicate catches the update that never lands.
+#[test]
+fn a_dropped_replication_message_breaks_convergence() {
+    let mut sc = McScenario::certify(SystemId::Eventual).named("drop-budget");
+    sc.cfg.workload.read_pct = 0;
+    sc.check_causal = false;
+    sc.check_sessions = false;
+    sc.options.max_drops = 1;
+    let report = mc_run(SystemId::Eventual, &sc);
+    let McVerdict::Violated { message, trace, .. } = report.verdict else {
+        panic!("a drop budget must let the checker lose an update");
+    };
+    assert!(message.contains("convergence"), "{message}");
+    // The lossy counterexample replays too.
+    let replay = mc_replay(SystemId::Eventual, &sc, &trace);
+    assert!(!replay.verdict.is_certified());
+}
+
+/// With a duplicate-delivery budget, at-least-once transport joins the
+/// schedule space. Eventual's applies are last-writer-wins and therefore
+/// idempotent, so every predicate still certifies.
+#[test]
+fn duplicate_deliveries_are_absorbed_by_idempotent_applies() {
+    let mut sc = McScenario::certify(SystemId::Eventual).named("dup-budget");
+    sc.options.max_dups = 1;
+    let report = mc_run(SystemId::Eventual, &sc);
+    assert!(
+        report.verdict.is_certified(),
+        "duplicate delivery broke Eventual: {:?}",
+        report.verdict
+    );
+    assert!(report.complete, "truncated: {:?}", report.stats);
+}

@@ -24,6 +24,9 @@
 //! fence ever sits on the ring path.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod interleave;
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {
@@ -71,6 +74,14 @@ pub mod channel {
                 cap > 0,
                 "bounded(0) rendezvous channels are not supported by the shim"
             );
+            // The Vyukov scheme needs at least two slots: with one slot,
+            // "filled by ticket t" (seq = t + 1) and "recycled for ticket
+            // t + 1" (seq = t + 1) are the same sequence value on the
+            // same slot, so a producer can claim and overwrite a message
+            // the consumer never read. (Found by the interleaving checker
+            // in `crate::interleave`.) `bounded(1)` therefore buffers up
+            // to two messages; FIFO order and losslessness are preserved.
+            let cap = cap.max(2);
             let slots: Box<[Slot<T>]> = (0..cap)
                 .map(|i| Slot {
                     seq: AtomicUsize::new(i),
@@ -99,8 +110,12 @@ pub mod channel {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
-                            // The ticket is ours: the slot is free and no
-                            // other producer can claim it.
+                            // SAFETY: the CAS made this thread the sole
+                            // owner of ticket `tail`, and the Acquire load
+                            // of `seq == tail` above proved the consumer
+                            // recycled the slot — nobody reads or writes
+                            // it until the Release store below publishes
+                            // `tail + 1`.
                             unsafe { (*slot.value.get()).write(msg) };
                             slot.seq.store(tail.wrapping_add(1), Ordering::Release);
                             return Ok(());
@@ -131,6 +146,13 @@ pub mod channel {
                         Ordering::Relaxed,
                     ) {
                         Ok(_) => {
+                            // SAFETY: the Acquire load of `seq == head + 1`
+                            // synchronizes with the producer's Release
+                            // store *after* its value write, so the slot
+                            // is initialized; the CAS made this thread the
+                            // sole owner of the ticket, so the value is
+                            // moved out exactly once before the Release
+                            // store below recycles the slot.
                             let msg = unsafe { (*slot.value.get()).assume_init_read() };
                             slot.seq
                                 .store(head.wrapping_add(self.cap), Ordering::Release);
@@ -225,7 +247,15 @@ pub mod channel {
         not_full: Gate,
     }
 
+    // SAFETY: the `UnsafeCell` slots are the only non-Sync state, and the
+    // Vyukov ticket protocol hands each slot to exactly one thread at a
+    // time (producer between CAS and seq publish, consumer between CAS
+    // and recycle), so sharing `Chan` across threads moves `T`s without
+    // aliasing — sound whenever `T: Send`. Nothing hands out `&T`, so
+    // `T: Sync` is not required.
     unsafe impl<T: Send> Send for Chan<T> {}
+    // SAFETY: as above — all shared access goes through atomics, mutexes,
+    // or the slot-ownership protocol.
     unsafe impl<T: Send> Sync for Chan<T> {}
 
     impl<T> Chan<T> {
@@ -314,6 +344,11 @@ pub mod channel {
 
     /// Creates a channel holding at most `cap` in-flight messages; `send`
     /// blocks when full. Backed by the lock-free ring.
+    ///
+    /// `bounded(1)` is backed by a two-slot ring (the minimum the Vyukov
+    /// sequence scheme supports), so it can buffer one extra message
+    /// before reporting full; ordering and delivery guarantees are
+    /// unaffected.
     ///
     /// # Panics
     ///
@@ -564,6 +599,20 @@ pub mod channel {
             }
             h.join().unwrap();
             assert_eq!(got, (0..10_000).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn bounded_one_never_overwrites() {
+            // Regression: with a single slot, ticket 1's free check
+            // (seq == 1) is indistinguishable from ticket 0's filled
+            // state, letting the second send overwrite the unread first
+            // message — after which the consumer could never observe a
+            // "filled" sequence again. The ring now refuses to go below
+            // two slots.
+            let (tx, rx) = bounded::<u8>(1);
+            tx.try_send(1).unwrap();
+            let _ = tx.try_send(2); // may report Full; must not clobber
+            assert_eq!(rx.try_recv(), Ok(1));
         }
 
         #[test]
