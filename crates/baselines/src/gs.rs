@@ -30,6 +30,7 @@ use eunomia_core::time::{Timestamp, VectorTime};
 use eunomia_geo::config::{ClusterConfig, CostModel};
 use eunomia_geo::harness::{make_report, RunReport};
 use eunomia_geo::metrics::GeoMetrics;
+use eunomia_geo::open_loop::{Admission, OpenLoopDriver, TIMER_ARRIVAL};
 use eunomia_geo::registry::{self, SharedRegistry};
 use eunomia_kv::store::{StoredVersion, VersionedStore};
 use eunomia_kv::{ring, Key, Update, Value};
@@ -469,7 +470,7 @@ impl Process<BMsg> for GsAggregatorProc {
     }
 }
 
-/// Closed-loop client for the global-stabilization systems.
+/// Client for the global-stabilization systems (closed- or open-loop).
 ///
 /// Keeps a dependency vector merged from every reply (the scalar system
 /// reduces it to its max at the partition), so one client serves both
@@ -484,10 +485,15 @@ pub struct GsClientProc {
     issued_at: SimTime,
     pending_is_update: bool,
     completed: u64,
+    open: Option<OpenLoopDriver>,
 }
 
 impl GsClientProc {
     fn new(dc: usize, cfg: Rc<ClusterConfig>, reg: SharedRegistry, metrics: GeoMetrics) -> Self {
+        let open = cfg
+            .open_loop
+            .as_ref()
+            .map(|ol| OpenLoopDriver::new(&ol.arrivals, ol.queue_limit));
         GsClientProc {
             dc,
             vclock: VectorTime::new(cfg.n_dcs),
@@ -498,11 +504,16 @@ impl GsClientProc {
             issued_at: 0,
             pending_is_update: false,
             completed: 0,
+            open,
         }
     }
 
     fn issue(&mut self, ctx: &mut Context<'_, BMsg>) {
         let op = self.gen.next_op(ctx.rng());
+        self.send_op(ctx, op);
+    }
+
+    fn send_op(&mut self, ctx: &mut Context<'_, BMsg>, op: Op) {
         let key = Key(op.key());
         let partition = ring::responsible(key, self.cfg.partitions_per_dc);
         let target = self.reg.borrow().partition(self.dc, partition.index());
@@ -528,23 +539,57 @@ impl GsClientProc {
 
     fn complete(&mut self, ctx: &mut Context<'_, BMsg>, vts: &VectorTime) {
         self.vclock.merge_max(vts);
-        let latency = ctx.now().saturating_sub(self.issued_at);
+        let now = ctx.now();
+        if let Some(driver) = self.open.as_mut() {
+            let (intended, next) = driver.on_completion(now, self.issued_at, &self.metrics);
+            self.metrics.record_op(
+                self.dc,
+                now,
+                now.saturating_sub(intended),
+                self.pending_is_update,
+            );
+            self.completed += 1;
+            if let Some(op) = next {
+                if self.under_budget() {
+                    self.send_op(ctx, op);
+                }
+            }
+            return;
+        }
+        let latency = now.saturating_sub(self.issued_at);
         self.metrics
-            .record_op(self.dc, ctx.now(), latency, self.pending_is_update);
+            .record_op(self.dc, now, latency, self.pending_is_update);
         self.completed += 1;
-        if self
-            .cfg
-            .ops_per_client
-            .is_none_or(|budget| self.completed < budget)
-        {
+        if self.under_budget() {
             self.issue(ctx);
         }
+    }
+
+    fn under_budget(&self) -> bool {
+        self.cfg
+            .ops_per_client
+            .is_none_or(|budget| self.completed < budget)
     }
 }
 
 impl Process<BMsg> for GsClientProc {
     fn on_start(&mut self, ctx: &mut Context<'_, BMsg>) {
-        self.issue(ctx);
+        match self.open.as_mut() {
+            Some(driver) => driver.start(ctx),
+            None => self.issue(ctx),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, BMsg>, tag: u64) {
+        debug_assert_eq!(tag, TIMER_ARRIVAL, "gs client has no other timers");
+        if !self.under_budget() {
+            return;
+        }
+        let op = self.gen.next_op(ctx.rng());
+        let driver = self.open.as_mut().expect("arrival timer without driver");
+        if let Admission::Issue(op) = driver.on_arrival(ctx, op, &self.metrics) {
+            self.send_op(ctx, op);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, BMsg>, _from: ProcessId, msg: BMsg) {
@@ -566,6 +611,9 @@ impl Process<BMsg> for GsClientProc {
         self.gen.state_digest(h);
         self.pending_is_update.hash(&mut h);
         h.write_u64(self.completed);
+        if let Some(driver) = &self.open {
+            driver.state_digest(h);
+        }
         true
     }
 }

@@ -45,11 +45,17 @@ fn main() {
             .chain(systems.iter().map(|s| s.to_string()))
             .collect();
         let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+        // One sorted pass per system covers the whole percentile column.
+        const PS: [f64; 7] = [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0];
+        let columns: Vec<Vec<Option<f64>>> = systems
+            .iter()
+            .map(|&s| report(s).visibility_percentiles_ms(origin, dest, &PS))
+            .collect();
         let mut rows = Vec::new();
-        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0] {
+        for (i, p) in PS.iter().enumerate() {
             let mut row = vec![format!("p{p:.0}")];
-            for &s in &systems {
-                row.push(fmt_ms(report(s).visibility_percentile_ms(origin, dest, p)));
+            for col in &columns {
+                row.push(fmt_ms(col[i]));
             }
             rows.push(row);
         }

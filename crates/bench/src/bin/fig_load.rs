@@ -1,0 +1,250 @@
+//! Open-loop load sweep: throughput-vs-p99 knee curves for all six
+//! systems.
+//!
+//! Closed-loop clients (the paper's Basho Bench setup) slow down with
+//! the server, so saturation never shows up in their latency numbers —
+//! coordinated omission. This harness drives each system with
+//! *open-loop* Poisson arrivals at increasing per-client rates, measures
+//! latency from the **intended** arrival time, and reports the
+//! saturation knee: the first offered rate where the system stops
+//! keeping up (achieved/offered < 0.95) or its p99 blows past 10x the
+//! low-load baseline. Results go to `BENCH_load.json` for the CI
+//! bench-smoke gate.
+//!
+//! The sweep runs the paper 3-DC deployment for every system (a knee is
+//! *required* there — if the top rate doesn't saturate a system, the
+//! sweep is too short and the binary exits nonzero) and, for scale, the
+//! 8-DC `massive` deployment for the two native systems (informational;
+//! no knee required).
+//!
+//! Usage: `cargo run --release -p eunomia-bench --bin fig_load [-- --quick]`
+
+use eunomia_bench::BenchArgs;
+use eunomia_geo::{run, Scenario, SystemId};
+use eunomia_sim::units;
+use std::fmt::Write as _;
+
+/// Per-client offered rates swept on the paper 3-DC deployment. The
+/// one-op-in-flight open-loop channel saturates near 1/(local service
+/// time) ~ a few hundred Hz per client, so the top rates overload every
+/// system.
+const RATES_3DC: &[f64] = &[100.0, 200.0, 400.0, 800.0, 1600.0];
+
+/// Per-client rates for the informational `massive` sweep (8 DCs, 64
+/// clients — only the ends of the curve, the runs are expensive).
+const RATES_MASSIVE: &[f64] = &[200.0, 800.0];
+
+/// A system has saturated when it completes less than this fraction of
+/// what was offered...
+const ACHIEVED_FLOOR: f64 = 0.95;
+/// ...or its p99 exceeds this multiple of the lowest-rate p99.
+const P99_BLOWUP: f64 = 10.0;
+
+struct Point {
+    offered_hz_per_client: f64,
+    offered_hz: f64,
+    achieved_hz: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    queue_p99_ms: f64,
+    dropped: u64,
+}
+
+struct Curve {
+    system: SystemId,
+    scenario: &'static str,
+    points: Vec<Point>,
+    /// Index of the first saturated point, if the sweep reached one.
+    knee: Option<usize>,
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    eunomia_bench::banner(
+        "fig_load",
+        "open-loop load sweep: offered rate vs achieved rate and CO-free p99",
+        "latency is flat until the knee, then p99 blows up while achieved \
+         throughput plateaus; every system has a knee on paper-3dc",
+    );
+
+    let secs = args.secs(20, 6);
+
+    let mut curves: Vec<Curve> = Vec::new();
+    for sys in args.systems(&SystemId::all()) {
+        curves.push(sweep(sys, "paper-3dc", RATES_3DC, |rate| {
+            Scenario::open_loop_poisson(rate)
+                .seconds(secs)
+                .seed(args.seed)
+        }));
+    }
+    // Scale check on the two native systems; quick mode skips it (the CI
+    // gate only scores the paper-3dc knees, and 8-DC open-loop runs
+    // dominate wall time).
+    if !args.quick {
+        for sys in [SystemId::Eventual, SystemId::EunomiaKv] {
+            if !args.wants(sys) {
+                continue;
+            }
+            curves.push(sweep(sys, "massive", RATES_MASSIVE, |rate| {
+                Scenario::massive()
+                    .with(|cfg| {
+                        cfg.open_loop = Some(eunomia_geo::OpenLoopConfig {
+                            arrivals: eunomia_workload::ArrivalSpec::Poisson { rate_hz: rate },
+                            queue_limit: 64,
+                        });
+                    })
+                    .seed(args.seed)
+            }));
+        }
+    }
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for c in &curves {
+        for (i, p) in c.points.iter().enumerate() {
+            rows.push(vec![
+                c.scenario.to_string(),
+                c.system.to_string(),
+                format!("{:.0}", p.offered_hz_per_client),
+                format!("{:.0}", p.offered_hz),
+                format!("{:.0}", p.achieved_hz),
+                format!("{:.3}", p.achieved_hz / p.offered_hz),
+                format!("{:.2}", p.p50_ms),
+                format!("{:.2}", p.p99_ms),
+                format!("{:.2}", p.queue_p99_ms),
+                format!("{}", p.dropped),
+                if c.knee == Some(i) { "<- knee" } else { "" }.to_string(),
+            ]);
+        }
+    }
+    eunomia_bench::print_table(
+        &[
+            "scenario",
+            "system",
+            "offered/client (Hz)",
+            "offered (Hz)",
+            "achieved (Hz)",
+            "ach/off",
+            "p50 (ms)",
+            "p99 (ms)",
+            "queue p99 (ms)",
+            "dropped",
+            "",
+        ],
+        &rows,
+    );
+
+    let json = render_json(&curves, args.quick);
+    let path = "BENCH_load.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path} ({} curves)", curves.len());
+
+    let missing: Vec<String> = curves
+        .iter()
+        .filter(|c| c.scenario == "paper-3dc" && c.knee.is_none())
+        .map(|c| c.system.to_string())
+        .collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "\nNO KNEE FOUND on paper-3dc for: {} — raise the top sweep rate",
+            missing.join(", ")
+        );
+        std::process::exit(1);
+    }
+    println!("every paper-3dc sweep found its saturation knee");
+}
+
+fn sweep(
+    sys: SystemId,
+    scenario: &'static str,
+    rates: &[f64],
+    mk: impl Fn(f64) -> Scenario,
+) -> Curve {
+    let mut points = Vec::new();
+    for &rate in rates {
+        let s = mk(rate);
+        let report = run(sys, &s);
+        let load = report
+            .load
+            .as_ref()
+            .expect("open-loop scenario must produce LoadStats");
+        let (offered_hz, achieved_hz) = report
+            .load_rates_hz()
+            .expect("open-loop scenario must produce load rates");
+        // One batched scan for the queue-wait tail (the latency tail is
+        // already on the report, measured from intended arrival).
+        let queue_p99 = load.queue_wait.percentiles(&[99.0])[0].unwrap_or(0);
+        points.push(Point {
+            offered_hz_per_client: rate,
+            offered_hz,
+            achieved_hz,
+            p50_ms: report.p50_latency_ms,
+            p99_ms: report.p99_latency_ms,
+            queue_p99_ms: units::to_ms(queue_p99),
+            dropped: load.dropped,
+        });
+    }
+    let baseline_p99 = points.first().map(|p| p.p99_ms).unwrap_or(0.0);
+    let knee = points.iter().position(|p| {
+        p.achieved_hz / p.offered_hz < ACHIEVED_FLOOR || p.p99_ms > P99_BLOWUP * baseline_p99
+    });
+    Curve {
+        system: sys,
+        scenario,
+        points,
+        knee,
+    }
+}
+
+fn render_json(curves: &[Curve], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"fig_load\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"curves\": [\n");
+    for (i, c) in curves.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(
+            out,
+            "      \"system\": \"{}\", \"scenario\": \"{}\",",
+            c.system, c.scenario
+        );
+        out.push_str("      \"points\": [\n");
+        for (j, p) in c.points.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{\"offered_hz_per_client\": {:.1}, \"offered_hz\": {:.1}, \
+                 \"achieved_hz\": {:.1}, \"achieved_fraction\": {:.4}, \
+                 \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"queue_p99_ms\": {:.3}, \
+                 \"dropped\": {}}}",
+                p.offered_hz_per_client,
+                p.offered_hz,
+                p.achieved_hz,
+                p.achieved_hz / p.offered_hz,
+                p.p50_ms,
+                p.p99_ms,
+                p.queue_p99_ms,
+                p.dropped,
+            );
+            out.push_str(if j + 1 == c.points.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("      ],\n");
+        let knee = match c.knee {
+            Some(k) => {
+                let p = &c.points[k];
+                format!(
+                    "{{\"offered_hz_per_client\": {:.1}, \"achieved_hz\": {:.1}, \"p99_ms\": {:.3}}}",
+                    p.offered_hz_per_client, p.achieved_hz, p.p99_ms
+                )
+            }
+            None => "null".to_string(),
+        };
+        let _ = writeln!(out, "      \"knee\": {knee}");
+        out.push_str(if i + 1 == curves.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -67,6 +67,7 @@ fn main() {
         .iter()
         .map(|c| {
             let s = &c.stats;
+            let stab = s.stabilization_latencies_ms(&[50.0, 99.0]);
             vec![
                 format!("{}", c.feeders),
                 format!("{}", c.replicas),
@@ -74,8 +75,8 @@ fn main() {
                 format!("{:.0}", s.ids_per_sec() / 1000.0),
                 format!("{:.0}", s.mean_batch_size()),
                 format!("{}", s.queue_depth_high_water),
-                eunomia_bench::fmt_ms(s.stabilization_latency_ms(50.0)),
-                eunomia_bench::fmt_ms(s.stabilization_latency_ms(99.0)),
+                eunomia_bench::fmt_ms(stab[0]),
+                eunomia_bench::fmt_ms(stab[1]),
                 format!("{}", s.duplicate_ids),
             ]
         })
@@ -168,6 +169,7 @@ fn render_json(cells: &[Cell], best_default: f64, speedup: f64, quick: bool) -> 
     out.push_str("  \"runs\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let s = &c.stats;
+        let stab = s.stabilization_latencies_ms(&[50.0, 99.0]);
         out.push_str("    {");
         let _ = write!(
             out,
@@ -184,8 +186,8 @@ fn render_json(cells: &[Cell], best_default: f64, speedup: f64, quick: bool) -> 
             s.frames,
             s.mean_batch_size(),
             s.queue_depth_high_water,
-            json_opt(s.stabilization_latency_ms(50.0)),
-            json_opt(s.stabilization_latency_ms(99.0)),
+            json_opt(stab[0]),
+            json_opt(stab[1]),
             s.accepted_ids,
             s.duplicate_ids,
         );

@@ -24,6 +24,7 @@ const HARNESSES: &[&str] = &[
     "ablation_clock_skew",
     "ablation_tree",
     "fig_faults",
+    "fig_load",
     "perf_engine",
     "perf_service",
 ];

@@ -1,13 +1,18 @@
-//! Closed-loop client simulation actor.
+//! Client simulation actor (closed- or open-loop).
 //!
 //! Each client runs Algorithm 1 (§4 vector form) against its home
-//! datacenter: it issues one operation, waits for the reply, folds the
-//! returned timestamp into its session clock and immediately issues the
-//! next operation — the paper's Basho Bench clients with zero think time.
+//! datacenter. In the default closed loop it issues one operation, waits
+//! for the reply, folds the returned timestamp into its session clock and
+//! immediately issues the next operation — the paper's Basho Bench
+//! clients with zero think time. With [`ClusterConfig::open_loop`] set,
+//! an [`OpenLoopDriver`] instead schedules intended arrivals from the
+//! configured process and latency is measured from the intended time
+//! (coordinated-omission-free; see [`crate::open_loop`]).
 
 use crate::config::ClusterConfig;
 use crate::metrics::{GeoMetrics, SessionRecord};
 use crate::msg::Msg;
+use crate::open_loop::{Admission, OpenLoopDriver, TIMER_ARRIVAL};
 use crate::registry::SharedRegistry;
 use crate::system::SystemId;
 use eunomia_core::ids::DcId;
@@ -33,6 +38,8 @@ pub struct ClientProc {
     pending_is_update: bool,
     pending_key: u64,
     completed: u64,
+    /// Present iff the run is open-loop.
+    open: Option<OpenLoopDriver>,
 }
 
 impl ClientProc {
@@ -45,6 +52,10 @@ impl ClientProc {
         reg: SharedRegistry,
         metrics: GeoMetrics,
     ) -> Self {
+        let open = cfg
+            .open_loop
+            .as_ref()
+            .map(|ol| OpenLoopDriver::new(&ol.arrivals, ol.queue_limit));
         ClientProc {
             session: ClientState::new(DcId(dc as u16), cfg.n_dcs),
             gen: cfg.workload.generator(),
@@ -58,10 +69,11 @@ impl ClientProc {
             pending_is_update: false,
             pending_key: 0,
             completed: 0,
+            open,
         }
     }
 
-    fn issue(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn next_op(&mut self, ctx: &mut Context<'_, Msg>) -> Op {
         // Under partial replication, clients access only keys their home
         // datacenter stores (remote reads are out of scope, as in Practi's
         // partial-replication reads-go-home model).
@@ -71,6 +83,15 @@ impl ClientProc {
                 op = self.gen.next_op(ctx.rng());
             }
         }
+        op
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_, Msg>) {
+        let op = self.next_op(ctx);
+        self.send_op(ctx, op);
+    }
+
+    fn send_op(&mut self, ctx: &mut Context<'_, Msg>, op: Op) {
         let key = Key(op.key());
         let partition = ring::responsible(key, self.cfg.partitions_per_dc);
         let target = self.reg.borrow().partition(self.dc, partition.index());
@@ -96,23 +117,62 @@ impl ClientProc {
     }
 
     fn complete(&mut self, ctx: &mut Context<'_, Msg>) {
-        let latency = ctx.now().saturating_sub(self.issued_at);
+        let now = ctx.now();
+        if let Some(driver) = self.open.as_mut() {
+            // Open loop: latency runs from the *intended* arrival, so a
+            // stalled reply inflates this op and every queued one behind
+            // it — no coordinated omission.
+            let (intended, next) = driver.on_completion(now, self.issued_at, &self.metrics);
+            self.metrics.record_op(
+                self.dc,
+                now,
+                now.saturating_sub(intended),
+                self.pending_is_update,
+            );
+            self.completed += 1;
+            if let Some(op) = next {
+                if self.under_budget() {
+                    self.send_op(ctx, op);
+                }
+            }
+            return;
+        }
+        let latency = now.saturating_sub(self.issued_at);
         self.metrics
-            .record_op(self.dc, ctx.now(), latency, self.pending_is_update);
+            .record_op(self.dc, now, latency, self.pending_is_update);
         self.completed += 1;
-        if self
-            .cfg
-            .ops_per_client
-            .is_none_or(|budget| self.completed < budget)
-        {
+        if self.under_budget() {
             self.issue(ctx);
         }
+    }
+
+    fn under_budget(&self) -> bool {
+        self.cfg
+            .ops_per_client
+            .is_none_or(|budget| self.completed < budget)
     }
 }
 
 impl Process<Msg> for ClientProc {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-        self.issue(ctx);
+        match self.open.as_mut() {
+            Some(driver) => driver.start(ctx),
+            None => self.issue(ctx),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, tag: u64) {
+        debug_assert_eq!(tag, TIMER_ARRIVAL, "client has no other timers");
+        if !self.under_budget() {
+            // Budget exhausted: let the arrival loop die by not
+            // rescheduling.
+            return;
+        }
+        let op = self.next_op(ctx);
+        let driver = self.open.as_mut().expect("arrival timer without driver");
+        if let Admission::Issue(op) = driver.on_arrival(ctx, op, &self.metrics) {
+            self.send_op(ctx, op);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _from: ProcessId, msg: Msg) {
@@ -167,6 +227,9 @@ impl Process<Msg> for ClientProc {
         self.pending_is_update.hash(&mut h);
         h.write_u64(self.pending_key);
         h.write_u64(self.completed);
+        if let Some(driver) = &self.open {
+            driver.state_digest(h);
+        }
         true
     }
 }

@@ -4,7 +4,7 @@
 use crate::faults::{self, FaultEvent};
 use crate::system::SystemId;
 use eunomia_sim::{units, SimTime};
-use eunomia_workload::WorkloadConfig;
+use eunomia_workload::{ArrivalSpec, WorkloadConfig};
 use std::fmt;
 
 /// CPU service costs (nanoseconds) charged by the busy-server model.
@@ -93,6 +93,22 @@ pub struct StragglerConfig {
     pub to: SimTime,
     /// Batch/heartbeat interval used *inside* the window.
     pub interval: SimTime,
+}
+
+/// Open-loop client mode: operations arrive on an [`ArrivalSpec`]'s
+/// schedule instead of one-at-a-time after each reply, so latency can be
+/// measured from the *intended* arrival time (coordinated-omission-free)
+/// and overload shows up as queueing delay rather than generator stall.
+#[derive(Clone, Debug)]
+pub struct OpenLoopConfig {
+    /// Per-client arrival process (each client runs an independent copy,
+    /// so the datacenter's offered load is `clients_per_dc ×` the spec's
+    /// mean rate).
+    pub arrivals: ArrivalSpec,
+    /// Bound on the per-client backlog of arrived-but-unissued
+    /// operations; arrivals past the bound are dropped and counted in
+    /// `LoadStats::dropped` instead of stalling the generator.
+    pub queue_limit: usize,
 }
 
 /// A scheduled crash of one Eunomia replica (fault-injection runs).
@@ -205,6 +221,10 @@ pub struct ClusterConfig {
     /// default (the log grows with every operation); honoured by the
     /// native systems (EunomiaKV, Eventual).
     pub track_sessions: bool,
+    /// Open-loop client mode: `Some` makes every client issue operations
+    /// on the configured arrival schedule (all six systems honour it);
+    /// `None` (default) keeps the paper's closed loop.
+    pub open_loop: Option<OpenLoopConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -243,6 +263,7 @@ impl Default for ClusterConfig {
             faults: Vec::new(),
             track_staleness: false,
             track_sessions: false,
+            open_loop: None,
         }
     }
 }
@@ -384,6 +405,14 @@ impl ClusterConfig {
                 });
             }
         }
+        if let Some(ol) = &self.open_loop {
+            if let Err(e) = ol.arrivals.validate() {
+                return Err(ConfigError::OpenLoopArrivals(e));
+            }
+            if ol.queue_limit == 0 {
+                return Err(ConfigError::Zero("open_loop.queue_limit"));
+            }
+        }
         faults::validate(&self.faults, self)?;
         Ok(())
     }
@@ -403,7 +432,7 @@ impl ClusterConfig {
                 keys: 100,
                 read_pct: 50,
                 value_size: 16,
-                power_law: false,
+                ..WorkloadConfig::default()
             },
             ..ClusterConfig::default()
         }
@@ -542,6 +571,8 @@ pub enum ConfigError {
         /// Configured run duration.
         duration: SimTime,
     },
+    /// The open-loop arrival spec failed its own validation.
+    OpenLoopArrivals(String),
     /// The simulator rejected the RTT matrix (surfaced through
     /// `ConfigError` so every construction path reports one error type).
     Topology(eunomia_sim::TopologyError),
@@ -618,6 +649,9 @@ impl fmt::Display for ConfigError {
                 "{what} starts at {at} but the run ends at {duration}: \
                  the fault would never fire"
             ),
+            ConfigError::OpenLoopArrivals(e) => {
+                write!(f, "open_loop.arrivals is invalid: {e}")
+            }
             ConfigError::Topology(e) => write!(f, "{e}"),
         }
     }
@@ -717,6 +751,8 @@ impl ClusterConfigBuilder {
         track_staleness: bool,
         /// Record the per-client session log.
         track_sessions: bool,
+        /// Open-loop client mode.
+        open_loop: Option<OpenLoopConfig>,
     }
 
     /// Escape hatch for the long tail of fields without a setter.
@@ -825,6 +861,35 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, ConfigError::FaultAfterEnd { .. }), "{err}");
+    }
+
+    #[test]
+    fn open_loop_config_is_validated() {
+        let err = ClusterConfigBuilder::new()
+            .open_loop(Some(OpenLoopConfig {
+                arrivals: ArrivalSpec::Poisson { rate_hz: 0.0 },
+                queue_limit: 64,
+            }))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::OpenLoopArrivals(_)), "{err}");
+
+        let err = ClusterConfigBuilder::new()
+            .open_loop(Some(OpenLoopConfig {
+                arrivals: ArrivalSpec::Poisson { rate_hz: 100.0 },
+                queue_limit: 0,
+            }))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::Zero("open_loop.queue_limit"));
+
+        assert!(ClusterConfigBuilder::new()
+            .open_loop(Some(OpenLoopConfig {
+                arrivals: ArrivalSpec::Poisson { rate_hz: 100.0 },
+                queue_limit: 64,
+            }))
+            .build()
+            .is_ok());
     }
 
     #[test]

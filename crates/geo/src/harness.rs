@@ -41,6 +41,10 @@ pub struct RunReport {
     /// purely simulated runs. Attach with
     /// [`with_service_stats`](RunReport::with_service_stats).
     pub service: Option<eunomia_stats::ServiceStats>,
+    /// Open-loop load measurements (offered vs achieved rate,
+    /// coordinated-omission-free latency, queue waits) — `Some` iff the
+    /// config set `open_loop`.
+    pub load: Option<eunomia_stats::LoadStats>,
     /// Total stale reads (staleness exposure) — 0 unless the config set
     /// `track_staleness`.
     pub stale_reads: u64,
@@ -115,10 +119,41 @@ impl RunReport {
     /// updates originating at `origin` observed at `dest`, over the
     /// measurement window. `None` if no samples.
     pub fn visibility_percentile_ms(&self, origin: u16, dest: u16, p: f64) -> Option<f64> {
-        let samples = self
-            .metrics
-            .visibility_extras(origin, dest, self.window.0, self.window.1);
-        eunomia_stats::exact_percentile(&samples, p).map(units::to_ms)
+        self.visibility_percentiles_ms(origin, dest, &[p])[0]
+    }
+
+    /// Several visibility percentiles for one DC pair with a single sort
+    /// — use instead of repeated
+    /// [`visibility_percentile_ms`](RunReport::visibility_percentile_ms)
+    /// calls, each of which would re-sort the sample set. Output order
+    /// matches `ps`; entries are `None` when there are no samples.
+    pub fn visibility_percentiles_ms(
+        &self,
+        origin: u16,
+        dest: u16,
+        ps: &[f64],
+    ) -> Vec<Option<f64>> {
+        let mut samples =
+            self.metrics
+                .visibility_extras(origin, dest, self.window.0, self.window.1);
+        if samples.is_empty() {
+            return vec![None; ps.len()];
+        }
+        samples.sort_unstable();
+        ps.iter()
+            .map(|&p| Some(units::to_ms(eunomia_stats::rank_of_sorted(&samples, p))))
+            .collect()
+    }
+
+    /// Offered vs achieved load over the measurement window, for
+    /// open-loop runs: `(offered_hz, achieved_hz)`. `None` for
+    /// closed-loop runs.
+    pub fn load_rates_hz(&self) -> Option<(f64, f64)> {
+        let load = self.load.as_ref()?;
+        Some((
+            load.offered_rate_hz(self.window.0, self.window.1),
+            load.achieved_rate_hz(self.window.0, self.window.1),
+        ))
     }
 
     /// Full visibility CDF (ms, cumulative fraction) for a DC pair.
@@ -247,10 +282,8 @@ pub fn make_report(
     let (from, to) = cfg.measure_window();
     let metrics = metrics.clone();
     let (p50, p99) = metrics.with(|m| {
-        (
-            m.op_latency.percentile(50.0).unwrap_or(0),
-            m.op_latency.percentile(99.0).unwrap_or(0),
-        )
+        let ps = m.op_latency.percentiles(&[50.0, 99.0]);
+        (ps[0].unwrap_or(0), ps[1].unwrap_or(0))
     });
     RunReport {
         system: system.to_string(),
@@ -258,6 +291,7 @@ pub fn make_report(
         total_ops: metrics.completed_ops(),
         p50_latency_ms: units::to_ms(p50),
         p99_latency_ms: units::to_ms(p99),
+        load: cfg.open_loop.as_ref().map(|_| metrics.load_stats()),
         stale_reads: metrics.stale_reads(),
         last_heal: faults::last_heal(&cfg.faults, cfg.duration),
         availability: faults::dc_unavailability(&cfg.faults, cfg.duration, cfg.n_dcs),

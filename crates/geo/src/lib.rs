@@ -46,6 +46,7 @@ pub mod harness;
 pub mod mc;
 pub mod metrics;
 pub mod msg;
+pub mod open_loop;
 pub mod partition;
 pub mod receiver;
 pub mod registry;
@@ -54,15 +55,17 @@ pub mod system;
 pub mod table;
 
 pub use config::{
-    ClusterConfig, ClusterConfigBuilder, ConfigError, CostModel, ReplicaCrash, StragglerConfig,
+    ClusterConfig, ClusterConfigBuilder, ConfigError, CostModel, OpenLoopConfig, ReplicaCrash,
+    StragglerConfig,
 };
 pub use eunomia_sim::EngineStats;
-pub use eunomia_stats::ServiceStats;
+pub use eunomia_stats::{LoadStats, ServiceStats};
 pub use faults::{apply_faults, dc_unavailability, DcAvailability, FaultEvent};
 pub use harness::{HealConvergence, RunReport};
 pub use mc::{mc_replay, mc_run, register_mc_runner, McReport, McScenario, McSystemRunner};
 pub use metrics::GeoMetrics;
 pub use msg::Msg;
+pub use open_loop::{Admission, OpenLoopDriver, TIMER_ARRIVAL};
 pub use scenario::{Scenario, Sweep, SweepCell, SweepResults};
 pub use system::{register_runner, run, SystemId, SystemRunner};
 pub use table::format_table;

@@ -92,6 +92,7 @@ fn mc_config(partitions: usize, ops: u64, seed: u64) -> ClusterConfig {
             read_pct: 50,
             value_size: 1,
             power_law: false,
+            ..WorkloadConfig::default()
         },
         seed,
         ops_per_client: Some(ops),

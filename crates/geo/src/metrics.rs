@@ -1,7 +1,7 @@
 //! Shared run metrics: throughput, operation latency, remote visibility.
 
 use eunomia_sim::SimTime;
-use eunomia_stats::{Histogram, TimeSeries};
+use eunomia_stats::{Histogram, LoadStats, TimeSeries};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -121,6 +121,9 @@ pub struct MetricsInner {
     /// series that shows staleness spiking during a fault window and
     /// recovering after the heal.
     pub stale_read_series: Vec<TimeSeries>,
+    /// Open-loop load measurements (only populated when the run uses
+    /// `ClusterConfig::open_loop`; closed-loop clients never touch it).
+    pub load: LoadStats,
     /// Per key: highest update timestamp committed at each origin
     /// datacenter (staleness tracking only).
     issued_high: HashMap<u64, Vec<u64>>,
@@ -160,6 +163,7 @@ impl GeoMetrics {
                 stale_read_series: (0..n_dcs)
                     .map(|_| TimeSeries::new(eunomia_sim::units::secs(1)))
                     .collect(),
+                load: LoadStats::new(eunomia_sim::units::secs(1)),
                 issued_high: HashMap::new(),
                 applied_high: HashMap::new(),
             })),
@@ -177,6 +181,36 @@ impl GeoMetrics {
             m.update_latency_series.observe(at, latency_ns);
             m.completed_updates += 1;
         }
+    }
+
+    /// Records one open-loop intended arrival.
+    pub fn record_load_arrival(&self, at: SimTime) {
+        self.inner.borrow_mut().load.record_arrival(at);
+    }
+
+    /// Records an open-loop arrival dropped at a full client queue.
+    pub fn record_load_drop(&self) {
+        self.inner.borrow_mut().load.record_drop();
+    }
+
+    /// Notes an open-loop client's queue depth after an enqueue.
+    pub fn record_load_queue_depth(&self, depth: u64) {
+        self.inner.borrow_mut().load.note_queue_depth(depth);
+    }
+
+    /// Records an open-loop completion: latency from the intended
+    /// arrival, service time from the actual issue, and the queue wait
+    /// between the two.
+    pub fn record_load_completion(&self, at: SimTime, latency: u64, service: u64, wait: u64) {
+        self.inner
+            .borrow_mut()
+            .load
+            .record_completion(at, latency, service, wait);
+    }
+
+    /// Clones the accumulated open-loop load stats.
+    pub fn load_stats(&self) -> LoadStats {
+        self.inner.borrow().load.clone()
     }
 
     /// Records a remote update becoming visible.

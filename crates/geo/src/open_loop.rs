@@ -1,0 +1,146 @@
+//! Open-loop client machinery shared by every system's client process.
+//!
+//! A closed-loop client re-issues on each reply, so a struggling server
+//! slows the generator down and the latency histogram never sees the
+//! requests that *would* have been issued — coordinated omission. The
+//! [`OpenLoopDriver`] instead schedules intended arrivals from an
+//! [`ArrivalSpec`] on a timer, stamps each operation with its intended
+//! time, and lets the client measure completion − intended. The wire
+//! protocols carry no correlation ids (and the baselines' partitions can
+//! reorder replies under clock-skew waiting), so the driver keeps **one
+//! op in flight** and parks later arrivals in a bounded backlog: overload
+//! therefore shows up as queue wait first, then as drops — both recorded
+//! in `LoadStats` — never as generator stall.
+
+use crate::metrics::GeoMetrics;
+use eunomia_sim::{Context, SimTime};
+use eunomia_workload::{ArrivalProcess, ArrivalSpec, Op};
+use std::collections::VecDeque;
+
+/// Timer tag used by open-loop clients for arrival wake-ups. Client
+/// processes use no other timers, so a single tag is collision-free.
+pub const TIMER_ARRIVAL: u64 = 100;
+
+/// What became of one intended arrival.
+#[derive(Debug, PartialEq)]
+pub enum Admission {
+    /// The channel was free: send this op now (its intended time is the
+    /// current time, already tracked by the driver).
+    Issue(Op),
+    /// An op is in flight: the arrival was parked in the backlog.
+    Queued,
+    /// The backlog was full: the arrival was dropped (counted, not
+    /// issued).
+    Dropped,
+}
+
+/// Per-client open-loop state machine: the arrival process, the bounded
+/// backlog, and the intended-time stamp of the op in flight.
+#[derive(Clone, Debug)]
+pub struct OpenLoopDriver {
+    process: ArrivalProcess,
+    /// Arrived-but-unissued ops with their intended times.
+    queue: VecDeque<(SimTime, Op)>,
+    queue_limit: usize,
+    /// Intended time of the op currently in flight.
+    in_flight: Option<SimTime>,
+}
+
+impl OpenLoopDriver {
+    /// Builds a driver from a validated spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`ArrivalSpec::validate`] or
+    /// `queue_limit` is zero (both checked earlier by
+    /// `ClusterConfig::validate`).
+    pub fn new(spec: &ArrivalSpec, queue_limit: usize) -> Self {
+        assert!(queue_limit > 0, "open-loop queue limit must be positive");
+        OpenLoopDriver {
+            process: spec.process(),
+            queue: VecDeque::new(),
+            queue_limit,
+            in_flight: None,
+        }
+    }
+
+    /// Schedules the first arrival timer; call from the client's
+    /// `on_start`.
+    pub fn start<M>(&mut self, ctx: &mut Context<'_, M>) {
+        let gap = self.process.next_gap(ctx.now(), ctx.rng());
+        ctx.set_timer(gap, TIMER_ARRIVAL);
+    }
+
+    /// Handles one arrival timer firing: schedules the next arrival and
+    /// admits `op` (issue now / queue / drop). The caller records the
+    /// outcome in `LoadStats` and, on [`Admission::Issue`], sends the op.
+    pub fn on_arrival<M>(
+        &mut self,
+        ctx: &mut Context<'_, M>,
+        op: Op,
+        metrics: &GeoMetrics,
+    ) -> Admission {
+        let now = ctx.now();
+        let gap = self.process.next_gap(now, ctx.rng());
+        ctx.set_timer(gap, TIMER_ARRIVAL);
+        metrics.record_load_arrival(now);
+        if self.in_flight.is_none() {
+            self.in_flight = Some(now);
+            Admission::Issue(op)
+        } else if self.queue.len() < self.queue_limit {
+            self.queue.push_back((now, op));
+            metrics.record_load_queue_depth(self.queue.len() as u64);
+            Admission::Queued
+        } else {
+            metrics.record_load_drop();
+            Admission::Dropped
+        }
+    }
+
+    /// Handles the in-flight op completing at `now`: records the
+    /// coordinated-omission-free latency (now − intended) plus the
+    /// service/queue-wait split, and returns the completed op's intended
+    /// time (for the client's own latency recording) along with the next
+    /// backlogged op to issue, if any.
+    ///
+    /// `issued_at` is when the completed op actually went on the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no op was in flight (a protocol bug: a reply with no
+    /// matching issue).
+    pub fn on_completion(
+        &mut self,
+        now: SimTime,
+        issued_at: SimTime,
+        metrics: &GeoMetrics,
+    ) -> (SimTime, Option<Op>) {
+        let intended = self
+            .in_flight
+            .take()
+            .expect("open-loop completion with no op in flight");
+        metrics.record_load_completion(now, now - intended, now - issued_at, issued_at - intended);
+        let next = self.queue.pop_front().map(|(intended, op)| {
+            self.in_flight = Some(intended);
+            op
+        });
+        (intended, next)
+    }
+
+    /// Current backlog depth.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Folds the driver state into `h` for model-checking state hashing.
+    pub fn state_digest(&self, h: &mut dyn std::hash::Hasher) {
+        self.process.state_digest(h);
+        h.write_usize(self.queue.len());
+        for (t, op) in &self.queue {
+            h.write_u64(*t);
+            h.write_u64(op.key());
+            h.write_u8(op.is_update() as u8);
+        }
+        h.write_u64(self.in_flight.unwrap_or(u64::MAX));
+    }
+}

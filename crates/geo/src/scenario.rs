@@ -47,14 +47,23 @@
 //! All five take the run length in seconds and scale their fault windows
 //! proportionally, so `--quick` CI runs exercise the same schedule shape
 //! as full runs. Same seed ⇒ bit-identical reports, faults included.
+//!
+//! # Open-loop presets
+//!
+//! Five more presets ([`Scenario::open_loop_presets`]) run the paper's
+//! 3-DC deployment with open-loop clients — one per arrival-process
+//! family (steady Poisson, bursty MMPP, diurnal sine, flash crowd with a
+//! shifting hotspot, committed-trace replay). See
+//! [`crate::open_loop`] for why these measure latency free of
+//! coordinated omission.
 
-use crate::config::{ClusterConfig, ConfigError, StragglerConfig};
+use crate::config::{ClusterConfig, ConfigError, OpenLoopConfig, StragglerConfig};
 use crate::faults::FaultEvent;
 use crate::harness::RunReport;
 use crate::system::{run, SystemId};
 use crate::table::format_table;
 use eunomia_sim::units;
-use eunomia_workload::WorkloadConfig;
+use eunomia_workload::{ArrivalSpec, CompactTrace, HotShift, WorkloadConfig};
 
 /// A named, validated experiment configuration.
 #[derive(Clone, Debug)]
@@ -160,6 +169,7 @@ impl Scenario {
                 read_pct: 50,
                 value_size: 16,
                 power_law: false,
+                ..WorkloadConfig::default()
             },
             ..ClusterConfig::default()
         };
@@ -201,6 +211,7 @@ impl Scenario {
                 read_pct: 90,
                 value_size: 64,
                 power_law: true,
+                ..WorkloadConfig::default()
             },
             ..ClusterConfig::default()
         };
@@ -232,6 +243,7 @@ impl Scenario {
                 read_pct: 85,
                 value_size: 16,
                 power_law: false,
+                ..WorkloadConfig::default()
             },
             apply_log: true,
             track_staleness: true,
@@ -465,6 +477,106 @@ impl Scenario {
         ]
     }
 
+    /// Shared base for the open-loop presets: the paper's 3-DC
+    /// deployment with the given per-client arrival process and a
+    /// 64-op backlog per client.
+    fn open_loop_base(name: &str, arrivals: ArrivalSpec) -> Scenario {
+        let cfg = ClusterConfig {
+            open_loop: Some(OpenLoopConfig {
+                arrivals,
+                queue_limit: 64,
+            }),
+            ..ClusterConfig::default()
+        };
+        Scenario {
+            name: name.into(),
+            cfg,
+        }
+    }
+
+    /// Open-loop paper 3-DC at a steady Poisson `rate_hz` per client —
+    /// the building block `fig_load` sweeps to find each system's
+    /// saturation knee.
+    pub fn open_loop_poisson(rate_hz: f64) -> Scenario {
+        let mut s = Scenario::open_loop_base("open-loop-3dc", ArrivalSpec::Poisson { rate_hz });
+        s.name = format!("open-loop-3dc-{}hz", rate_hz as u64);
+        s
+    }
+
+    /// Open-loop paper 3-DC under a bursty MMPP: 100 Hz background with
+    /// 1 kHz bursts (mean dwell 500 ms low / 200 ms high) — the
+    /// production shape where tail latency diverges from the mean long
+    /// before throughput saturates.
+    pub fn open_loop_bursty() -> Scenario {
+        Scenario::open_loop_base(
+            "open-loop-bursty",
+            ArrivalSpec::Mmpp {
+                low_hz: 100.0,
+                high_hz: 1000.0,
+                dwell_low: units::ms(500),
+                dwell_high: units::ms(200),
+            },
+        )
+    }
+
+    /// Open-loop paper 3-DC on a diurnal sine: 300 Hz mean per client,
+    /// 4:1 peak-to-trough, 10 s period (a compressed day — several
+    /// cycles fit in the default 60 s run).
+    pub fn open_loop_diurnal() -> Scenario {
+        Scenario::open_loop_base(
+            "open-loop-diurnal",
+            ArrivalSpec::Diurnal {
+                mean_hz: 300.0,
+                peak_to_trough: 4.0,
+                period: units::secs(10),
+            },
+        )
+    }
+
+    /// Open-loop paper 3-DC hit by a flash crowd: 200 Hz base, 6× surge
+    /// ramping up over 2 s at t=20 s, held for 10 s — paired with a
+    /// shifting-hotspot workload (the "everyone loads the same page"
+    /// scenario). Timed for the default 60 s duration.
+    pub fn open_loop_flash() -> Scenario {
+        let mut s = Scenario::open_loop_base(
+            "open-loop-flash",
+            ArrivalSpec::FlashCrowd {
+                base_hz: 200.0,
+                multiplier: 6.0,
+                at: units::secs(20),
+                ramp: units::secs(2),
+                hold: units::secs(10),
+            },
+        );
+        s.cfg.workload.hot_shift = Some(HotShift {
+            hot_fraction: 0.1,
+            hot_access: 0.9,
+            shift_every: 1000,
+        });
+        s
+    }
+
+    /// Open-loop paper 3-DC replaying the committed sample diurnal
+    /// trace (12 s cycle, 20–200 Hz) — the trace-driven path that keeps
+    /// replays reproducible without RNG draws.
+    pub fn open_loop_trace() -> Scenario {
+        Scenario::open_loop_base(
+            "open-loop-trace",
+            ArrivalSpec::Trace(CompactTrace::sample_diurnal()),
+        )
+    }
+
+    /// The five open-loop presets — one per arrival-process family.
+    pub fn open_loop_presets() -> Vec<Scenario> {
+        vec![
+            Scenario::open_loop_poisson(400.0),
+            Scenario::open_loop_bursty(),
+            Scenario::open_loop_diurnal(),
+            Scenario::open_loop_flash(),
+            Scenario::open_loop_trace(),
+        ]
+    }
+
     /// Every named preset (with representative parameters) — what
     /// `--list-scenarios` tooling and docs enumerate, and the lookup
     /// table behind [`Scenario::by_name`].
@@ -478,6 +590,7 @@ impl Scenario {
             Scenario::massive(),
         ];
         out.extend(Scenario::fault_presets(30));
+        out.extend(Scenario::open_loop_presets());
         out
     }
 

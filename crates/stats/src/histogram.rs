@@ -127,6 +127,48 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Estimates several percentiles in one scan over the buckets.
+    ///
+    /// Returns one entry per requested percentile, in the same order as
+    /// `ps`; each entry matches what [`Histogram::percentile`] would
+    /// return for that `p`. Prefer this in report code that needs p50 and
+    /// p99 (and more) from the same histogram — it walks the 2048-bucket
+    /// array once instead of once per percentile.
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<Option<u64>> {
+        if self.total == 0 {
+            return vec![None; ps.len()];
+        }
+        // Visit the requested percentiles in ascending order, remembering
+        // where each came from so the output matches the input order.
+        let mut order: Vec<usize> = (0..ps.len()).collect();
+        order.sort_by(|&a, &b| ps[a].total_cmp(&ps[b]));
+        let mut out = vec![None; ps.len()];
+        let mut order_iter = order.into_iter().peekable();
+        let mut seen = 0u64;
+        let rank = |p: f64| {
+            let p = p.clamp(0.0, 100.0);
+            ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64
+        };
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            while let Some(&slot) = order_iter.peek() {
+                if seen >= rank(ps[slot]) {
+                    out[slot] = Some(Self::value_of(i).clamp(self.min, self.max));
+                    order_iter.next();
+                } else {
+                    break;
+                }
+            }
+            if order_iter.peek().is_none() {
+                return out;
+            }
+        }
+        for slot in order_iter {
+            out[slot] = Some(self.max);
+        }
+        out
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
@@ -260,7 +302,37 @@ mod tests {
         assert_eq!(h.percentile(50.0), None);
     }
 
+    #[test]
+    fn batched_percentiles_match_single_calls() {
+        let mut h = Histogram::new();
+        for i in 0..5_000u64 {
+            h.record(1 + (i * 31) % 750_000);
+        }
+        let ps = [99.9, 50.0, 0.0, 90.0, 100.0, 99.0];
+        let batched = h.percentiles(&ps);
+        for (p, got) in ps.iter().zip(&batched) {
+            assert_eq!(*got, h.percentile(*p), "p{p}");
+        }
+        assert_eq!(Histogram::new().percentiles(&ps), vec![None; ps.len()]);
+        assert!(h.percentiles(&[]).is_empty());
+    }
+
     proptest! {
+        #[test]
+        fn batched_percentiles_agree_for_random_data(
+            vals in proptest::collection::vec(1u64..1_000_000_000, 1..300),
+            ps in proptest::collection::vec(0.0f64..100.0, 1..8),
+        ) {
+            let mut h = Histogram::new();
+            for &v in &vals {
+                h.record(v);
+            }
+            let batched = h.percentiles(&ps);
+            for (p, got) in ps.iter().zip(&batched) {
+                prop_assert_eq!(*got, h.percentile(*p));
+            }
+        }
+
         #[test]
         fn index_is_monotone_and_value_brackets(v in 0u64..u64::MAX / 2) {
             let i = Histogram::index(v);

@@ -12,6 +12,8 @@
 //!   run (stabilized ids/s, batch sizes, queue depth, stabilization
 //!   latency), shared by `eunomia-runtime`, `eunomia-geo` and the bench
 //!   harnesses.
+//! * [`LoadStats`] — offered vs achieved rate, coordinated-omission-free
+//!   latency, and queueing delay of one open-loop load run.
 //!
 //! All values are `u64`; callers choose the unit (this workspace uses
 //! nanoseconds for latencies and operations for counters).
@@ -30,11 +32,13 @@
 //! ```
 
 mod histogram;
+mod load;
 mod service;
 mod summary;
 mod timeseries;
 
 pub use histogram::Histogram;
+pub use load::LoadStats;
 pub use service::ServiceStats;
 pub use summary::Summary;
 pub use timeseries::TimeSeries;

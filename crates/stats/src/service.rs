@@ -54,6 +54,18 @@ impl ServiceStats {
             .map(|ns| ns as f64 / 1e6)
     }
 
+    /// Batched form of [`stabilization_latency_ms`]: one histogram scan
+    /// for any number of percentiles.
+    ///
+    /// [`stabilization_latency_ms`]: ServiceStats::stabilization_latency_ms
+    pub fn stabilization_latencies_ms(&self, ps: &[f64]) -> Vec<Option<f64>> {
+        self.stabilization_latency
+            .percentiles(ps)
+            .into_iter()
+            .map(|v| v.map(|ns| ns as f64 / 1e6))
+            .collect()
+    }
+
     /// Folds another replica's (or run's) stats into this one: counters
     /// add, histograms merge, high-waters take the max, and the longer
     /// elapsed time wins (replica threads of one run overlap in time).

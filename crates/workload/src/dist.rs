@@ -43,6 +43,22 @@ pub enum KeyDistribution {
         /// Next key to emit.
         next: u64,
     },
+    /// Like [`KeyDistribution::HotSpot`], but the hot set rotates through
+    /// the key space every `shift_every` draws — models a trending-topic
+    /// workload where popularity migrates over time, defeating caches
+    /// warmed on the previous hot set.
+    ShiftingHotSpot {
+        /// Key-space size.
+        keys: u64,
+        /// Fraction of the key space that is hot at any instant (0, 1).
+        hot_fraction: f64,
+        /// Fraction of accesses that go to the current hot set (0, 1].
+        hot_access: f64,
+        /// Draws between hot-set rotations.
+        shift_every: u64,
+        /// Draws made so far (drives the rotation).
+        drawn: u64,
+    },
 }
 
 fn zeta(n: u64, theta: f64) -> f64 {
@@ -115,13 +131,86 @@ impl KeyDistribution {
         KeyDistribution::Sequential { keys, next: 0 }
     }
 
+    /// Shifting hotspot: `hot_access` of requests hit a hot set of
+    /// `hot_fraction * keys` keys that rotates by one hot-set width every
+    /// `shift_every` draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty key space, `hot_fraction` outside `(0, 1)`
+    /// (strict — a cold remainder must exist for the shift to matter),
+    /// `hot_access` outside `(0, 1]`, or a zero `shift_every`.
+    pub fn shifting_hotspot(
+        keys: u64,
+        hot_fraction: f64,
+        hot_access: f64,
+        shift_every: u64,
+    ) -> Self {
+        assert!(keys > 0, "key space must be non-empty");
+        assert!(
+            hot_fraction > 0.0 && hot_fraction < 1.0,
+            "hot_fraction must be in (0, 1)"
+        );
+        assert!((0.0..=1.0).contains(&hot_access) && hot_access > 0.0);
+        assert!(shift_every > 0, "shift_every must be positive");
+        KeyDistribution::ShiftingHotSpot {
+            keys,
+            hot_fraction,
+            hot_access,
+            shift_every,
+            drawn: 0,
+        }
+    }
+
     /// Key-space size.
     pub fn keys(&self) -> u64 {
         match self {
             KeyDistribution::Uniform { keys }
             | KeyDistribution::Zipfian { keys, .. }
             | KeyDistribution::HotSpot { keys, .. }
-            | KeyDistribution::Sequential { keys, .. } => *keys,
+            | KeyDistribution::Sequential { keys, .. }
+            | KeyDistribution::ShiftingHotSpot { keys, .. } => *keys,
+        }
+    }
+
+    /// Folds the distribution's configuration and mutable counters into
+    /// `h` for model-checking state hashing (mirrors
+    /// `OpGenerator::state_digest`; the RNG is hashed separately by the
+    /// engine).
+    pub fn state_digest(&self, h: &mut dyn std::hash::Hasher) {
+        h.write_u64(self.keys());
+        match self {
+            KeyDistribution::Uniform { .. } => h.write_u8(0),
+            KeyDistribution::Zipfian { theta, .. } => {
+                h.write_u8(1);
+                h.write_u64(theta.to_bits());
+            }
+            KeyDistribution::HotSpot {
+                hot_fraction,
+                hot_access,
+                ..
+            } => {
+                h.write_u8(2);
+                h.write_u64(hot_fraction.to_bits());
+                h.write_u64(hot_access.to_bits());
+            }
+            KeyDistribution::Sequential { next, .. } => {
+                h.write_u8(3);
+                h.write_u64(*next);
+            }
+            KeyDistribution::ShiftingHotSpot {
+                hot_fraction,
+                hot_access,
+                shift_every,
+                drawn,
+                ..
+            } => {
+                h.write_u8(4);
+                h.write_u64(hot_fraction.to_bits());
+                h.write_u64(hot_access.to_bits());
+                h.write_u64(*shift_every);
+                h.write_u64(*drawn);
+            }
         }
     }
 
@@ -166,6 +255,26 @@ impl KeyDistribution {
                 *next = (*next + 1) % *keys;
                 k
             }
+            KeyDistribution::ShiftingHotSpot {
+                keys,
+                hot_fraction,
+                hot_access,
+                shift_every,
+                drawn,
+            } => {
+                let n = *keys;
+                let hot_keys = ((n as f64 * *hot_fraction) as u64).max(1);
+                // The hot window slides by one hot-set width per shift,
+                // wrapping around the (scrambled) rank space.
+                let offset = (*drawn / *shift_every).wrapping_mul(hot_keys) % n;
+                *drawn += 1;
+                let rank = if rng.random::<f64>() < *hot_access {
+                    (offset + rng.random_range(0..hot_keys)) % n
+                } else {
+                    (offset + hot_keys + rng.random_range(0..n - hot_keys)) % n
+                };
+                scramble(rank, n)
+            }
         }
     }
 }
@@ -204,6 +313,7 @@ mod tests {
             &mut KeyDistribution::zipfian(1000, 0.99),
             &mut KeyDistribution::hotspot(1000, 0.1, 0.9),
             &mut KeyDistribution::sequential(1000),
+            &mut KeyDistribution::shifting_hotspot(1000, 0.1, 0.9, 100),
         ] {
             for _ in 0..10_000 {
                 assert!(d.sample(&mut rng) < 1000);
@@ -263,5 +373,63 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_keys_panics() {
         let _ = KeyDistribution::uniform(0);
+    }
+
+    #[test]
+    fn shifting_hotspot_moves_its_hot_set() {
+        let keys = 1000u64;
+        let shift_every = 50_000u64;
+        let mut d = KeyDistribution::shifting_hotspot(keys, 0.1, 0.95, shift_every);
+        // Window 0 and window 1 hot sets in key space.
+        let w0: std::collections::HashSet<u64> = (0..100).map(|r| scramble(r, keys)).collect();
+        let w1: std::collections::HashSet<u64> = (100..200).map(|r| scramble(r, keys)).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits =
+            |d: &mut KeyDistribution, rng: &mut StdRng, set: &std::collections::HashSet<u64>| {
+                let mut n = 0;
+                for _ in 0..shift_every {
+                    if set.contains(&d.sample(rng)) {
+                        n += 1;
+                    }
+                }
+                n as f64 / shift_every as f64
+            };
+        let first_window_share = hits(&mut d, &mut rng, &w0);
+        let second_window_share = hits(&mut d, &mut rng, &w1);
+        assert!(
+            first_window_share > 0.9,
+            "window 0 share {first_window_share}"
+        );
+        assert!(
+            second_window_share > 0.9,
+            "window 1 share {second_window_share}"
+        );
+    }
+
+    #[test]
+    fn state_digest_distinguishes_progress() {
+        use std::hash::Hasher;
+        fn digest(d: &KeyDistribution) -> u64 {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            d.state_digest(&mut h);
+            h.finish()
+        }
+        let mut a = KeyDistribution::shifting_hotspot(100, 0.1, 0.9, 10);
+        let b = a.clone();
+        assert_eq!(digest(&a), digest(&b));
+        let mut rng = StdRng::seed_from_u64(1);
+        a.sample(&mut rng);
+        assert_ne!(digest(&a), digest(&b), "drawn counter must feed the digest");
+        assert_ne!(
+            digest(&KeyDistribution::uniform(100)),
+            digest(&KeyDistribution::sequential(100)),
+            "different shapes must digest differently"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_fraction")]
+    fn shifting_hotspot_rejects_full_hot_set() {
+        let _ = KeyDistribution::shifting_hotspot(100, 1.0, 0.9, 10);
     }
 }

@@ -89,6 +89,7 @@ impl OpGenerator {
     /// for model-checking state hashing (the next op depends on the RNG,
     /// hashed separately by the engine, and on nothing else here).
     pub fn state_digest(&self, h: &mut dyn std::hash::Hasher) {
+        self.dist.state_digest(h);
         h.write_u8(self.read_pct);
         h.write_usize(self.value.len());
         h.write_u64(self.generated);

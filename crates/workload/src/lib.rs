@@ -8,10 +8,13 @@
 //! reproduces those knobs:
 //!
 //! * [`KeyDistribution`] — uniform, zipfian (YCSB-style power law),
-//!   hotspot and sequential key pickers;
+//!   hotspot, sequential and shifting-hotspot key pickers;
 //! * [`OpGenerator`] — turns a distribution plus a read:write mix into a
 //!   stream of [`Op`]s with fixed-size values;
-//! * [`WorkloadConfig`] — a bundle of the above with the paper's presets.
+//! * [`WorkloadConfig`] — a bundle of the above with the paper's presets;
+//! * [`arrival`] — open-loop arrival processes (Poisson, MMPP, diurnal,
+//!   flash crowd, trace replay) for load generation that does not
+//!   coordinate with the system under test.
 //!
 //! # Examples
 //!
@@ -26,11 +29,25 @@
 //! assert!(op.key() < 100_000);
 //! ```
 
+pub mod arrival;
 mod dist;
 mod gen;
 
+pub use arrival::{ArrivalProcess, ArrivalSpec, CompactTrace};
 pub use dist::KeyDistribution;
 pub use gen::{Op, OpGenerator};
+
+/// Parameters of the shifting-hotspot key distribution, as carried by
+/// [`WorkloadConfig::hot_shift`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HotShift {
+    /// Fraction of the key space that is hot at any instant (0, 1).
+    pub hot_fraction: f64,
+    /// Fraction of accesses that go to the current hot set (0, 1].
+    pub hot_access: f64,
+    /// Draws between hot-set rotations.
+    pub shift_every: u64,
+}
 
 /// A complete workload description.
 #[derive(Clone, Debug)]
@@ -44,6 +61,16 @@ pub struct WorkloadConfig {
     /// Whether keys follow the power-law (zipfian) distribution rather
     /// than uniform.
     pub power_law: bool,
+    /// When set, keys follow the shifting-hotspot distribution instead
+    /// (takes precedence over `power_law`).
+    pub hot_shift: Option<HotShift>,
+}
+
+impl Default for WorkloadConfig {
+    /// The paper's 90:10 uniform cell.
+    fn default() -> Self {
+        WorkloadConfig::paper(90, false)
+    }
 }
 
 impl WorkloadConfig {
@@ -54,6 +81,7 @@ impl WorkloadConfig {
             read_pct,
             value_size: 100,
             power_law,
+            hot_shift: None,
         }
     }
 
@@ -75,7 +103,14 @@ impl WorkloadConfig {
 
     /// Builds the operation generator for this config.
     pub fn generator(&self) -> OpGenerator {
-        let dist = if self.power_law {
+        let dist = if let Some(hs) = self.hot_shift {
+            KeyDistribution::shifting_hotspot(
+                self.keys,
+                hs.hot_fraction,
+                hs.hot_access,
+                hs.shift_every,
+            )
+        } else if self.power_law {
             KeyDistribution::zipfian(self.keys, 0.99)
         } else {
             KeyDistribution::uniform(self.keys)
@@ -94,6 +129,25 @@ mod tests {
         assert_eq!(w.keys, 100_000);
         assert_eq!(w.value_size, 100);
         assert_eq!(w.read_pct, 90);
+    }
+
+    #[test]
+    fn hot_shift_takes_precedence_over_power_law() {
+        let w = WorkloadConfig {
+            power_law: true,
+            hot_shift: Some(HotShift {
+                hot_fraction: 0.1,
+                hot_access: 0.9,
+                shift_every: 1000,
+            }),
+            ..WorkloadConfig::default()
+        };
+        use rand::SeedableRng;
+        let mut gen = w.generator();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(gen.next_op(&mut rng).key() < w.keys);
+        }
     }
 
     #[test]

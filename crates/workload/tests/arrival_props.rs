@@ -1,0 +1,139 @@
+//! Property tests for the arrival processes: empirical rates must track
+//! the configured offered load, and the shaped processes (diurnal, flash
+//! crowd) must hit their programmed peak/trough ratios.
+
+use eunomia_workload::arrival::ArrivalSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEC: u64 = 1_000_000_000;
+
+/// Drives `spec` over `[0, secs)` and returns arrival timestamps (ns).
+fn arrivals(spec: &ArrivalSpec, secs: u64, seed: u64) -> Vec<u64> {
+    let mut p = spec.process();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut now = 0u64;
+    let end = secs * SEC;
+    let mut out = Vec::new();
+    loop {
+        now += p.next_gap(now, &mut rng);
+        if now >= end {
+            return out;
+        }
+        out.push(now);
+    }
+}
+
+fn rate_in_window(stamps: &[u64], from: u64, to: u64) -> f64 {
+    let n = stamps.iter().filter(|&&t| t >= from && t < to).count();
+    n as f64 / ((to - from) as f64 / SEC as f64)
+}
+
+proptest! {
+    #[test]
+    fn poisson_empirical_rate_within_5pct(
+        rate_hz in 50.0f64..2_000.0,
+        seed in 0u64..1_000,
+    ) {
+        let spec = ArrivalSpec::Poisson { rate_hz };
+        // Scale the horizon so every case sees ≥ ~20k arrivals.
+        let secs = ((20_000.0 / rate_hz).ceil() as u64).max(10);
+        let n = arrivals(&spec, secs, seed).len() as f64;
+        let empirical = n / secs as f64;
+        let err = (empirical - rate_hz).abs() / rate_hz;
+        prop_assert!(err < 0.05, "offered {rate_hz} Hz, got {empirical} Hz ({err:.3} rel err)");
+    }
+
+    #[test]
+    fn mmpp_empirical_rate_within_5pct(
+        low_hz in 50.0f64..200.0,
+        burst_factor in 2.0f64..6.0,
+        seed in 0u64..1_000,
+    ) {
+        let spec = ArrivalSpec::Mmpp {
+            low_hz,
+            high_hz: low_hz * burst_factor,
+            dwell_low: 150_000_000,
+            dwell_high: 50_000_000,
+        };
+        let offered = spec.mean_rate_hz();
+        // ~1500 dwell cycles per run so phase-occupancy noise (the
+        // dominant error term) averages well below the 5% bound.
+        let secs = 300;
+        let n = arrivals(&spec, secs, seed).len() as f64;
+        let empirical = n / secs as f64;
+        let err = (empirical - offered).abs() / offered;
+        prop_assert!(err < 0.05, "offered {offered} Hz, got {empirical} Hz ({err:.3} rel err)");
+    }
+
+    #[test]
+    fn diurnal_hits_programmed_peak_trough_ratio(
+        mean_hz in 200.0f64..800.0,
+        ratio in 2.0f64..6.0,
+        seed in 0u64..1_000,
+    ) {
+        let period = 10 * SEC;
+        let spec = ArrivalSpec::Diurnal { mean_hz, peak_to_trough: ratio, period };
+        let stamps = arrivals(&spec, 100, seed);
+        // Measure rates in narrow windows around the sine's extremes
+        // (phase 0.25 and 0.75), pooled across all 10 cycles.
+        let (mut peak_n, mut trough_n) = (0usize, 0usize);
+        let half_win = period / 20; // ±5% of the period
+        for cycle in 0..10u64 {
+            let peak_t = cycle * period + period / 4;
+            let trough_t = cycle * period + 3 * period / 4;
+            peak_n += stamps.iter()
+                .filter(|&&t| t >= peak_t - half_win && t < peak_t + half_win)
+                .count();
+            trough_n += stamps.iter()
+                .filter(|&&t| t >= trough_t - half_win && t < trough_t + half_win)
+                .count();
+        }
+        prop_assert!(trough_n > 0, "no trough arrivals at mean {mean_hz} Hz");
+        let measured = peak_n as f64 / trough_n as f64;
+        // The ±5%-period window averages the sine slightly below its
+        // extremes, so allow 15% slack on the ratio itself.
+        let err = (measured - ratio).abs() / ratio;
+        prop_assert!(err < 0.15, "programmed ratio {ratio}, measured {measured} ({err:.3} rel err)");
+    }
+
+    #[test]
+    fn flash_crowd_peak_is_multiplier_times_base(
+        base_hz in 100.0f64..500.0,
+        multiplier in 2.0f64..8.0,
+        seed in 0u64..1_000,
+    ) {
+        let spec = ArrivalSpec::FlashCrowd {
+            base_hz,
+            multiplier,
+            at: 10 * SEC,
+            ramp: 2 * SEC,
+            hold: 10 * SEC,
+        };
+        let stamps = arrivals(&spec, 40, seed);
+        // Baseline before the ramp, peak inside the hold.
+        let base_rate = rate_in_window(&stamps, 0, 10 * SEC);
+        let peak_rate = rate_in_window(&stamps, 12 * SEC, 22 * SEC);
+        let measured = peak_rate / base_rate;
+        let err = (measured - multiplier).abs() / multiplier;
+        prop_assert!(
+            err < 0.15,
+            "programmed multiplier {multiplier}, measured {measured} \
+             (base {base_rate} Hz, peak {peak_rate} Hz)"
+        );
+    }
+}
+
+#[test]
+fn trace_replay_rate_matches_trace_mean() {
+    use eunomia_workload::arrival::CompactTrace;
+    let trace = CompactTrace::sample_diurnal();
+    let offered = trace.mean_rate_hz();
+    let spec = ArrivalSpec::Trace(trace);
+    let secs = 60; // five full 12 s cycles
+    let n = arrivals(&spec, secs, 0).len() as f64;
+    let empirical = n / secs as f64;
+    let err = (empirical - offered).abs() / offered;
+    assert!(err < 0.02, "offered {offered} Hz, got {empirical} Hz");
+}

@@ -36,6 +36,7 @@ fn main() {
             read_pct: 90,
             value_size: 256,
             power_law: true,
+            ..WorkloadConfig::default()
         })
         .build()
         .expect("deployment validates");

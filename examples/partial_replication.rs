@@ -30,6 +30,7 @@ fn run_rf(rf: Option<usize>) -> (f64, f64) {
                 read_pct: 60,
                 value_size: 100,
                 power_law: false,
+                ..WorkloadConfig::default()
             };
         });
     let report = run(SystemId::EunomiaKv, &scenario);

@@ -83,9 +83,11 @@ pub use eunomia_stats as stats;
 pub use eunomia_workload as workload;
 
 pub use eunomia_geo::{
-    ClusterConfig, ClusterConfigBuilder, ConfigError, FaultEvent, HealConvergence, McReport,
-    McScenario, ReplicaCrash, RunReport, Scenario, Sweep, SweepResults, SystemId,
+    ClusterConfig, ClusterConfigBuilder, ConfigError, FaultEvent, HealConvergence, LoadStats,
+    McReport, McScenario, OpenLoopConfig, ReplicaCrash, RunReport, Scenario, Sweep, SweepResults,
+    SystemId,
 };
+pub use eunomia_workload::{ArrivalProcess, ArrivalSpec, CompactTrace};
 
 /// Builds, runs and reports `id` under `scenario` — with the baseline
 /// runners installed, so all six systems work out of the box.

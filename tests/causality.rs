@@ -87,6 +87,7 @@ fn eunomia_kv_is_causally_consistent_three_dcs_write_heavy() {
             read_pct: 50,
             value_size: 16,
             power_law: false,
+            ..WorkloadConfig::default()
         })
         .with(|cfg| {
             cfg.duration = units::secs(8);
@@ -105,6 +106,7 @@ fn eunomia_kv_stays_causal_under_clock_skew_and_straggler() {
             read_pct: 60,
             value_size: 16,
             power_law: true,
+            ..WorkloadConfig::default()
         })
         .with(|cfg| {
             cfg.duration = units::secs(8);
@@ -132,6 +134,7 @@ fn pipelined_receiver_extension_preserves_causality() {
             read_pct: 50,
             value_size: 16,
             power_law: false,
+            ..WorkloadConfig::default()
         })
         .with(|cfg| {
             cfg.duration = units::secs(6);
@@ -152,6 +155,7 @@ fn metadata_tree_preserves_causality_and_cuts_messages() {
             read_pct: 60,
             value_size: 16,
             power_law: false,
+            ..WorkloadConfig::default()
         })
         .with(|cfg| {
             cfg.duration = units::secs(6);

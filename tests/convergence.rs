@@ -16,6 +16,7 @@ fn every_update_reaches_every_datacenter() {
             read_pct: 50,
             value_size: 16,
             power_law: false,
+            ..WorkloadConfig::default()
         })
         .with(|cfg| {
             cfg.duration = units::secs(30);

@@ -1,0 +1,86 @@
+//! Coordinated-omission regression: the reason the open-loop mode
+//! exists.
+//!
+//! A closed-loop client that hits a stalled server simply *stops
+//! issuing*: the stall is recorded once, the requests that would have
+//! arrived during it are never measured, and the p99 stays rosy. An
+//! open-loop client keeps stamping intended arrivals through the stall,
+//! so every op queued behind it is measured from when it *should* have
+//! run. Same system, same fault, wildly different tails — and only the
+//! open-loop tail is honest.
+//!
+//! The scenario drives S-Seq (synchronous sequencer in the update
+//! critical path) with a straggler partition that defers every sequencer
+//! request by 1.2 s during the middle of the run.
+
+use eunomia::{run, ArrivalSpec, OpenLoopConfig, Scenario, SystemId};
+use eunomia_geo::config::StragglerConfig;
+use eunomia_sim::units;
+
+/// A 12 s small-test deployment whose dc1/partition0 straggles (1.2 s
+/// sequencer deferral) between t=4 s and t=8 s, inside the measurement
+/// window. Update-heavy so the stalls are frequent.
+fn straggler_scenario(name: &str) -> Scenario {
+    Scenario::small_test()
+        .seconds(12)
+        .seed(7)
+        .named(name)
+        .with(|cfg| {
+            cfg.workload.read_pct = 50;
+            cfg.straggler = Some(StragglerConfig {
+                dc: 1,
+                partition: 0,
+                from: units::secs(4),
+                to: units::secs(8),
+                interval: units::ms(1200),
+            });
+        })
+}
+
+#[test]
+fn open_loop_p99_sees_the_stall_closed_loop_hides() {
+    let closed = run(SystemId::SSeq, &straggler_scenario("co-closed"));
+
+    let open_scenario = straggler_scenario("co-open").with(|cfg| {
+        cfg.open_loop = Some(OpenLoopConfig {
+            arrivals: ArrivalSpec::Poisson { rate_hz: 300.0 },
+            queue_limit: 256,
+        });
+    });
+    let open = run(SystemId::SSeq, &open_scenario);
+
+    assert!(closed.total_ops > 1_000, "closed run too small to compare");
+    assert!(open.total_ops > 1_000, "open run too small to compare");
+
+    // The closed loop issued *around* the stall: its p99 stays near the
+    // fast path, far below the 1.2 s deferral it supposedly measured.
+    assert!(
+        closed.p99_latency_ms < 120.0,
+        "closed-loop p99 ({:.1} ms) unexpectedly reflects the stall — \
+         the omission this test guards against has disappeared",
+        closed.p99_latency_ms
+    );
+
+    // The open loop measured from intended arrival: the ops queued
+    // behind each 1.2 s stall push the p99 toward the stall itself.
+    assert!(
+        open.p99_latency_ms > 10.0 * closed.p99_latency_ms,
+        "open-loop p99 ({:.1} ms) should dwarf closed-loop p99 ({:.1} ms)",
+        open.p99_latency_ms,
+        closed.p99_latency_ms
+    );
+    assert!(
+        open.p99_latency_ms > 200.0,
+        "open-loop p99 ({:.1} ms) should approach the 1200 ms stall",
+        open.p99_latency_ms
+    );
+
+    // And the queueing shows up where it should: in the load stats.
+    let load = open.load.as_ref().expect("open-loop run carries LoadStats");
+    let wait_p99 = load.queue_wait.percentiles(&[99.0])[0].unwrap_or(0);
+    assert!(
+        units::to_ms(wait_p99) > 100.0,
+        "queue-wait p99 ({:.1} ms) should reflect arrivals parked behind the stall",
+        units::to_ms(wait_p99)
+    );
+}

@@ -51,6 +51,50 @@ fn identical_runs_for_all_six_systems() {
 }
 
 #[test]
+fn identical_open_loop_runs_for_all_six_systems() {
+    // Open-loop mode adds an arrival process, a backlog queue and the
+    // LoadStats plumbing to every client; all of it must stay on the
+    // deterministic path. The fingerprint is extended with the load
+    // counters so a drift in the arrival machinery itself (not just its
+    // downstream effects) is caught.
+    use eunomia::{ArrivalSpec, OpenLoopConfig};
+    let scenario = Scenario::small_test().seed(1234).with(|cfg| {
+        cfg.open_loop = Some(OpenLoopConfig {
+            arrivals: ArrivalSpec::Poisson { rate_hz: 200.0 },
+            queue_limit: 16,
+        });
+    });
+    let n_dcs = scenario.cfg().n_dcs as u16;
+    let load_print = |r: &RunReport| {
+        let l = r.load.as_ref().expect("open-loop run carries LoadStats");
+        (
+            l.offered,
+            l.completed,
+            l.dropped,
+            l.queue_peak,
+            l.latency.count(),
+            l.queue_wait.count(),
+        )
+    };
+    for id in SystemId::all() {
+        let a = run(id, &scenario);
+        let b = run(id, &scenario);
+        assert!(a.total_ops > 0, "{id}: empty run proves nothing");
+        assert!(load_print(&a).0 > 0, "{id}: no arrivals were offered");
+        assert_eq!(
+            fingerprint(&a, n_dcs),
+            fingerprint(&b, n_dcs),
+            "{id}: same-seed open-loop runs must reproduce bit-identically"
+        );
+        assert_eq!(
+            load_print(&a),
+            load_print(&b),
+            "{id}: load counters drifted"
+        );
+    }
+}
+
+#[test]
 fn different_seeds_differ() {
     // Guards against the fingerprint being insensitive (e.g. everything
     // zero) — a different seed must actually change the trace.

@@ -20,6 +20,7 @@ fn crash_scenario(crash: ReplicaCrash) -> Scenario {
             read_pct: 70,
             value_size: 16,
             power_law: false,
+            ..WorkloadConfig::default()
         })
         .with(move |cfg| {
             cfg.duration = units::secs(12);
