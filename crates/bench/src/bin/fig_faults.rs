@@ -135,9 +135,7 @@ fn main() {
     );
 
     let json = render_json(&cells, args.quick);
-    let path = "BENCH_faults.json";
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("\nwrote {path} ({} runs)", cells.len());
+    eunomia_bench::write_artifact("BENCH_faults.json", &json, &["runs"], cells.len(), "runs");
 
     if !failures.is_empty() {
         eprintln!("\nCONVERGENCE FAILURES:");

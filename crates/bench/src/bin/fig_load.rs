@@ -134,9 +134,13 @@ fn main() {
     );
 
     let json = render_json(&curves, args.quick);
-    let path = "BENCH_load.json";
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("\nwrote {path} ({} curves)", curves.len());
+    eunomia_bench::write_artifact(
+        "BENCH_load.json",
+        &json,
+        &["curves"],
+        curves.len(),
+        "curves",
+    );
 
     let missing: Vec<String> = curves
         .iter()

@@ -162,9 +162,7 @@ fn main() {
     );
 
     let json = render_json(&cells);
-    let path = "BENCH_mc.json";
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    println!("\nwrote {path} ({} runs)", cells.len());
+    eunomia_bench::write_artifact("BENCH_mc.json", &json, &["runs"], cells.len(), "runs");
 
     if !failures.is_empty() {
         eprintln!("\nMODEL-CHECKING FAILURES:");

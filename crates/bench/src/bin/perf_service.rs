@@ -134,20 +134,13 @@ fn main() {
     );
 
     let json = render_json(&cells, best, speedup, args.quick);
-    let path = "BENCH_service.json";
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
-    // Self-check: the file must at least round-trip our own reader's
-    // structural expectations before CI trusts it.
-    let back = std::fs::read_to_string(path).expect("re-read BENCH_service.json");
-    assert!(
-        back.trim_start().starts_with('{') && back.trim_end().ends_with('}'),
-        "malformed BENCH_service.json"
+    eunomia_bench::write_artifact(
+        "BENCH_service.json",
+        &json,
+        &["runs", "baseline_pre_refactor"],
+        cells.len(),
+        "runs",
     );
-    assert!(
-        back.contains("\"runs\"") && back.contains("\"baseline_pre_refactor\""),
-        "BENCH_service.json missing required keys"
-    );
-    println!("\nwrote {path} ({} runs)", cells.len());
 }
 
 fn render_json(cells: &[Cell], best_default: f64, speedup: f64, quick: bool) -> String {

@@ -18,7 +18,9 @@
 //! * `--scenario NAME` — run a named `Scenario` preset instead of the
 //!   figure's default scenarios (repeatable, or comma-separated), so new
 //!   presets are runnable without a dedicated binary;
-//! * `--list-scenarios` — print every scenario preset name and exit.
+//! * `--list-scenarios` — print every scenario preset name and exit;
+//! * `--assert-scale-floor` — scale-sweeping harnesses exit non-zero if
+//!   large-scale throughput falls below its floor (see `perf_engine`).
 //!
 //! `BenchArgs::parse` also installs the baseline runners into
 //! `eunomia-geo`'s system registry, so after parsing, any binary can call
@@ -39,6 +41,11 @@ pub struct BenchArgs {
     pub systems: Option<Vec<SystemId>>,
     /// `--scenario` overrides; `None` means "whatever the figure runs".
     pub scenarios: Option<Vec<Scenario>>,
+    /// `--assert-scale-floor`: harnesses that sweep multiple deployment
+    /// scales (today `perf_engine`) exit non-zero if the large-scale
+    /// event rate falls below its floor relative to paper-3dc. Ignored
+    /// by binaries without a scale sweep.
+    pub assert_scale_floor: bool,
 }
 
 impl BenchArgs {
@@ -52,11 +59,13 @@ impl BenchArgs {
             seed: 42,
             systems: None,
             scenarios: None,
+            assert_scale_floor: false,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => out.quick = true,
+                "--assert-scale-floor" => out.assert_scale_floor = true,
                 "--seconds" => {
                     let v = args
                         .next()
@@ -185,7 +194,7 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
         "usage: <bin> [--quick] [--seconds N] [--seed N] [--system NAME]... [--list-systems] \
-         [--scenario NAME]... [--list-scenarios]"
+         [--scenario NAME]... [--list-scenarios] [--assert-scale-floor]"
     );
     std::process::exit(2);
 }
@@ -201,6 +210,31 @@ pub fn banner(fig: &str, title: &str, expectation: &str) {
 /// Prints an aligned ASCII table (shared renderer from `eunomia-geo`).
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     print!("{}", eunomia_geo::format_table(headers, rows));
+}
+
+/// Writes a figure's committed JSON artifact and self-checks the bytes
+/// on disk before CI trusts them: the file must read back as a single
+/// object (`{` … `}`) containing every one of `required_keys` as a
+/// quoted JSON key. Ends with the standard `wrote <path> (<n> <what>)`
+/// line every harness prints.
+///
+/// # Panics
+/// Panics if the file cannot be written or fails the structural check —
+/// a harness that produced a malformed artifact must not exit 0.
+pub fn write_artifact(path: &str, json: &str, required_keys: &[&str], n: usize, what: &str) {
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    let back = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("re-read {path}: {e}"));
+    assert!(
+        back.trim_start().starts_with('{') && back.trim_end().ends_with('}'),
+        "malformed {path}"
+    );
+    for key in required_keys {
+        assert!(
+            back.contains(&format!("\"{key}\"")),
+            "{path} missing required key {key:?}"
+        );
+    }
+    println!("\nwrote {path} ({n} {what})");
 }
 
 /// The standard geo-replication experiment scenario: the paper's 3-DC
@@ -238,6 +272,7 @@ mod tests {
             seed: 1,
             systems,
             scenarios: None,
+            assert_scale_floor: false,
         }
     }
 
@@ -288,6 +323,23 @@ mod tests {
         assert_eq!(picked.len(), 2);
         assert_eq!(picked[0].name(), "gray-wan");
         assert_eq!(picked[0].cfg().seed, 1, "--seed applies to overrides");
+    }
+
+    #[test]
+    fn write_artifact_round_trips_and_checks_keys() {
+        let path = std::env::temp_dir().join("eunomia_bench_artifact_test.json");
+        let path = path.to_str().unwrap().to_string();
+        write_artifact(&path, "{\n  \"runs\": []\n}\n", &["runs"], 0, "runs");
+        assert!(std::fs::read_to_string(&path).unwrap().contains("\"runs\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "missing required key")]
+    fn write_artifact_rejects_missing_keys() {
+        let path = std::env::temp_dir().join("eunomia_bench_artifact_bad.json");
+        let path = path.to_str().unwrap().to_string();
+        write_artifact(&path, "{}", &["runs"], 0, "runs");
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //!
 //! The crate also provides [`TournamentTree`], the min winner tree the
 //! sharded stabilizer uses to merge per-lane stable cutoffs in
-//! `O(log lanes)` per watermark advance.
+//! `O(log lanes)` per watermark advance, and [`fasthash`], the
+//! deterministic multiply-rotate hasher behind the simulator's hot maps
+//! (versioned stores, pending-apply tables).
 //!
 //! # Examples
 //!
@@ -39,12 +41,14 @@
 
 mod avl;
 mod btree_adapter;
+pub mod fasthash;
 pub mod fingerprint;
 mod rbtree;
 mod tournament;
 
 pub use avl::AvlTree;
 pub use btree_adapter::BTreeAdapter;
+pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use fingerprint::{combine_unordered, hash_one, FingerprintSet, Fnv64};
 pub use rbtree::RbTree;
 pub use tournament::TournamentTree;

@@ -210,13 +210,92 @@ impl Hlc {
 }
 
 /// Datacenter counts up to this stay inline in a [`VectorTime`] (no heap
-/// allocation); larger deployments spill to a `Vec`. The paper's 3-DC
-/// deployment fits inline, which matters because vector times ride on
-/// every client-path message — with the old `Vec` representation each
-/// clone was a malloc/free pair on the simulator's hot path. Kept at 4
-/// so the message enum stays compact; wider deployments (wide-5dc,
-/// massive) pay the same heap vector they always did.
-const INLINE_DCS: usize = 4;
+/// allocation); larger deployments spill to a pooled buffer. Vector
+/// times ride on every client-path message, so a clone must never be a
+/// malloc/free pair: the paper's 3-DC deployment and the 8-DC `massive`
+/// scenario both fit inline (8 entries keep the message enums within a
+/// few cache lines), and wider deployments (the 16+-DC `huge` presets)
+/// draw their entry buffers from a per-thread free-list pool instead of
+/// the allocator.
+const INLINE_DCS: usize = 8;
+
+/// Per-length cap on pooled spill buffers; beyond it, dropped buffers
+/// free normally (the pool is a backstop, not an unbounded cache).
+const POOL_CAP: usize = 4096;
+
+thread_local! {
+    /// Free lists of spilled entry buffers, indexed by length. One
+    /// simulation run uses a single datacenter count, so in the steady
+    /// state every clone/drop is a pop/push on one list — the "payload
+    /// arena" that replaces per-message allocator churn at 16+ DCs.
+    static VT_POOL: std::cell::RefCell<Vec<Vec<Box<[Timestamp]>>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A fixed-length entry buffer that returns itself to [`VT_POOL`] on
+/// drop and clones by drawing from it.
+struct PooledEntries(std::mem::ManuallyDrop<Box<[Timestamp]>>);
+
+impl PooledEntries {
+    /// A buffer of `len` zero timestamps, reusing a pooled one if
+    /// available.
+    fn zeroed(len: usize) -> Self {
+        let recycled = VT_POOL
+            .try_with(|pool| {
+                let mut pool = pool.borrow_mut();
+                pool.get_mut(len).and_then(|list| list.pop())
+            })
+            .ok()
+            .flatten();
+        match recycled {
+            Some(mut buf) => {
+                buf.fill(Timestamp::ZERO);
+                PooledEntries(std::mem::ManuallyDrop::new(buf))
+            }
+            None => PooledEntries(std::mem::ManuallyDrop::new(
+                vec![Timestamp::ZERO; len].into_boxed_slice(),
+            )),
+        }
+    }
+
+    fn copy_of(src: &[Timestamp]) -> Self {
+        let mut buf = Self::zeroed(src.len());
+        buf.0.copy_from_slice(src);
+        buf
+    }
+}
+
+impl Drop for PooledEntries {
+    fn drop(&mut self) {
+        // SAFETY: `self.0` is never used again; either the pool owns the
+        // box now or it drops right here.
+        let buf = unsafe { std::mem::ManuallyDrop::take(&mut self.0) };
+        let len = buf.len();
+        // `try_with` so drops during thread teardown (TLS already gone)
+        // fall back to a plain free.
+        let _ = VT_POOL.try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() <= len {
+                pool.resize_with(len + 1, Vec::new);
+            }
+            if pool[len].len() < POOL_CAP {
+                pool[len].push(buf);
+            }
+        });
+    }
+}
+
+impl Clone for PooledEntries {
+    fn clone(&self) -> Self {
+        PooledEntries::copy_of(&self.0)
+    }
+}
+
+impl fmt::Debug for PooledEntries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
 
 #[derive(Clone, Debug)]
 enum VtRepr {
@@ -224,7 +303,7 @@ enum VtRepr {
         len: u8,
         entries: [Timestamp; INLINE_DCS],
     },
-    Heap(Vec<Timestamp>),
+    Heap(PooledEntries),
 }
 
 /// A vector time with one [`Timestamp`] entry per datacenter (§4).
@@ -272,7 +351,7 @@ impl VectorTime {
                 entries: [Timestamp::ZERO; INLINE_DCS],
             })
         } else {
-            VectorTime(VtRepr::Heap(vec![Timestamp::ZERO; m]))
+            VectorTime(VtRepr::Heap(PooledEntries::zeroed(m)))
         }
     }
 
@@ -289,7 +368,7 @@ impl VectorTime {
     fn as_slice(&self) -> &[Timestamp] {
         match &self.0 {
             VtRepr::Inline { len, entries } => &entries[..*len as usize],
-            VtRepr::Heap(v) => v,
+            VtRepr::Heap(v) => &v.0,
         }
     }
 
@@ -297,7 +376,7 @@ impl VectorTime {
     fn as_mut_slice(&mut self) -> &mut [Timestamp] {
         match &mut self.0 {
             VtRepr::Inline { len, entries } => &mut entries[..*len as usize],
-            VtRepr::Heap(v) => v,
+            VtRepr::Heap(v) => &mut v.0,
         }
     }
 
@@ -471,6 +550,28 @@ mod tests {
         // Skipping dc0 (local) and dc2 (origin) leaves only dc1 to check.
         assert!(site.dominates_except(&dep, &[DcId(0), DcId(2)]));
         assert!(!site.dominates_except(&dep, &[DcId(0)]));
+    }
+
+    #[test]
+    fn wide_vectors_spill_and_pool_roundtrip() {
+        // 16 DCs exceeds the inline capacity: entries live in a pooled
+        // buffer and must survive clone/merge/drop cycles unchanged.
+        let mut a = VectorTime::new(16);
+        a.set(DcId(15), Timestamp(7));
+        a.set(DcId(0), Timestamp(3));
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.get(DcId(15)), Timestamp(7));
+        drop(a);
+        // A fresh wide vector reuses the dropped buffer and must come
+        // back zeroed, not carrying the old entries.
+        let c = VectorTime::new(16);
+        assert_eq!(c.len(), 16);
+        assert!(c.iter().all(|t| t == Timestamp::ZERO));
+        let mut m = VectorTime::new(16);
+        m.merge_max(&b);
+        assert_eq!(m, b);
+        assert!(m.dominates(&c));
     }
 
     #[test]

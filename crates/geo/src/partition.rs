@@ -13,13 +13,13 @@ use crate::metrics::GeoMetrics;
 use crate::msg::{BundleEntry, Msg, OpMeta};
 use crate::registry::SharedRegistry;
 use crate::system::SystemId;
+use eunomia_collections::FxHashMap;
 use eunomia_core::ids::{DcId, PartitionId, ReplicaId};
 use eunomia_core::replica::ReplicatedSender;
 use eunomia_core::time::Timestamp;
 use eunomia_core::tree::FanInTree;
 use eunomia_kv::partition::{ApplyOutcome, PartitionState};
 use eunomia_sim::{Context, Process, ProcessId, SimTime};
-use std::collections::HashMap;
 use std::rc::Rc;
 
 const TIMER_BATCH: u64 = 1;
@@ -49,9 +49,9 @@ pub struct PartitionProc {
     /// only replica dead drops its unacked resend window and loses
     /// metadata for good.
     last_flush: Option<SimTime>,
-    data_arrival: HashMap<(DcId, Timestamp), SimTime>,
+    data_arrival: FxHashMap<(DcId, Timestamp), SimTime>,
     /// Copies of staged remote updates kept only for apply-log reporting.
-    pending_log: HashMap<(DcId, Timestamp), eunomia_kv::Update>,
+    pending_log: FxHashMap<(DcId, Timestamp), eunomia_kv::Update>,
     /// §5 fan-in tree over this datacenter's partitions (None = direct
     /// all-to-one metadata flow).
     tree: Option<FanInTree>,
@@ -88,8 +88,8 @@ impl PartitionProc {
                 .metadata_tree_arity
                 .map(|a| FanInTree::new(cfg.partitions_per_dc, a)),
             cfg,
-            data_arrival: HashMap::new(),
-            pending_log: HashMap::new(),
+            data_arrival: FxHashMap::default(),
+            pending_log: FxHashMap::default(),
             relay_buffer: Vec::new(),
         }
     }

@@ -176,15 +176,13 @@ impl Scenario {
         Scenario::custom(format!("partial-rf{rf}"), cfg)
     }
 
-    /// The scale stress-test the pre-refactor engine could not afford: 8
-    /// datacenters on a distance-graded RTT matrix (50–230 ms), 64
-    /// partitions and 8 clients per DC, a million-key zipfian workload,
-    /// 10 simulated seconds. Exercises the flat per-process-pair link
-    /// table and the zero-alloc dispatch path at ~600 processes.
-    pub fn massive() -> Scenario {
-        let n = 8;
+    /// Distance-graded RTT matrix shared by the scale presets: region
+    /// pairs `d` hops apart see `(20 + 30 d) ms` RTT, spanning a
+    /// continent-chain from 50 ms neighbours out to multi-hundred-ms
+    /// antipodes.
+    fn graded_rtts(n: usize) -> Vec<Vec<u64>> {
         let ms = units::ms(1);
-        let rtts: Vec<Vec<u64>> = (0..n)
+        (0..n)
             .map(|a| {
                 (0..n)
                     .map(|b| {
@@ -197,10 +195,18 @@ impl Scenario {
                     })
                     .collect()
             })
-            .collect();
+            .collect()
+    }
+
+    /// The scale stress-test the pre-refactor engine could not afford: 8
+    /// datacenters on a distance-graded RTT matrix (50–230 ms), 64
+    /// partitions and 8 clients per DC, a million-key zipfian workload,
+    /// 10 simulated seconds. Exercises the windowed FIFO link state and
+    /// the zero-alloc dispatch path at ~600 processes.
+    pub fn massive() -> Scenario {
         let cfg = ClusterConfig {
-            n_dcs: n,
-            rtt_matrix: Some(rtts),
+            n_dcs: 8,
+            rtt_matrix: Some(Scenario::graded_rtts(8)),
             partitions_per_dc: 64,
             clients_per_dc: 8,
             duration: units::secs(10),
@@ -217,6 +223,67 @@ impl Scenario {
         };
         Scenario {
             name: "massive".into(),
+            cfg,
+        }
+    }
+
+    /// `huge-16dc`: twice `massive`'s datacenter count on the same graded
+    /// matrix (out to 470 ms RTT), 24 partitions and 4 clients per DC
+    /// (~450 processes), a 4-million-key zipfian keyspace and two
+    /// simulated minutes. The long horizon is the point: minutes of
+    /// cross-DC traffic at 16 fan-out keeps a deep far-future event
+    /// population resident, so the calendar queue's overflow migration
+    /// and epoch rollover run continuously rather than at startup only.
+    pub fn huge_sixteen_dc() -> Scenario {
+        let cfg = ClusterConfig {
+            n_dcs: 16,
+            rtt_matrix: Some(Scenario::graded_rtts(16)),
+            partitions_per_dc: 24,
+            clients_per_dc: 4,
+            duration: units::secs(120),
+            warmup: units::secs(12),
+            cooldown: units::secs(12),
+            workload: WorkloadConfig {
+                keys: 4_000_000,
+                read_pct: 90,
+                value_size: 64,
+                power_law: true,
+                ..WorkloadConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        Scenario {
+            name: "huge-16dc".into(),
+            cfg,
+        }
+    }
+
+    /// `huge-24dc`: the widest preset — 24 datacenters (metadata
+    /// broadcast fans out 23 ways, the graded matrix reaches 710 ms RTT),
+    /// 12 partitions and 2 clients per DC, 2 million keys, two simulated
+    /// minutes. Fewer processes than `huge-16dc` but the most extreme
+    /// replication fan-out: per-update remote traffic, vector-clock width
+    /// and far-future timer spread all scale with DC count.
+    pub fn huge_twenty_four_dc() -> Scenario {
+        let cfg = ClusterConfig {
+            n_dcs: 24,
+            rtt_matrix: Some(Scenario::graded_rtts(24)),
+            partitions_per_dc: 12,
+            clients_per_dc: 2,
+            duration: units::secs(120),
+            warmup: units::secs(12),
+            cooldown: units::secs(12),
+            workload: WorkloadConfig {
+                keys: 2_000_000,
+                read_pct: 90,
+                value_size: 64,
+                power_law: true,
+                ..WorkloadConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        Scenario {
+            name: "huge-24dc".into(),
             cfg,
         }
     }
@@ -588,6 +655,8 @@ impl Scenario {
             Scenario::straggler(units::ms(100)),
             Scenario::partial_replication(2).expect("rf 2 of 3 DCs is valid"),
             Scenario::massive(),
+            Scenario::huge_sixteen_dc(),
+            Scenario::huge_twenty_four_dc(),
         ];
         out.extend(Scenario::fault_presets(30));
         out.extend(Scenario::open_loop_presets());

@@ -12,9 +12,9 @@
 
 use crate::store::{StoredVersion, VersionedStore};
 use crate::{Key, Update, UpdateId, Value};
+use eunomia_collections::FxHashMap;
 use eunomia_core::ids::{DcId, PartitionId};
 use eunomia_core::time::{ScalarHlc, Timestamp, VectorTime};
-use std::collections::HashMap;
 
 /// Result of a local update: everything the driver must propagate.
 #[derive(Clone, Debug)]
@@ -44,9 +44,9 @@ pub struct PartitionState {
     store: VersionedStore,
     clock: ScalarHlc,
     /// Data that arrived before its APPLY instruction.
-    staged_data: HashMap<(DcId, Timestamp), Update>,
+    staged_data: FxHashMap<(DcId, Timestamp), Update>,
     /// APPLY instructions waiting for their data.
-    pending_applies: HashMap<(DcId, Timestamp), UpdateId>,
+    pending_applies: FxHashMap<(DcId, Timestamp), UpdateId>,
     local_updates: u64,
     remote_applies: u64,
 }
@@ -66,8 +66,8 @@ impl PartitionState {
             n_dcs,
             store: VersionedStore::new(),
             clock: ScalarHlc::new(),
-            staged_data: HashMap::new(),
-            pending_applies: HashMap::new(),
+            staged_data: FxHashMap::default(),
+            pending_applies: FxHashMap::default(),
             local_updates: 0,
             remote_applies: 0,
         }

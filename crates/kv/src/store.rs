@@ -1,9 +1,9 @@
 //! In-memory versioned key-value storage engine.
 
 use crate::{Key, Value};
+use eunomia_collections::FxHashMap;
 use eunomia_core::ids::DcId;
 use eunomia_core::time::{Timestamp, VectorTime};
-use std::collections::HashMap;
 
 /// One stored version of a key.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -37,7 +37,7 @@ impl StoredVersion {
 /// An in-memory map from [`Key`] to its latest [`StoredVersion`].
 #[derive(Clone, Debug, Default)]
 pub struct VersionedStore {
-    map: HashMap<u64, StoredVersion>,
+    map: FxHashMap<u64, StoredVersion>,
     writes_applied: u64,
     writes_ignored: u64,
 }

@@ -1,41 +1,83 @@
 //! The discrete-event engine: processes, messages, timers, queueing.
 //!
+//! # The scheduler: a calendar queue
+//!
+//! Events are kept in a calendar (bucket) queue instead of one global
+//! binary heap, because the pending set at scale (tens of thousands of
+//! in-flight cross-DC messages) stopped fitting in cache and every pop
+//! paid a full O(log n) sift over cold memory. The structure is three
+//! tiers with a strict residency invariant:
+//!
+//! * **Active bucket** — a small `BinaryHeap` holding every pending entry
+//!   whose time bucket (`time >> shift`) is `<= cursor`. Popping its
+//!   minimum is popping the global `(time, seq)` minimum.
+//! * **Bucket ring** — `NBUCKETS` (power of two) unsorted `Vec`s; slot
+//!   `b & (NBUCKETS-1)` holds exactly the entries of absolute bucket `b`
+//!   for `cursor < b < cursor + NBUCKETS` (the *epoch window*). Pushes
+//!   inside the window are O(1) appends; a bucket is heapified only when
+//!   the cursor reaches it ("opening" it into the active heap).
+//! * **Overflow heap** — entries at or beyond the window's end (far
+//!   timers, crash/pause schedules). As the cursor advances, entries
+//!   whose bucket slides into the window migrate to the ring (counted in
+//!   [`EngineStats::overflow_migrations`]); when the ring is empty the
+//!   cursor jumps straight to the overflow's earliest bucket.
+//!
+//! The bucket width (`1 << shift`) auto-sizes from observed behaviour:
+//! too many overflow migrations per pop mean the window is too short
+//! (width doubles), fat opened buckets mean it is too coarse (width
+//! halves). Both signals are pure event counts — never wall clock — so
+//! resizing is deterministic and same-seed runs stay bit-identical.
+//! Within a timestamp, order is fixed by the monotone `seq` stamp, so
+//! FIFO-per-link and replayed model-checker traces are unaffected by
+//! which tier an entry happened to sit in.
+//!
 //! # The dispatch hot path
 //!
-//! The engine pays O(log heap) per event and *no allocation* in the
-//! steady state:
+//! Beyond the scheduler, the engine pays *no allocation* in the steady
+//! state:
 //!
 //! * **Direct delivery** — a message (or timer, or start) arriving at an
 //!   idle process runs its handler immediately instead of bouncing
-//!   through a separate `Dispatch` heap event. The Arrive→Dispatch
+//!   through a separate `Dispatch` queue event. The Arrive→Dispatch
 //!   double-hop only remains for busy processes, where the dispatch time
 //!   (the server's `busy_until`) genuinely differs from the arrival time.
+//! * **Payload arena** — arrival payloads live in a `PayloadArena`
+//!   slab (scheduler entries stay 24 bytes and carry only a slot index);
+//!   slots recycle through an internal free list and the arena reports
+//!   its high-water mark ([`EngineStats::arena_high_water`]).
 //! * **Pooled scratch buffers** — the [`Context`] handed to handlers
 //!   borrows the simulation's reusable outbox/timer buffers
 //!   (`std::mem::take`d around the handler call), so sending messages and
 //!   arming timers allocates only until the high-water mark is reached.
-//! * **Flat link state** — the per-link FIFO clamp is a `Vec<SimTime>`
-//!   indexed by `from * nprocs + to`, sized once when the run starts; no
-//!   hashing on the routing path.
+//! * **Windowed link state** — in fault-free runs the per-link FIFO
+//!   clamp tracks only pairs with a send inside the jitter horizon (a
+//!   tiny L1-hot map pruned as time advances) instead of an n² flat
+//!   table; arrivals are bit-identical because a constant per-pair base
+//!   latency means the clamp provably cannot bind past
+//!   `departure + jitter`. Runs with a fault schedule keep the flat
+//!   `from * nprocs + to` table, since fault windows shift base
+//!   latencies (those presets are small deployments).
 //! * **Cached process tables** — `proc_nodes` (and the clock/region
 //!   tables) are maintained as processes are added, not re-collected per
 //!   dispatch.
 //! * **Timer generations** — timer ids encode a slot + generation pair in
 //!   a slab ([`TimerTable`]); cancellation bumps the generation in O(1)
-//!   and fired/cancelled slots are recycled, so long runs see no
-//!   unbounded growth (the old `HashSet<u64>` of cancelled ids leaked
-//!   every id cancelled after its timer had already fired).
+//!   and cancelled entries are skipped on drain, never searched. Runs
+//!   that never arm a timer (eventual consistency has nothing to
+//!   stabilize) skip the per-event generation bookkeeping entirely.
 //!
 //! [`Simulation::stats`] exposes the engine counters ([`EngineStats`])
 //! that the geo harness threads into every `RunReport`.
 
 use crate::faults::{CompiledFaults, FaultSchedule};
-use crate::network::{NodeId, Topology};
+use crate::network::{JitterRng, NodeId, Topology};
 use crate::ClockModel;
 use crate::SimTime;
+use eunomia_collections::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// Identifies a simulated process (actor).
@@ -146,6 +188,304 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Ring size of the calendar queue (power of two). 96 KiB of `Vec`
+/// headers per simulation; bucket capacity is retained across reuse so
+/// the steady state allocates nothing. Sized so that when fat-bucket
+/// pressure drives the width down to 2^16 ns (dense geo scenarios sit
+/// there), the epoch window — `NBUCKETS << shift` ≈ 268 ms — still
+/// covers typical cross-DC one-way latencies; a shorter ring left those
+/// arrivals churning through the overflow heap.
+const NBUCKETS: usize = 4096;
+/// Initial bucket width exponent: 2^18 ns ≈ 262 µs, giving a ~1.07 s
+/// epoch window that covers cross-DC one-way latencies with room for
+/// the auto-sizer to narrow the width under fat-bucket pressure.
+const INIT_SHIFT: u32 = 18;
+/// Auto-sizing bounds: 2^12 ns (4 µs) to 2^26 ns (67 ms) buckets.
+const MIN_SHIFT: u32 = 12;
+const MAX_SHIFT: u32 = 26;
+/// Pops between auto-sizing checks (amortizes the rebuild).
+const RESIZE_CHECK_EVERY: u64 = 8192;
+/// Average opened-bucket occupancy above which the width halves.
+const FAT_BUCKET: u64 = 96;
+
+/// The three-tier calendar queue described in the module docs.
+///
+/// Residency invariant (with `b = time >> shift`): entries with
+/// `b <= cursor` are in `active`, entries with
+/// `cursor < b < cursor + NBUCKETS` are in ring slot `b & mask`, and
+/// entries with `b >= cursor + NBUCKETS` are in `overflow`. Every bucket
+/// start is `>=` every time in earlier buckets, so the active heap's
+/// minimum is the global `(time, seq)` minimum.
+struct CalendarQueue {
+    shift: u32,
+    mask: u64,
+    /// Absolute bucket number currently being drained.
+    cursor: u64,
+    active: BinaryHeap<Reverse<HeapEntry>>,
+    ring: Vec<Vec<HeapEntry>>,
+    /// Entries resident in the ring (not counting `active`/`overflow`).
+    ring_len: usize,
+    overflow: BinaryHeap<Reverse<HeapEntry>>,
+    len: usize,
+    // --- stats ---
+    bucket_peak: usize,
+    overflow_migrations: u64,
+    // --- auto-sizing signals (event counts only: deterministic) ---
+    pops: u64,
+    last_check: u64,
+    migrations_window: u64,
+    opened_buckets: u64,
+    opened_entries: u64,
+}
+
+impl CalendarQueue {
+    fn new() -> Self {
+        CalendarQueue {
+            shift: INIT_SHIFT,
+            mask: (NBUCKETS - 1) as u64,
+            cursor: 0,
+            active: BinaryHeap::new(),
+            ring: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            bucket_peak: 0,
+            overflow_migrations: 0,
+            pops: 0,
+            last_check: 0,
+            migrations_window: 0,
+            opened_buckets: 0,
+            opened_entries: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn push(&mut self, e: HeapEntry) {
+        let b = e.time >> self.shift;
+        if b <= self.cursor {
+            self.active.push(Reverse(e));
+        } else if b < self.cursor + NBUCKETS as u64 {
+            self.ring[(b & self.mask) as usize].push(e);
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Reverse(e));
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<HeapEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.active.is_empty() {
+            self.advance();
+        }
+        let Reverse(e) = self.active.pop().expect("advance fills the active bucket");
+        self.len -= 1;
+        self.pops += 1;
+        if self.pops - self.last_check >= RESIZE_CHECK_EVERY {
+            self.maybe_resize();
+        }
+        Some(e)
+    }
+
+    /// Earliest pending entry; advances the cursor if the active bucket
+    /// is drained (cursor motion never changes pop order, only which
+    /// tier holds an entry).
+    #[inline]
+    fn peek(&mut self) -> Option<&HeapEntry> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.active.is_empty() {
+            self.advance();
+        }
+        self.active.peek().map(|r| &r.0)
+    }
+
+    /// Moves the cursor to the next non-empty bucket and opens it into
+    /// the active heap. Requires `len > 0` and an empty active heap.
+    fn advance(&mut self) {
+        debug_assert!(self.len > 0 && self.active.is_empty());
+        loop {
+            if self.ring_len == 0 {
+                // Everything pending is far-future: jump straight to the
+                // overflow's earliest bucket and migrate the window in.
+                let t = self.overflow.peek().expect("pending entries exist").0.time;
+                self.cursor = t >> self.shift;
+                self.migrate_window();
+                return;
+            }
+            self.cursor += 1;
+            // The window slid one bucket: overflow entries now inside it
+            // belong to the freshly exposed tail slot.
+            let tail = self.cursor + NBUCKETS as u64 - 1;
+            while let Some(Reverse(e)) = self.overflow.peek() {
+                if e.time >> self.shift > tail {
+                    break;
+                }
+                let Reverse(e) = self.overflow.pop().expect("peeked entry pops");
+                debug_assert_eq!(e.time >> self.shift, tail);
+                self.ring[(tail & self.mask) as usize].push(e);
+                self.ring_len += 1;
+                self.overflow_migrations += 1;
+                self.migrations_window += 1;
+            }
+            let slot = (self.cursor & self.mask) as usize;
+            if !self.ring[slot].is_empty() {
+                self.open(slot);
+                return;
+            }
+        }
+    }
+
+    /// Migrates every overflow entry inside the current window after a
+    /// cursor jump; at least one lands in the active heap (the one whose
+    /// bucket the cursor jumped to).
+    fn migrate_window(&mut self) {
+        let end = self.cursor + NBUCKETS as u64;
+        let mut opened = 0usize;
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            let b = e.time >> self.shift;
+            if b >= end {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().expect("peeked entry pops");
+            self.overflow_migrations += 1;
+            self.migrations_window += 1;
+            if b <= self.cursor {
+                self.active.push(Reverse(e));
+                opened += 1;
+            } else {
+                self.ring[(b & self.mask) as usize].push(e);
+                self.ring_len += 1;
+            }
+        }
+        self.opened_buckets += 1;
+        self.opened_entries += opened as u64;
+        if opened > self.bucket_peak {
+            self.bucket_peak = opened;
+        }
+        debug_assert!(!self.active.is_empty());
+    }
+
+    /// Heapifies ring slot `slot` into the active bucket.
+    fn open(&mut self, slot: usize) {
+        let n = self.ring[slot].len();
+        self.ring_len -= n;
+        self.opened_buckets += 1;
+        self.opened_entries += n as u64;
+        if n > self.bucket_peak {
+            self.bucket_peak = n;
+        }
+        for e in self.ring[slot].drain(..) {
+            self.active.push(Reverse(e));
+        }
+    }
+
+    /// Auto-sizing: heavy overflow migration means the window is too
+    /// short (double the width); fat opened buckets mean it is too
+    /// coarse (halve it). Rate-limited and driven by counts only, so
+    /// same-seed runs resize at identical points.
+    fn maybe_resize(&mut self) {
+        let pops_window = self.pops - self.last_check;
+        self.last_check = self.pops;
+        let migrated = self.migrations_window;
+        let opened_b = self.opened_buckets.max(1);
+        let opened_e = self.opened_entries;
+        self.migrations_window = 0;
+        self.opened_buckets = 0;
+        self.opened_entries = 0;
+        if self.len < 256 {
+            return;
+        }
+        if migrated * 4 >= pops_window && self.shift < MAX_SHIFT {
+            self.rebuild(self.shift + 1);
+        } else if opened_e / opened_b > FAT_BUCKET && self.shift > MIN_SHIFT {
+            self.rebuild(self.shift - 1);
+        }
+    }
+
+    /// Re-inserts every pending entry under a new bucket width.
+    fn rebuild(&mut self, new_shift: u32) {
+        let mut all: Vec<HeapEntry> = Vec::with_capacity(self.len);
+        all.extend(self.active.drain().map(|Reverse(e)| e));
+        for bucket in &mut self.ring {
+            all.append(bucket);
+        }
+        all.extend(self.overflow.drain().map(|Reverse(e)| e));
+        self.shift = new_shift;
+        self.cursor = all.iter().map(|e| e.time).min().unwrap_or(0) >> new_shift;
+        self.ring_len = 0;
+        self.len = 0;
+        for e in all {
+            self.push(e);
+        }
+    }
+}
+
+/// Arrival payload arena: in-flight `(ProcessId, Work)` payloads keyed
+/// by the slot index scheduler entries carry. Slots recycle through a
+/// free list; `high_water` is the peak number of simultaneously
+/// resident payloads.
+struct PayloadArena<M> {
+    slots: Vec<Option<(ProcessId, Work<M>)>>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+}
+
+impl<M> PayloadArena<M> {
+    fn new() -> Self {
+        PayloadArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            high_water: 0,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, to: ProcessId, work: Work<M>) -> u32 {
+        self.live += 1;
+        if self.live > self.high_water {
+            self.high_water = self.live;
+        }
+        match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some((to, work));
+                s
+            }
+            None => {
+                self.slots.push(Some((to, work)));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    #[inline]
+    fn take(&mut self, slot: u32) -> (ProcessId, Work<M>) {
+        let payload = self.slots[slot as usize].take().expect("arena slot filled");
+        self.free.push(slot);
+        self.live -= 1;
+        payload
+    }
+
+    #[inline]
+    fn get(&self, slot: u32) -> Option<&(ProcessId, Work<M>)> {
+        self.slots[slot as usize].as_ref()
+    }
+}
+
 struct Slot<M> {
     proc: Option<Box<dyn Process<M>>>,
     node: NodeId,
@@ -204,6 +544,12 @@ impl TimerTable {
     fn live_count(&self) -> usize {
         self.gens.len() - self.free.len()
     }
+
+    /// Whether any timer was ever armed in this run (slots are never
+    /// removed, only recycled, so an empty table means "never").
+    fn ever_armed(&self) -> bool {
+        !self.gens.is_empty()
+    }
 }
 
 /// Aggregate engine counters for one simulation run.
@@ -230,8 +576,18 @@ pub struct EngineStats {
     /// Simulated retransmissions on gray links: each adds one RTO of
     /// latency to the affected message.
     pub retransmits: u64,
-    /// Peak event-heap length.
+    /// Peak pending events across the whole scheduler (active bucket +
+    /// ring + overflow). The name predates the calendar queue: this was
+    /// the binary heap's peak length, and keeps meaning the same thing.
     pub heap_peak: usize,
+    /// Peak occupancy of a single calendar bucket at the moment the
+    /// cursor opened it for draining.
+    pub bucket_peak: usize,
+    /// Entries migrated from the far-future overflow heap into the
+    /// bucket ring as the epoch window advanced.
+    pub overflow_migrations: u64,
+    /// Peak number of in-flight payloads resident in the arrival arena.
+    pub arena_high_water: usize,
     /// Wall-clock nanoseconds spent inside `run_until` (accumulated
     /// across calls). Not deterministic.
     pub wall_ns: u64,
@@ -342,12 +698,11 @@ impl<'a, M> Context<'a, M> {
 
 /// The discrete-event simulation over messages of type `M`.
 pub struct Simulation<M> {
-    heap: BinaryHeap<Reverse<HeapEntry>>,
-    /// Arrival payload slab, indexed by `Target::Arrive::slot`; slots are
-    /// recycled through `free_arrivals` so steady-state scheduling
+    queue: CalendarQueue,
+    /// Arrival payload arena, indexed by `Target::Arrive::slot`; slots
+    /// recycle through its free list so steady-state scheduling
     /// allocates nothing.
-    arrivals: Vec<Option<(ProcessId, Work<M>)>>,
-    free_arrivals: Vec<u32>,
+    arena: PayloadArena<M>,
     seq: u64,
     now: SimTime,
     slots: Vec<Slot<M>>,
@@ -361,9 +716,29 @@ pub struct Simulation<M> {
     proc_regions: Vec<usize>,
     topology: Topology,
     rng: StdRng,
+    /// Dedicated fast stream for per-message latency jitter (see
+    /// [`JitterRng`]): routing never burns `StdRng` (ChaCha) draws.
+    jitter_rng: JitterRng,
     /// Last delivery time per ordered `(from, to)` process pair, indexed
-    /// `from * nprocs + to`; sized when the run starts.
+    /// `from * nprocs + to`. Allocated only for runs with a fault
+    /// schedule: fault windows change a pair's base latency over time, so
+    /// the FIFO clamp can bind arbitrarily long after a send and every
+    /// pair must stay tracked. Faulted presets are small deployments, so
+    /// the n² table is cheap there.
     link_last: Vec<SimTime>,
+    /// FIFO clamp state for fault-free runs, keyed `(from << 32) | to`,
+    /// holding `(latest departure, latest arrival)` per recently active
+    /// pair. With a constant per-pair base latency the clamp can only
+    /// bind while `now < departure + jitter`, so only pairs with a send
+    /// inside that window need tracking — a handful of L1-hot entries
+    /// instead of an n² table (2.6 MB of cold DRAM at 576 processes,
+    /// roughly a fifth of massive-scale wall time in misses). Arrivals
+    /// are bit-identical to the flat table.
+    fifo_recent: FxHashMap<u64, (SimTime, SimTime)>,
+    /// Retirement queue for `fifo_recent`: `(departure, key)` records in
+    /// insertion order, pruned from the front as `now` advances past the
+    /// clamp horizon.
+    fifo_age: VecDeque<(SimTime, u64)>,
     /// Base one-way latency per ordered region pair, indexed
     /// `from_region * nregions + to_region`; flattened from the topology
     /// when the run starts so routing never chases nested Vecs.
@@ -396,9 +771,8 @@ impl<M> Simulation<M> {
     /// Creates a simulation over `topology` with a deterministic `seed`.
     pub fn new(topology: Topology, seed: u64) -> Self {
         Simulation {
-            heap: BinaryHeap::new(),
-            arrivals: Vec::new(),
-            free_arrivals: Vec::new(),
+            queue: CalendarQueue::new(),
+            arena: PayloadArena::new(),
             seq: 0,
             now: 0,
             slots: Vec::new(),
@@ -408,7 +782,10 @@ impl<M> Simulation<M> {
             proc_regions: Vec::new(),
             topology,
             rng: StdRng::seed_from_u64(seed),
+            jitter_rng: JitterRng::new(seed),
             link_last: Vec::new(),
+            fifo_recent: FxHashMap::default(),
+            fifo_age: VecDeque::new(),
             oneway_base: Vec::new(),
             jitter: 0,
             nregions: 0,
@@ -524,7 +901,11 @@ impl<M> Simulation<M> {
 
     /// Engine counters for this run so far.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut s = self.stats;
+        s.bucket_peak = self.queue.bucket_peak;
+        s.overflow_migrations = self.queue.overflow_migrations;
+        s.arena_high_water = self.arena.high_water;
+        s
     }
 
     /// Currently armed (not yet fired or cancelled) timers. Bounded by
@@ -551,24 +932,20 @@ impl<M> Simulation<M> {
             self.mc_queue.push(entry);
             return;
         }
-        self.heap.push(Reverse(entry));
-        if self.heap.len() > self.stats.heap_peak {
-            self.stats.heap_peak = self.heap.len();
+        self.enqueue_timed(entry);
+    }
+
+    #[inline]
+    fn enqueue_timed(&mut self, entry: HeapEntry) {
+        self.queue.push(entry);
+        if self.queue.len() > self.stats.heap_peak {
+            self.stats.heap_peak = self.queue.len();
         }
     }
 
     #[inline]
     fn push_arrive(&mut self, time: SimTime, to: ProcessId, work: Work<M>) {
-        let slot = match self.free_arrivals.pop() {
-            Some(s) => {
-                self.arrivals[s as usize] = Some((to, work));
-                s
-            }
-            None => {
-                self.arrivals.push(Some((to, work)));
-                (self.arrivals.len() - 1) as u32
-            }
-        };
+        let slot = self.arena.insert(to, work);
         self.push_entry(time, Target::Arrive { slot });
     }
 
@@ -577,10 +954,9 @@ impl<M> Simulation<M> {
             return;
         }
         self.started = true;
-        // The process set is frozen now: size the flat FIFO link table
-        // and flatten the topology's latency matrix.
+        // The process set is frozen now: flatten the topology's latency
+        // matrix and set up the FIFO clamp state.
         let n = self.slots.len();
-        self.link_last = vec![0; n * n];
         let regions = self.topology.regions();
         self.oneway_base = (0..regions * regions)
             .map(|k| self.topology.oneway(k / regions, k % regions))
@@ -592,6 +968,14 @@ impl<M> Simulation<M> {
                 self.faults = Some(schedule.compile(regions));
             }
         }
+        if self.faults.is_some() {
+            // Fault windows shift base latencies, so every pair keeps a
+            // persistent clamp slot (see `link_last`).
+            self.link_last = vec![0; n * n];
+        } else {
+            self.fifo_recent.reserve(256);
+            self.fifo_age.reserve(256);
+        }
         for i in 0..n {
             self.push_arrive(0, ProcessId(i as u32), Work::Start);
         }
@@ -602,18 +986,15 @@ impl<M> Simulation<M> {
     pub fn run_until(&mut self, deadline: SimTime) {
         let wall_start = std::time::Instant::now();
         self.start_if_needed();
-        while let Some(Reverse(e)) = self.heap.peek() {
+        while let Some(e) = self.queue.peek() {
             if e.time > deadline {
                 break;
             }
-            let Reverse(e) = self.heap.pop().expect("peeked event must pop");
+            let e = self.queue.pop().expect("peeked event must pop");
             self.now = e.time;
             match e.what {
                 Target::Arrive { slot } => {
-                    let (to, work) = self.arrivals[slot as usize]
-                        .take()
-                        .expect("arrival slot filled");
-                    self.free_arrivals.push(slot);
+                    let (to, work) = self.arena.take(slot);
                     self.arrive(to, work);
                 }
                 Target::Dispatch { to } => self.dispatch(to),
@@ -651,8 +1032,8 @@ impl<M> Simulation<M> {
         self.stats.wall_ns += wall_start.elapsed().as_nanos() as u64;
     }
 
-    fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+    fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.time)
     }
 
     /// Runs for `duration` more nanoseconds of simulated time.
@@ -719,6 +1100,14 @@ impl<M> Simulation<M> {
     /// ran (false for stale — cancelled — timer arrivals).
     fn run_work(&mut self, pid: ProcessId, work: Work<M>) -> bool {
         let idx = pid.index();
+        // Timer-free fast path: a run that never armed a timer (e.g.
+        // eventual consistency, which has nothing to stabilize) can have
+        // no `Work::Timer` in flight, so the generation check — and the
+        // flush below — are skipped wholesale.
+        if !self.timer_table.ever_armed() {
+            debug_assert!(!matches!(work, Work::Timer { .. }));
+            return self.run_work_handler(pid, idx, work);
+        }
         if let Work::Timer { id, .. } = work {
             // A dead generation means the timer was cancelled.
             if !self.timer_table.retire(id) {
@@ -726,6 +1115,10 @@ impl<M> Simulation<M> {
                 return false;
             }
         }
+        self.run_work_handler(pid, idx, work)
+    }
+
+    fn run_work_handler(&mut self, pid: ProcessId, idx: usize, work: Work<M>) -> bool {
         // Temporarily take the process out so the handler can borrow the
         // simulation's shared state through the context.
         let mut proc = self.slots[idx].proc.take().expect("process present");
@@ -820,14 +1213,56 @@ impl<M> Simulation<M> {
                 }
             }
         }
-        let latency = crate::network::jitter_sample(base + extra, self.jitter, &mut self.rng);
+        let latency = self.jitter_rng.sample(base + extra, self.jitter);
         let mut arrival = departure + latency;
-        // FIFO clamp per ordered (from, to) pair: flat table, no hashing.
-        let last = &mut self.link_last[from.index() * self.slots.len() + to.index()];
-        if arrival < *last {
-            arrival = *last;
+        // FIFO clamp per ordered (from, to) pair.
+        if self.faults.is_some() {
+            // Flat table: a fault window can lower a pair's latency after
+            // a slow send, so any pair may need clamping at any distance.
+            let last = &mut self.link_last[from.index() * self.slots.len() + to.index()];
+            if arrival < *last {
+                arrival = *last;
+            }
+            *last = arrival;
+        } else {
+            // Fault-free: base latency is constant per pair, so a prior
+            // send can only force a clamp on a message departing before
+            // `departure_prev + jitter` — anything routed later already
+            // arrives no earlier than everything before it on the link.
+            // Retire pairs past that horizon (departures are >= `now`,
+            // which is monotone), keeping the map to the handful of pairs
+            // active inside the jitter window.
+            while let Some(&(dep, key)) = self.fifo_age.front() {
+                if dep + self.jitter > self.now {
+                    break;
+                }
+                self.fifo_age.pop_front();
+                if let Some(&(d, _)) = self.fifo_recent.get(&key) {
+                    if d == dep {
+                        self.fifo_recent.remove(&key);
+                    }
+                }
+            }
+            let key = ((from.0 as u64) << 32) | to.0 as u64;
+            match self.fifo_recent.entry(key) {
+                Entry::Occupied(mut e) => {
+                    let (dep_max, arr_max) = e.get_mut();
+                    if arrival < *arr_max {
+                        arrival = *arr_max;
+                    } else {
+                        *arr_max = arrival;
+                    }
+                    if departure > *dep_max {
+                        *dep_max = departure;
+                        self.fifo_age.push_back((departure, key));
+                    }
+                }
+                Entry::Vacant(v) => {
+                    v.insert((departure, arrival));
+                    self.fifo_age.push_back((departure, key));
+                }
+            }
         }
-        *last = arrival;
         self.stats.messages_routed += 1;
         self.push_arrive(arrival, to, Work::Message { from, msg });
     }
@@ -860,7 +1295,7 @@ impl<M> Simulation<M> {
             "fault schedules are not supported in MC mode (use Drop/Dup choices)"
         );
         assert!(
-            self.heap.is_empty(),
+            self.queue.is_empty(),
             "crash/pause schedules are not supported in MC mode"
         );
         self.mc_mode = true;
@@ -871,7 +1306,7 @@ impl<M> Simulation<M> {
                 .iter()
                 .position(|e| match e.what {
                     Target::Arrive { slot } => matches!(
-                        &self.arrivals[slot as usize],
+                        self.arena.get(slot),
                         Some((to, Work::Start)) if to.0 == pid
                     ),
                     _ => false,
@@ -891,10 +1326,9 @@ impl<M> Simulation<M> {
         self.mc_queue
             .iter()
             .filter(|e| match e.what {
-                Target::Arrive { slot } => matches!(
-                    &self.arrivals[slot as usize],
-                    Some((_, Work::Message { .. }))
-                ),
+                Target::Arrive { slot } => {
+                    matches!(self.arena.get(slot), Some((_, Work::Message { .. })))
+                }
                 _ => false,
             })
             .count()
@@ -913,7 +1347,7 @@ impl<M> Simulation<M> {
                 debug_assert!(false, "only arrivals may be pending in MC mode");
                 continue;
             };
-            match &self.arrivals[slot as usize] {
+            match self.arena.get(slot) {
                 Some((to, Work::Message { from, .. })) => {
                     links.insert((from.0, to.0));
                 }
@@ -968,8 +1402,7 @@ impl<M> Simulation<M> {
         let Target::Arrive { slot } = e.what else {
             unreachable!("mc_find returns arrivals only");
         };
-        self.arrivals[slot as usize] = None;
-        self.free_arrivals.push(slot);
+        drop(self.arena.take(slot));
         true
     }
 
@@ -981,7 +1414,7 @@ impl<M> Simulation<M> {
             let Target::Arrive { slot } = e.what else {
                 continue;
             };
-            let hit = match (&ev, &self.arrivals[slot as usize]) {
+            let hit = match (&ev, self.arena.get(slot)) {
                 (McEvent::Deliver { from, to }, Some((t, Work::Message { from: f, .. }))) => {
                     f == from && t == to
                 }
@@ -1007,10 +1440,7 @@ impl<M> Simulation<M> {
         }
         match e.what {
             Target::Arrive { slot } => {
-                let (to, work) = self.arrivals[slot as usize]
-                    .take()
-                    .expect("arrival slot filled");
-                self.free_arrivals.push(slot);
+                let (to, work) = self.arena.take(slot);
                 self.arrive(to, work);
             }
             Target::Dispatch { to } => self.dispatch(to),
@@ -1046,7 +1476,7 @@ impl<M> Simulation<M> {
         assert!(self.mc_mode, "mc_close outside MC mode");
         self.mc_mode = false;
         for e in std::mem::take(&mut self.mc_queue) {
-            self.heap.push(Reverse(e));
+            self.enqueue_timed(e);
         }
         let deadline = self.now + horizon;
         self.run_until(deadline);
@@ -1070,7 +1500,7 @@ impl<M: Clone> Simulation<M> {
             };
             (e.time, slot)
         };
-        let msg = match &self.arrivals[slot as usize] {
+        let msg = match self.arena.get(slot) {
             Some((_, Work::Message { msg, .. })) => msg.clone(),
             _ => unreachable!("mc_find matched a message arrival"),
         };
@@ -1120,7 +1550,7 @@ impl<M: std::hash::Hash> Simulation<M> {
             let Target::Arrive { slot } = e.what else {
                 continue;
             };
-            match &self.arrivals[slot as usize] {
+            match self.arena.get(slot) {
                 Some((to, Work::Message { from, msg })) => {
                     pending = combine_unordered(pending, hash_one(&(1u8, from.0, to.0, msg)));
                 }
@@ -1149,6 +1579,61 @@ mod tests {
     use std::rc::Rc;
 
     type Log = Rc<RefCell<Vec<(SimTime, String)>>>;
+
+    /// Drives the calendar queue across a bucket-epoch rollover and an
+    /// overflow migration pinned to the exact window boundary: an entry
+    /// at `NBUCKETS << shift` is the first time that must land in
+    /// overflow (one tick earlier is the last ring slot), and both must
+    /// come back in global `(time, seq)` order as the cursor slides,
+    /// wraps the ring, and jumps.
+    #[test]
+    fn calendar_queue_rollover_and_boundary_migration() {
+        let entry = |time, seq| HeapEntry {
+            time,
+            seq,
+            what: Target::Dispatch { to: ProcessId(0) },
+        };
+        let mut q = CalendarQueue::new();
+        let w = 1u64 << q.shift;
+        let boundary = w * NBUCKETS as u64; // first time outside the window
+        q.push(entry(0, 0)); // bucket 0: straight to active
+        q.push(entry(w, 1)); // bucket 1: ring
+        q.push(entry(boundary - 1, 2)); // last bucket inside the window
+        q.push(entry(boundary, 3)); // exactly on the boundary: overflow
+        q.push(entry(boundary + 5 * w, 4)); // deeper overflow
+        assert_eq!(q.len(), 5);
+        assert_eq!(
+            q.overflow.len(),
+            2,
+            "the boundary entry itself must start in overflow"
+        );
+        // Bucket `NBUCKETS` reuses ring slot 0 (epoch wrap) after the
+        // boundary entry migrates in; order must be untouched by which
+        // tier each entry sat in.
+        let times: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![0, w, boundary - 1, boundary, boundary + 5 * w]);
+        assert_eq!(q.overflow_migrations, 2);
+        assert!(q.is_empty());
+
+        // Far-future-only pending: the cursor jumps (no bucket walk) and
+        // migrates the window in.
+        let mut q = CalendarQueue::new();
+        q.push(entry(3 * boundary + 7, 9));
+        assert_eq!(q.overflow.len(), 1);
+        let e = q.pop().expect("entry is pending");
+        assert_eq!((e.time, e.seq), (3 * boundary + 7, 9));
+        assert_eq!(q.overflow_migrations, 1);
+
+        // Same-timestamp entries pushed out of seq order, one far future
+        // (migrates) and one near: `seq` still breaks the tie.
+        let mut q = CalendarQueue::new();
+        q.push(entry(boundary, 8));
+        q.push(entry(boundary, 6));
+        let first = q.pop().expect("two entries pending");
+        let second = q.pop().expect("one entry pending");
+        assert_eq!((first.time, first.seq), (boundary, 6));
+        assert_eq!((second.time, second.seq), (boundary, 8));
+    }
 
     struct Recorder {
         log: Log,

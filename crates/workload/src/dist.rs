@@ -62,7 +62,24 @@ pub enum KeyDistribution {
 }
 
 fn zeta(n: u64, theta: f64) -> f64 {
-    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    // O(n) of `powf` per evaluation, and every client generator over the
+    // same key space needs the same value — on the multi-million-key
+    // `huge` presets that is billions of calls at startup without this
+    // memo. Thread-local (the simulator is single-threaded per run) and
+    // keyed by exact bits, so memoization cannot change results.
+    thread_local! {
+        static ZETA_MEMO: std::cell::RefCell<Vec<((u64, u64), f64)>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+    let key = (n, theta.to_bits());
+    ZETA_MEMO.with(|memo| {
+        if let Some(&(_, z)) = memo.borrow().iter().find(|(k, _)| *k == key) {
+            return z;
+        }
+        let z = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        memo.borrow_mut().push((key, z));
+        z
+    })
 }
 
 /// Decorrelates zipf rank from key id (rank 0 should not always be key 0).

@@ -1,7 +1,7 @@
 //! Same-seed determinism across the whole zoo: the refactored engine
-//! (zero-alloc dispatch, direct delivery, flat link state, timer
-//! generations) must give byte-identical reports for identical
-//! `(SystemId, Scenario, seed)` inputs — the safety net that lets the
+//! (calendar queue, zero-alloc dispatch, direct delivery, windowed FIFO
+//! link state, timer generations) must give byte-identical reports for
+//! identical `(SystemId, Scenario, seed)` inputs — the safety net that lets the
 //! hot path keep evolving without silently changing what is simulated.
 
 use eunomia::{run, RunReport, Scenario, SystemId};
@@ -28,6 +28,9 @@ fn fingerprint(r: &RunReport, n_dcs: u16) -> impl PartialEq + std::fmt::Debug {
             r.engine.messages_deferred,
             r.engine.retransmits,
             r.engine.heap_peak,
+            r.engine.bucket_peak,
+            r.engine.overflow_migrations,
+            r.engine.arena_high_water,
         ),
         r.stale_reads,
         vis,
@@ -92,6 +95,36 @@ fn identical_open_loop_runs_for_all_six_systems() {
             "{id}: load counters drifted"
         );
     }
+}
+
+#[test]
+fn identical_runs_on_a_huge_preset() {
+    // The huge presets are where the calendar queue actually works for a
+    // living: 24-DC fan-out keeps tens of thousands of far-future
+    // arrivals in the overflow tier, so this cell certifies that epoch
+    // rollover, overflow migration and the windowed FIFO link state all
+    // sit on the deterministic path (the fingerprint includes
+    // bucket_peak / overflow_migrations / arena_high_water). Trimmed to
+    // 2.5 simulated seconds so the debug-mode suite stays fast; the
+    // preset's topology and workload are untouched.
+    let scenario = Scenario::huge_twenty_four_dc().seed(77).with(|cfg| {
+        cfg.duration = eunomia::sim::units::ms(2500);
+        cfg.warmup = eunomia::sim::units::ms(1000);
+        cfg.cooldown = eunomia::sim::units::ms(500);
+    });
+    let n_dcs = scenario.cfg().n_dcs as u16;
+    let a = run(SystemId::EunomiaKv, &scenario);
+    let b = run(SystemId::EunomiaKv, &scenario);
+    assert!(a.total_ops > 0, "empty run proves nothing");
+    assert!(
+        a.engine.overflow_migrations > 0,
+        "a huge run must exercise the overflow tier, or this cell certifies nothing"
+    );
+    assert_eq!(
+        fingerprint(&a, n_dcs),
+        fingerprint(&b, n_dcs),
+        "same-seed huge-24dc runs must reproduce bit-identically"
+    );
 }
 
 #[test]
