@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Eunomia core: unobtrusive deferred update stabilization.
 //!

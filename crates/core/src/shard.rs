@@ -34,6 +34,72 @@
 //! [`ReplicaState`](crate::replica::ReplicaState) is not needed by
 //! the service: stabilized ids are acknowledged back to their own feeder,
 //! and the stable *time* is what remote datacenters consume).
+//!
+//! # The credit/watermark flow-control protocol
+//!
+//! Acks are not bare watermarks: every ack a replica returns is a
+//! [`CreditGrant`] — the watermark *plus* a **credit**, the number of ids
+//! beyond that watermark the replica is currently willing to accept from
+//! this lane, plus a **pressure** byte (the replica's ingest-queue fill)
+//! the feeder uses to size frames. Credits are what turn overload into
+//! throttling instead of a retransmission storm: a drop-on-full receiver
+//! converts a slow replica into duplicate traffic (every dropped frame is
+//! re-sent wholesale after a timeout), while a credit window simply stops
+//! the feeder at the source.
+//!
+//! Per `(lane, replica)` pair, the sender is a three-state machine driven
+//! entirely by grants and the passage of time:
+//!
+//! ```text
+//!              grant{credit > in_flight}
+//!      ┌─────────────────────────────────────────┐
+//!      ▼                                         │
+//!   ┌──────┐ in_flight == credit  ┌───────────┐  │
+//!   │ OPEN │ ───────────────────▶ │ EXHAUSTED │ ─┘
+//!   └──────┘                      └───────────┘
+//!      │                                │ no ack progress for
+//!      │ no ack progress for            │ `retransmit_after`
+//!      │ `retransmit_after`             ▼
+//!      │                         ┌────────────┐
+//!      └───────────────────────▶ │ RETRANSMIT │ ─▶ back to OPEN/EXHAUSTED
+//!                                └────────────┘    on the next grant
+//! ```
+//!
+//! * **OPEN** — `in_flight < credit`: [`LaneSender::build_frame`] may ship
+//!   new ids, never more than the remaining credit.
+//! * **EXHAUSTED** — `in_flight == credit` (in particular **a credit of 0
+//!   means the feeder must not ship any ids at all**): the feeder parks
+//!   the lane and waits for a fresh grant. Replicas re-advertise throttled
+//!   lanes on their stabilization tick, so an exhausted lane reopens
+//!   without the feeder having to poll. Heartbeats are exempt — an *empty*
+//!   frame still carries the lane's liveness and costs the receiver one
+//!   ring slot, not buffer space.
+//! * **RETRANSMIT** — the safety net for lost frames or lost grants: after
+//!   `retransmit_after` without ack progress the feeder re-ships from the
+//!   ack floor, still inside the credit window. Under credit flow control
+//!   this state is rare (nothing is dropped by design), so duplicate
+//!   deliveries stay ~0 where the drop-on-full ring produced hundreds of
+//!   millions.
+//!
+//! Invariants, checked by the proptests below:
+//!
+//! 1. **Credit bound** — a frame never carries ids beyond
+//!    `ack + credit` (counting ids, not timestamps): the receiver's
+//!    buffer exposure per lane is at most the credit it advertised.
+//! 2. **Contiguous suffix** — every frame is a contiguous suffix of the
+//!    feeder's ordered stream starting just above `max(ack, floor)`, so
+//!    watermark dedup (one `partition_point`) remains sound under
+//!    duplication and reordering of whole frames.
+//! 3. **No loss** — ids are pruned from the window only when every live
+//!    replica's watermark passes them; a grant can shrink credit but
+//!    never un-acknowledge.
+//!
+//! The replica side derives grants in [`ShardedReplicaState::advertise`]:
+//! `credit = (budget - lane_backlog) * (1 - queue_fill)`, where
+//! `lane_backlog` is the lane's accepted-but-unstable backlog and
+//! `queue_fill` is the ingest ring's occupancy. Backlog throttles lanes
+//! that outrun stabilization; queue fill throttles everyone when the
+//! replica itself falls behind.
 
 #![forbid(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -43,6 +109,33 @@ use crate::ids::{PartitionId, ReplicaId};
 use crate::time::Timestamp;
 use eunomia_collections::TournamentTree;
 use std::collections::VecDeque;
+
+/// Credit a lane starts with before its first grant arrives: optimistic
+/// enough that first contact is not throttled (one default feeder window),
+/// finite so a replica that never answers cannot be flooded forever.
+pub const INITIAL_CREDIT: u32 = 4096;
+
+/// One watermark-plus-credit acknowledgement from a replica to a feeder
+/// lane — the unit of flow control (see the module docs for the protocol).
+///
+/// Grants supersede each other: a ring that drops one under load loses
+/// nothing, because the next grant carries a fresher watermark and a
+/// fresher credit. `ack` only ever advances; `credit` is *latest-wins*
+/// (a replica under growing pressure legitimately shrinks it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CreditGrant {
+    /// The granting replica.
+    pub replica: ReplicaId,
+    /// Watermark: highest id the replica has accepted from this lane.
+    pub ack: Timestamp,
+    /// Ids beyond `ack` the replica will accept from this lane. Zero
+    /// means "send nothing until a later grant reopens the window".
+    pub credit: u32,
+    /// Ingest-queue fill, `0` (idle) to `255` (full): the feeder's frame
+    /// sizing signal — small frames for latency while the queue is short,
+    /// full frames for throughput as it approaches the high-water mark.
+    pub pressure: u8,
+}
 
 /// One flat batch of operation ids from a feeder lane: the §5 id-only
 /// metadata, one allocation per batch.
@@ -61,11 +154,30 @@ pub struct BatchFrame {
     pub heartbeat: Option<Timestamp>,
 }
 
+/// One ingested frame's ids, adopted whole into a lane's backlog;
+/// `start` marks the prefix already drained (or deduplicated on entry).
+struct Chunk {
+    ids: Vec<Timestamp>,
+    start: usize,
+}
+
+impl Chunk {
+    fn live(&self) -> &[Timestamp] {
+        &self.ids[self.start..]
+    }
+}
+
 struct Lane {
     /// Highest id accepted from this feeder (its `PartitionTime`).
     watermark: Timestamp,
-    /// Accepted, not-yet-stable ids in timestamp order.
-    pending: VecDeque<Timestamp>,
+    /// Accepted, not-yet-stable ids in timestamp order, as a queue of
+    /// frame chunks. Adopting each frame's allocation whole keeps ingest
+    /// O(log frame) — no per-id copy into a flat buffer whose tail goes
+    /// cache-cold as the lane count grows — and lets followers discard
+    /// stable prefixes chunk-at-a-time with a binary search each.
+    pending: VecDeque<Chunk>,
+    /// Live (undrained) ids across `pending`.
+    backlog: usize,
 }
 
 /// One replica of the sharded Eunomia service.
@@ -104,6 +216,7 @@ impl ShardedReplicaState {
                 .map(|_| Lane {
                     watermark: Timestamp::ZERO,
                     pending: VecDeque::new(),
+                    backlog: 0,
                 })
                 .collect(),
             cutoffs: TournamentTree::new(n_lanes, Timestamp::ZERO, Timestamp::MAX),
@@ -122,7 +235,19 @@ impl ShardedReplicaState {
     /// Ingests a frame (the sharded `NEW_BATCH` + `HEARTBEAT`): slices off
     /// the already-seen prefix, appends the rest to the lane, advances the
     /// watermark, and returns the ack — the lane's new watermark.
+    ///
+    /// Borrowing form of [`ingest_owned`](Self::ingest_owned); it clones
+    /// the frame's ids, so hot paths that are done with the frame should
+    /// pass it by value instead.
     pub fn ingest(&mut self, frame: &BatchFrame) -> Result<Timestamp, EunomiaError> {
+        self.ingest_owned(frame.clone())
+    }
+
+    /// [`ingest`](Self::ingest), adopting the frame's allocation: the id
+    /// vector moves into the lane's backlog as one chunk instead of being
+    /// copied id-by-id, so ingest cost is a binary search plus a pointer
+    /// move no matter how many lanes are cache-cold.
+    pub fn ingest_owned(&mut self, frame: BatchFrame) -> Result<Timestamp, EunomiaError> {
         let idx = frame.partition.index();
         let lane = self
             .lanes
@@ -135,17 +260,21 @@ impl ShardedReplicaState {
         // At-least-once dedup in one binary search: everything at or below
         // the watermark was delivered before.
         let fresh_from = frame.ids.partition_point(|&ts| ts <= lane.watermark);
-        let fresh = &frame.ids[fresh_from..];
+        let fresh_n = frame.ids.len() - fresh_from;
         self.total_duplicates += fresh_from as u64;
-        self.total_accepted += fresh.len() as u64;
-        self.pending += fresh.len();
-        lane.pending.extend(fresh.iter().copied());
-        if let Some(&last) = fresh.last() {
-            lane.watermark = last;
+        self.total_accepted += fresh_n as u64;
+        if fresh_n > 0 {
+            lane.watermark = *frame.ids.last().expect("fresh_n > 0");
+            self.pending += fresh_n;
+            lane.backlog += fresh_n;
+            lane.pending.push_back(Chunk {
+                ids: frame.ids,
+                start: fresh_from,
+            });
         }
         if let Some(hb) = frame.heartbeat {
             debug_assert!(
-                frame.ids.last().is_none_or(|&last| hb >= last),
+                fresh_n == 0 || hb >= lane.watermark,
                 "heartbeat must dominate the frame's ids"
             );
             if hb > lane.watermark {
@@ -194,13 +323,26 @@ impl ShardedReplicaState {
             return None;
         }
         for (idx, lane) in self.lanes.iter_mut().enumerate() {
-            while let Some(&ts) = lane.pending.front() {
-                if ts > stable {
+            let p = PartitionId(idx as u32);
+            // Chunk-batched drain: binary-search each chunk's stable
+            // prefix, emit it, and release whole chunks as they empty.
+            while let Some(chunk) = lane.pending.front_mut() {
+                let live = chunk.live();
+                let n = live.partition_point(|&ts| ts <= stable);
+                if n == 0 {
                     break;
                 }
-                lane.pending.pop_front();
-                self.pending -= 1;
-                emit(PartitionId(idx as u32), ts);
+                for &ts in &live[..n] {
+                    emit(p, ts);
+                }
+                chunk.start += n;
+                lane.backlog -= n;
+                self.pending -= n;
+                if chunk.start == chunk.ids.len() {
+                    lane.pending.pop_front();
+                } else {
+                    break;
+                }
             }
         }
         self.last_stable = stable;
@@ -215,9 +357,21 @@ impl ShardedReplicaState {
         }
         let mut discarded = 0;
         for lane in &mut self.lanes {
-            while lane.pending.front().is_some_and(|&ts| ts <= stable) {
-                lane.pending.pop_front();
-                discarded += 1;
+            // Followers never read the ids: a binary search per chunk
+            // finds the stable prefix and whole chunks drop unread.
+            while let Some(chunk) = lane.pending.front_mut() {
+                let n = chunk.live().partition_point(|&ts| ts <= stable);
+                if n == 0 {
+                    break;
+                }
+                chunk.start += n;
+                lane.backlog -= n;
+                discarded += n;
+                if chunk.start == chunk.ids.len() {
+                    lane.pending.pop_front();
+                } else {
+                    break;
+                }
             }
         }
         self.pending -= discarded;
@@ -249,25 +403,79 @@ impl ShardedReplicaState {
     pub fn watermark(&self, partition: PartitionId) -> Option<Timestamp> {
         self.lanes.get(partition.index()).map(|l| l.watermark)
     }
+
+    /// Accepted-but-unstable ids buffered for `partition` — the lane's
+    /// share of this replica's memory exposure, and the backlog term of
+    /// the credit policy.
+    pub fn lane_backlog(&self, partition: PartitionId) -> Option<usize> {
+        self.lanes.get(partition.index()).map(|l| l.backlog)
+    }
+
+    /// Number of feeder lanes.
+    pub fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Derives the [`CreditGrant`] to advertise to `partition`'s feeder:
+    /// `credit = (budget - lane_backlog) * (1 - queue_fill)`.
+    ///
+    /// `budget` bounds the lane's accepted-but-unstable backlog (so a lane
+    /// outrunning stabilization throttles itself), and `queue_fill` — the
+    /// ingest ring's occupancy in `0.0..=1.0` — scales every lane down
+    /// together when the replica cannot keep up with frame arrival. The
+    /// grant carries the lane's current watermark as its ack and the fill
+    /// as the `pressure` byte. Returns `None` for an unknown lane.
+    pub fn advertise(
+        &self,
+        partition: PartitionId,
+        queue_fill: f64,
+        budget: u32,
+    ) -> Option<CreditGrant> {
+        let lane = self.lanes.get(partition.index())?;
+        let fill = if queue_fill.is_finite() {
+            queue_fill.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let backlog = lane.backlog.min(u32::MAX as usize) as u32;
+        let free = budget.saturating_sub(backlog);
+        Some(CreditGrant {
+            replica: self.id,
+            ack: lane.watermark,
+            credit: (f64::from(free) * (1.0 - fill)) as u32,
+            pressure: (fill * 255.0) as u8,
+        })
+    }
 }
 
 /// Feeder-side window of unacknowledged ids with per-replica watermark
-/// acks — the id-only, flat-buffer counterpart of
+/// acks and credit windows — the id-only, flat-buffer counterpart of
 /// [`crate::replica::ReplicatedSender`].
 ///
 /// The window is a ring of strictly ascending ids. Because acks are
 /// watermarks and the window is ordered, building the retransmission
 /// frame for a replica is one binary search plus a bulk copy, and pruning
-/// is popping a prefix.
+/// is popping a prefix. Per replica the sender additionally tracks the
+/// highest id *shipped* ([`note_sent`]) and the latest [`CreditGrant`],
+/// and [`build_frame`] never emits ids past `ack + credit` — the sender
+/// half of the flow-control state machine in the module docs.
+///
+/// [`note_sent`]: LaneSender::note_sent
+/// [`build_frame`]: LaneSender::build_frame
 #[derive(Clone, Debug)]
 pub struct LaneSender {
     window: VecDeque<Timestamp>,
     acks: Vec<Timestamp>,
     alive: Vec<bool>,
+    /// Latest advertised credit per replica (ids allowed beyond its ack).
+    credits: Vec<u32>,
+    /// Highest id shipped to each replica (floor for "new ids only").
+    sent: Vec<Timestamp>,
 }
 
 impl LaneSender {
-    /// Creates a sender replicating to `n_replicas` replicas.
+    /// Creates a sender replicating to `n_replicas` replicas; every lane
+    /// starts `OPEN` with [`INITIAL_CREDIT`].
     ///
     /// # Panics
     ///
@@ -278,6 +486,29 @@ impl LaneSender {
             window: VecDeque::new(),
             acks: vec![Timestamp::ZERO; n_replicas],
             alive: vec![true; n_replicas],
+            credits: vec![INITIAL_CREDIT; n_replicas],
+            sent: vec![Timestamp::ZERO; n_replicas],
+        }
+    }
+
+    /// Number of window ids at or below `ts` (= the window index of the
+    /// first id above it): one binary search over the deque's two slices.
+    fn count_le(&self, ts: Timestamp) -> usize {
+        let (a, b) = self.window.as_slices();
+        match a.last() {
+            Some(&last) if ts < last => a.partition_point(|&x| x <= ts),
+            _ => a.len() + b.partition_point(|&x| x <= ts),
+        }
+    }
+
+    /// Bulk-copies `window[start..end]` into `out`.
+    fn copy_range(&self, start: usize, end: usize, out: &mut Vec<Timestamp>) {
+        let (a, b) = self.window.as_slices();
+        if start < a.len() {
+            out.extend_from_slice(&a[start..end.min(a.len())]);
+        }
+        if end > a.len() {
+            out.extend_from_slice(&b[start.saturating_sub(a.len())..end - a.len()]);
         }
     }
 
@@ -298,29 +529,36 @@ impl LaneSender {
     /// Appends every windowed id above `floor` to `out` in timestamp
     /// order: one binary search, then bulk copies.
     pub fn append_above(&self, floor: Timestamp, out: &mut Vec<Timestamp>) {
-        let (a, b) = self.window.as_slices();
-        if a.last().is_some_and(|&last| floor < last) {
-            let i = a.partition_point(|&ts| ts <= floor);
-            out.extend_from_slice(&a[i..]);
-            out.extend_from_slice(b);
-        } else {
-            let j = b.partition_point(|&ts| ts <= floor);
-            out.extend_from_slice(&b[j..]);
-        }
+        self.copy_range(self.count_le(floor), self.window.len(), out);
     }
 
-    /// Builds the frame for `replica` reusing `ids`'s allocation: every
-    /// windowed id above `max(ack, floor)`, plus the heartbeat.
+    /// Builds the frame for `replica` reusing `ids`'s allocation: windowed
+    /// ids above `max(ack, floor)`, truncated to the replica's remaining
+    /// credit window (never past `ack + credit` ids) and to `max_ids`,
+    /// plus the heartbeat.
     pub fn build_frame(
         &self,
         partition: PartitionId,
         replica: ReplicaId,
         floor: Timestamp,
         heartbeat: Option<Timestamp>,
+        max_ids: usize,
         mut ids: Vec<Timestamp>,
     ) -> BatchFrame {
         ids.clear();
-        self.append_above(self.acks[replica.index()].max(floor), &mut ids);
+        let r = replica.index();
+        let ack_idx = self.count_le(self.acks[r]);
+        let start = if floor > self.acks[r] {
+            self.count_le(floor)
+        } else {
+            ack_idx
+        };
+        let end = ack_idx
+            .saturating_add(self.credits[r] as usize)
+            .min(self.window.len())
+            .min(start.saturating_add(max_ids))
+            .max(start);
+        self.copy_range(start, end, &mut ids);
         BatchFrame {
             partition,
             ids,
@@ -328,14 +566,66 @@ impl LaneSender {
         }
     }
 
-    /// Records a watermark ack from `replica` and prunes ids acknowledged
-    /// by every live replica. Returns the number pruned.
+    /// Records a watermark ack from `replica` — leaving its credit
+    /// unchanged — and prunes ids acknowledged by every live replica.
+    /// Returns the number pruned.
     pub fn on_ack(&mut self, replica: ReplicaId, ts: Timestamp) -> usize {
         let slot = &mut self.acks[replica.index()];
         if ts > *slot {
             *slot = ts;
         }
         self.prune()
+    }
+
+    /// Applies a [`CreditGrant`]: folds the watermark in (acks only ever
+    /// advance), replaces the credit (latest wins — pressure may shrink
+    /// it), and prunes. Returns the number of ids pruned.
+    pub fn on_grant(&mut self, grant: CreditGrant) -> usize {
+        self.credits[grant.replica.index()] = grant.credit;
+        self.on_ack(grant.replica, grant.ack)
+    }
+
+    /// Records that every id up to `ts` has been shipped to `replica`.
+    pub fn note_sent(&mut self, replica: ReplicaId, ts: Timestamp) {
+        let slot = &mut self.sent[replica.index()];
+        if ts > *slot {
+            *slot = ts;
+        }
+    }
+
+    /// Highest id shipped to `replica` — the frame floor for "new ids
+    /// only" sends.
+    pub fn sent_of(&self, replica: ReplicaId) -> Timestamp {
+        self.sent[replica.index()]
+    }
+
+    /// Latest credit advertised by `replica`.
+    pub fn credit_of(&self, replica: ReplicaId) -> u32 {
+        self.credits[replica.index()]
+    }
+
+    /// Ids shipped to `replica` but not yet acknowledged by it.
+    pub fn in_flight(&self, replica: ReplicaId) -> usize {
+        let r = replica.index();
+        self.count_le(self.sent[r])
+            .saturating_sub(self.count_le(self.acks[r]))
+    }
+
+    /// Unshipped ids that fit in `replica`'s remaining credit window —
+    /// how many *new* ids the next frame may carry.
+    pub fn sendable(&self, replica: ReplicaId) -> usize {
+        let r = replica.index();
+        self.count_le(self.acks[r])
+            .saturating_add(self.credits[r] as usize)
+            .min(self.window.len())
+            .saturating_sub(self.count_le(self.sent[r]))
+    }
+
+    /// Whether the lane is credit-starved for `replica`: unshipped ids
+    /// exist but the credit window (`EXHAUSTED` in the module docs'
+    /// state machine) admits none of them.
+    pub fn starved(&self, replica: ReplicaId) -> bool {
+        self.count_le(self.sent[replica.index()]) < self.window.len() && self.sendable(replica) == 0
     }
 
     /// Marks a replica as crashed: its stalled ack no longer pins the
@@ -347,10 +637,14 @@ impl LaneSender {
 
     /// Marks a replica live again; it re-acks from the window's low
     /// watermark (a recovered replica rejoins by state transfer, not
-    /// replay — same contract as `ReplicatedSender::mark_alive`).
+    /// replay — same contract as `ReplicatedSender::mark_alive`) with a
+    /// fresh [`INITIAL_CREDIT`] and nothing considered shipped.
     pub fn mark_alive(&mut self, replica: ReplicaId) {
-        self.alive[replica.index()] = true;
-        self.acks[replica.index()] = self.low_watermark();
+        let r = replica.index();
+        self.alive[r] = true;
+        self.acks[r] = self.low_watermark();
+        self.credits[r] = INITIAL_CREDIT;
+        self.sent[r] = self.acks[r];
     }
 
     fn low_watermark(&self) -> Timestamp {
@@ -505,12 +799,19 @@ mod tests {
         for t in 1..=5u64 {
             s.push(Timestamp(t));
         }
-        let f = s.build_frame(p(0), ReplicaId(0), Timestamp::ZERO, None, Vec::new());
+        let f = s.build_frame(
+            p(0),
+            ReplicaId(0),
+            Timestamp::ZERO,
+            None,
+            usize::MAX,
+            Vec::new(),
+        );
         assert_eq!(f.ids.len(), 5);
         s.on_ack(ReplicaId(0), Timestamp(5));
         assert_eq!(s.window_len(), 5, "replica 1 silent: window pinned");
         // Floor above the ack: only unsent ids.
-        let f = s.build_frame(p(0), ReplicaId(1), Timestamp(3), None, f.ids);
+        let f = s.build_frame(p(0), ReplicaId(1), Timestamp(3), None, usize::MAX, f.ids);
         assert_eq!(f.ids, vec![Timestamp(4), Timestamp(5)]);
         s.on_ack(ReplicaId(1), Timestamp(5));
         assert_eq!(s.window_len(), 0);
@@ -529,6 +830,101 @@ mod tests {
         assert_eq!(s.window_len(), 0);
         s.mark_alive(ReplicaId(2));
         assert_eq!(s.ack_of(ReplicaId(2)), Timestamp(5));
+    }
+
+    #[test]
+    fn credit_caps_frames_and_reopens_on_grant() {
+        let mut s = LaneSender::new(1);
+        let rid = ReplicaId(0);
+        for t in 1..=10u64 {
+            s.push(Timestamp(t));
+        }
+        // Shrink the window to 3: only ids 1..=3 may ship.
+        s.on_grant(CreditGrant {
+            replica: rid,
+            ack: Timestamp::ZERO,
+            credit: 3,
+            pressure: 0,
+        });
+        assert_eq!(s.sendable(rid), 3);
+        let f = s.build_frame(p(0), rid, s.sent_of(rid), None, usize::MAX, Vec::new());
+        assert_eq!(f.ids, vec![Timestamp(1), Timestamp(2), Timestamp(3)]);
+        s.note_sent(rid, Timestamp(3));
+        // EXHAUSTED: in_flight == credit, nothing more may ship.
+        assert_eq!(s.in_flight(rid), 3);
+        assert_eq!(s.sendable(rid), 0);
+        assert!(s.starved(rid));
+        let f = s.build_frame(p(0), rid, s.sent_of(rid), None, usize::MAX, f.ids);
+        assert!(f.ids.is_empty(), "exhausted lane must ship nothing");
+        // A retransmit pass (floor = ZERO) stays inside the credit window.
+        let f = s.build_frame(p(0), rid, Timestamp::ZERO, None, usize::MAX, f.ids);
+        assert_eq!(f.ids.len(), 3, "retransmit re-ships in-flight ids only");
+        // The grant acks 3 and reopens 4 more: OPEN again.
+        s.on_grant(CreditGrant {
+            replica: rid,
+            ack: Timestamp(3),
+            credit: 4,
+            pressure: 0,
+        });
+        assert_eq!(s.window_len(), 7, "acked prefix pruned");
+        assert_eq!(s.in_flight(rid), 0);
+        assert_eq!(s.sendable(rid), 4);
+        assert!(!s.starved(rid));
+        // A zero-credit grant closes the lane entirely.
+        s.on_grant(CreditGrant {
+            replica: rid,
+            ack: Timestamp(3),
+            credit: 0,
+            pressure: 255,
+        });
+        assert_eq!(s.sendable(rid), 0);
+        assert!(s.starved(rid));
+        let f = s.build_frame(p(0), rid, s.sent_of(rid), None, usize::MAX, f.ids);
+        assert!(f.ids.is_empty(), "credit 0 means send nothing");
+    }
+
+    #[test]
+    fn max_ids_truncates_frames_below_credit() {
+        let mut s = LaneSender::new(1);
+        for t in 1..=8u64 {
+            s.push(Timestamp(t));
+        }
+        let f = s.build_frame(p(0), ReplicaId(0), Timestamp::ZERO, None, 2, Vec::new());
+        assert_eq!(f.ids, vec![Timestamp(1), Timestamp(2)]);
+    }
+
+    #[test]
+    fn advertise_scales_credit_by_backlog_and_queue_fill() {
+        let mut r = ShardedReplicaState::new(ReplicaId(0), 2);
+        let ids: Vec<u64> = (1..=100).collect();
+        r.ingest(&frame(0, &ids)).unwrap();
+        // Idle queue: credit = budget - backlog.
+        let g = r.advertise(p(0), 0.0, 1000).unwrap();
+        assert_eq!(g.replica, ReplicaId(0));
+        assert_eq!(g.ack, Timestamp(100));
+        assert_eq!(g.credit, 900);
+        assert_eq!(g.pressure, 0);
+        assert_eq!(r.lane_backlog(p(0)), Some(100));
+        // Half-full queue halves the credit; pressure reflects the fill.
+        let g = r.advertise(p(0), 0.5, 1000).unwrap();
+        assert_eq!(g.credit, 450);
+        assert_eq!(g.pressure, 127);
+        // Backlog beyond the budget or a full queue closes the window.
+        assert_eq!(r.advertise(p(0), 1.0, 1000).unwrap().credit, 0);
+        assert_eq!(r.advertise(p(0), 0.0, 50).unwrap().credit, 0);
+        // An idle lane gets the full budget, and out-of-range fill clamps.
+        assert_eq!(r.advertise(p(1), -3.0, 1000).unwrap().credit, 1000);
+        assert_eq!(r.advertise(p(1), f64::NAN, 1000).unwrap().credit, 0);
+        assert!(r.advertise(p(9), 0.0, 1000).is_none());
+        // Draining the stable prefix frees backlog, reopening credit.
+        let hb = BatchFrame {
+            partition: p(1),
+            ids: Vec::new(),
+            heartbeat: Some(Timestamp(200)),
+        };
+        r.ingest(&hb).unwrap();
+        r.leader_process_stable_with(|_, _| {});
+        assert_eq!(r.advertise(p(0), 0.0, 1000).unwrap().credit, 1000);
     }
 
     #[test]
@@ -578,7 +974,7 @@ mod tests {
                     reference_sender.push(Timestamp(produced), produced);
                 }
                 let rid = ReplicaId(target as u32);
-                let f = sender.build_frame(p(0), rid, Timestamp::ZERO, None, Vec::new());
+                let f = sender.build_frame(p(0), rid, Timestamp::ZERO, None, usize::MAX, Vec::new());
                 let ref_batch = reference_sender.batch_for(rid);
                 prop_assert_eq!(
                     f.ids.clone(),
@@ -595,6 +991,111 @@ mod tests {
                     prop_assert_eq!(s.stable_time(), r.stable_time());
                     prop_assert_eq!(s.pending(), r.pending());
                 }
+            }
+        }
+
+        /// The flow-control state machine under ring-full discards, lost
+        /// grants, and duplicating retransmissions: frames never exceed
+        /// the advertised credit, the sharded replica agrees with the
+        /// reference `ReplicaState` throughout, and once credit reopens
+        /// every produced id is accepted exactly once.
+        #[test]
+        fn credits_throttle_without_losing_ids(
+            n_ops in 1usize..50,
+            budget in 1u32..24,
+            plan in proptest::collection::vec((0usize..2, 0u8..5), 0..200),
+        ) {
+            use crate::replica::ReplicaState;
+            let mut sender = LaneSender::new(2);
+            let mut sharded: Vec<ShardedReplicaState> =
+                (0..2).map(|i| ShardedReplicaState::new(ReplicaId(i), 1)).collect();
+            let mut reference: Vec<ReplicaState<u64>> =
+                (0..2).map(|i| ReplicaState::new(ReplicaId(i), 1)).collect();
+            for r in &mut sharded {
+                r.promote();
+            }
+            for (i, r) in reference.iter_mut().enumerate() {
+                r.set_leader(ReplicaId(i as u32));
+            }
+            let mut produced = 0u64;
+            for (target, action) in plan {
+                if produced < n_ops as u64 {
+                    produced += 1;
+                    sender.push(Timestamp(produced));
+                }
+                let rid = ReplicaId(target as u32);
+                if action == 4 {
+                    // Stabilize: drain the backlog, freeing credit budget.
+                    sharded[target].leader_process_stable_with(|_, _| {});
+                    let mut sink = Vec::new();
+                    reference[target].leader_process_stable(&mut sink);
+                    let g = sharded[target].advertise(p(0), 0.0, budget).unwrap();
+                    sender.on_grant(g);
+                    continue;
+                }
+                let retransmit = action == 3;
+                let floor = if retransmit { Timestamp::ZERO } else { sender.sent_of(rid) };
+                let in_flight = sender.in_flight(rid);
+                let frame = sender.build_frame(p(0), rid, floor, None, usize::MAX, Vec::new());
+                // Credit-bound invariant: ids beyond the ack never exceed
+                // the advertised window.
+                if retransmit {
+                    prop_assert!(frame.ids.len() <= sender.credit_of(rid) as usize);
+                } else {
+                    prop_assert!(in_flight + frame.ids.len() <= sender.credit_of(rid) as usize);
+                }
+                prop_assert!(frame.ids.windows(2).all(|w| w[0] < w[1]));
+                if action == 1 {
+                    continue; // Ring full: frame discarded before sending.
+                }
+                if frame.ids.is_empty() {
+                    continue;
+                }
+                let ack = sharded[target].ingest(&frame).unwrap();
+                let ref_ack = reference[target]
+                    .new_batch(p(0), frame.ids.iter().map(|&ts| (ts, ts.0)))
+                    .unwrap();
+                prop_assert_eq!(ack, ref_ack);
+                prop_assert_eq!(
+                    sharded[target].total_duplicates(),
+                    reference[target].total_duplicates()
+                );
+                prop_assert_eq!(
+                    sharded[target].stable_time(),
+                    reference[target].stable_time()
+                );
+                sender.note_sent(rid, *frame.ids.last().unwrap());
+                if action != 2 {
+                    // Action 2 loses the grant; the sender's view goes stale.
+                    let g = sharded[target].advertise(p(0), 0.0, budget).unwrap();
+                    sender.on_grant(g);
+                }
+            }
+            // Recovery: open the window and retransmit until both replicas
+            // hold every produced id exactly once.
+            for target in 0..2usize {
+                let rid = ReplicaId(target as u32);
+                loop {
+                    let g = sharded[target].advertise(p(0), 0.0, u32::MAX).unwrap();
+                    sender.on_grant(g);
+                    let frame =
+                        sender.build_frame(p(0), rid, Timestamp::ZERO, None, usize::MAX, Vec::new());
+                    if frame.ids.is_empty() {
+                        break;
+                    }
+                    let ack = sharded[target].ingest(&frame).unwrap();
+                    let ref_ack = reference[target]
+                        .new_batch(p(0), frame.ids.iter().map(|&ts| (ts, ts.0)))
+                        .unwrap();
+                    prop_assert_eq!(ack, ref_ack);
+                    sender.note_sent(rid, *frame.ids.last().unwrap());
+                }
+                prop_assert_eq!(sharded[target].total_accepted(), produced);
+                prop_assert_eq!(sharded[target].stable_time(), Timestamp(produced));
+                prop_assert_eq!(
+                    sharded[target].stable_time(),
+                    reference[target].stable_time()
+                );
             }
         }
     }

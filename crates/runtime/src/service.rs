@@ -18,17 +18,36 @@
 //!   replica with a fresh liveness beat, so killing it fails over after
 //!   roughly `omega_timeout`.
 //!
+//! # Flow control: credits, not drops
+//!
+//! Every ack a replica returns is a [`CreditGrant`]: its watermark plus
+//! how many more ids it will accept from that lane
+//! (`credit = (budget - lane_backlog) * (1 - queue_fill)`, see
+//! [`ShardedReplicaState::advertise`]) and a pressure byte (ingest-ring
+//! fill). Feeders honour the grant — a lane whose credit is exhausted
+//! ships nothing and backs off instead of blind-resending — and size
+//! frames by pressure: at low pressure whatever is pending ships
+//! immediately (latency), near the high-water mark small dribbles are
+//! held back until a full frame accumulates (throughput, and 256+
+//! feeders stop churning the ring with tiny frames). Replicas
+//! re-advertise throttled lanes on the stabilization tick so a parked
+//! feeder reopens without polling. The retransmission timeout survives
+//! only as a safety net for lost grants; it is bounded by the credit
+//! window, so a slow replica throttles its feeders instead of amplifying
+//! them into a duplicate storm.
+//!
 //! Throughput is counted at stabilization (operations leaving the service
 //! towards remote datacenters), the same quantity the paper plots.
 //! [`run_eunomia_service_with_stats`] additionally returns the
 //! [`ServiceStats`] the hot path accumulates: ids/s at stabilization,
-//! batch-size and stabilization-latency distributions, and the ingest
-//! queue's high-water mark.
+//! batch-size and stabilization-latency distributions, the ingest
+//! queue's high-water mark, and the flow-control signals (credit stalls,
+//! retransmitted ids, the advertised-window timeline).
 
 use crate::ThroughputTimeline;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use eunomia_core::ids::{PartitionId, ReplicaId};
-use eunomia_core::shard::{BatchFrame, LaneSender, ShardedReplicaState};
+use eunomia_core::shard::{BatchFrame, CreditGrant, LaneSender, ShardedReplicaState};
 use eunomia_core::time::{ScalarHlc, Timestamp};
 use eunomia_stats::ServiceStats;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,6 +69,25 @@ pub struct EunomiaBenchConfig {
     pub theta: Duration,
     /// Maximum unacknowledged ids per feeder (backpressure bound).
     pub window_cap: usize,
+    /// Per-lane credit budget at each replica: the most
+    /// accepted-but-unstable ids a replica buffers for one lane before
+    /// its advertised credit reaches zero. By Little's law the budget
+    /// caps per-lane throughput at `credit_budget / stabilization
+    /// latency`, so it must cover the lane's bandwidth-delay product —
+    /// size it as a memory-exposure bound (the default is 16x the
+    /// default window), not a rate limiter.
+    pub credit_budget: usize,
+    /// Ack-progress timeout after which a feeder re-ships a lane's
+    /// unacknowledged ids (still inside the credit window) — the
+    /// at-least-once safety net for lost grants.
+    pub retransmit_after: Duration,
+    /// Offered load per feeder in ids/s; `None` means closed-loop (each
+    /// feeder generates as fast as its window drains — a capacity probe).
+    /// The paper's deployment model is the rate-limited one: each feeder
+    /// is a datacenter partition with its own bounded operation stream,
+    /// and scaling the partition count scales the offered load until the
+    /// service saturates.
+    pub feeder_rate: Option<u64>,
     /// Crash schedule: `(when, replica_index)`.
     pub crashes: Vec<(Duration, usize)>,
     /// Liveness timeout for leader fail-over.
@@ -65,6 +103,9 @@ impl Default for EunomiaBenchConfig {
             batch_interval: Duration::from_millis(1),
             theta: Duration::from_millis(1),
             window_cap: 4096,
+            credit_budget: 65536,
+            retransmit_after: Duration::from_secs(5),
+            feeder_rate: None,
             crashes: Vec::new(),
             omega_timeout: Duration::from_millis(100),
         }
@@ -76,9 +117,30 @@ enum ToReplica {
     Stop,
 }
 
-/// Frames drained per replica wake (bounds the scratch buffer; the ring
-/// capacity is `feeders * 4`, so one constant covers every config).
-const DRAIN_MAX: usize = 256;
+/// Frames drained per replica wake. Small enough that a saturated
+/// replica still checks the θ clock every few milliseconds (a 256-frame
+/// sweep is ~15 ms of ingest — late θ ticks inflate the unstable
+/// backlog and stabilization latency), large enough to amortize the
+/// ring's batch drain.
+const DRAIN_MAX: usize = 64;
+
+/// Hard cap on ids per frame, bounding the per-frame allocation.
+const MAX_FRAME_IDS: usize = 4096;
+
+/// How long a pressure-gated lane may hold small frames back before
+/// shipping anyway (x `batch_interval`) — bounds the latency cost of
+/// coalescing for throughput.
+const COALESCE_DEADLINE_INTERVALS: u32 = 8;
+
+/// Frame ring capacity per replica; one definition shared by channel
+/// construction and the replica's queue-fill (pressure) computation.
+/// Scales with the feeder count: shallower rings concentrate producer
+/// contention on the ring's head (hundreds of feeders retrying a full
+/// ring slow the consumer too), which costs more than the queued frames'
+/// cache footprint saves.
+fn frame_ring_capacity(cfg: &EunomiaBenchConfig) -> usize {
+    cfg.feeders * 4
+}
 
 struct Shared {
     stop: AtomicBool,
@@ -94,51 +156,132 @@ impl Shared {
         self.epoch.elapsed().as_nanos() as u64
     }
 
-    /// Leader = lowest-indexed replica with a fresh beat; `None` while
-    /// everyone looks dead.
-    fn leader(&self, omega_timeout: Duration) -> Option<usize> {
+    /// Leader as seen by replica `me`: the lowest-indexed live replica
+    /// with a fresh beat. A replica executing this check is trivially
+    /// alive to itself — the beat freshness test applies only to *other*
+    /// replicas, else a tick delayed past `omega_timeout` by ingest load
+    /// makes a lone replica disown its own leadership and stabilization
+    /// halts. `None` while everyone looks dead.
+    fn leader(&self, me: usize, omega_timeout: Duration) -> Option<usize> {
         let now = self.now_ns();
         let timeout = omega_timeout.as_nanos() as u64;
         (0..self.alive.len()).find(|&r| {
             self.alive[r].load(Ordering::Relaxed)
-                && now.saturating_sub(self.beats[r].load(Ordering::Relaxed)) <= timeout
+                && (r == me || now.saturating_sub(self.beats[r].load(Ordering::Relaxed)) <= timeout)
         })
     }
 }
+
+/// Lowers the calling thread's scheduling priority (nice +5). The
+/// paper's feeders are separate machines; in-process they compete with
+/// the replica threads for CPU, and a fair scheduler gives N feeders N
+/// shares against the one replica that needs most of a core — at 256
+/// feeders the service starves in its own benchmark. Raising nice is
+/// unprivileged; raw syscalls keep the crate dependency-free.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn deprioritize_current_thread() {
+    // SAFETY: gettid takes no arguments and setpriority(PRIO_PROCESS,
+    // tid, 5) only affects this thread; both are harmless on failure.
+    unsafe {
+        let tid: i64;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 186i64 => tid, // SYS_gettid
+            out("rcx") _,
+            out("r11") _,
+        );
+        let mut ret: i64 = 141; // SYS_setpriority
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") ret,
+            in("rdi") 0i64, // PRIO_PROCESS
+            in("rsi") tid,
+            in("rdx") 5i64, // nice +5
+            out("rcx") _,
+            out("r11") _,
+        );
+        let _ = ret;
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn deprioritize_current_thread() {}
 
 fn feeder_loop(
     partition: PartitionId,
     cfg: &EunomiaBenchConfig,
     shared: &Shared,
     to_replicas: &[Sender<ToReplica>],
-    acks: &Receiver<(ReplicaId, Timestamp)>,
-) {
+    grants: &Receiver<CreditGrant>,
+) -> ServiceStats {
+    deprioritize_current_thread();
+    let mut stats = ServiceStats::default();
     let mut hlc = ScalarHlc::new();
     let mut sender = LaneSender::new(cfg.replicas);
     let mut dead = vec![false; cfg.replicas];
-    let mut ack_buf: Vec<(ReplicaId, Timestamp)> = Vec::with_capacity(64);
-    // Send-window tracking: transmit each id once and retransmit from the
-    // ack only after a timeout without ack progress (at-least-once; the
-    // prefix property holds because replicas slice off duplicates by
-    // watermark).
-    let retransmit_after = cfg.batch_interval * 10 + Duration::from_millis(5);
-    let mut last_sent = vec![Timestamp::ZERO; cfg.replicas];
+    let mut grant_buf: Vec<CreditGrant> = Vec::with_capacity(64);
+    // Per-replica pressure (last grant's ingest-ring fill, 0..=255) and
+    // the coalescing clock: under pressure a lane holds small frames back
+    // until a full one accumulates or the deadline passes.
+    let mut pressure = vec![0u8; cfg.replicas];
+    let mut last_ship = vec![Instant::now(); cfg.replicas];
     let mut last_progress = vec![Instant::now(); cfg.replicas];
+    // Per-replica EWMA of the ship-to-grant round trip — the retransmit
+    // threshold's unit and the park-timeout fallback. Wakes themselves
+    // are event-driven: the replica unparks this thread when it issues
+    // the lane a grant, so the estimate measures the true round trip
+    // rather than the feeder's own sleep.
+    let mut rtt_est = vec![cfg.batch_interval; cfg.replicas];
+    // Pacing jitter (xorshift, seeded by lane id): feeders sharing one
+    // RTT phase-lock into convoys — everyone ships together, the replica
+    // chews the burst, everyone sleeps together and the ring runs dry.
+    // Randomizing each sleep +/-a third keeps arrivals spread out.
+    let mut jitter_state = (0x9E37_79B9_7F4A_7C15u64 ^ u64::from(partition.0)) | 1;
+    let mut jitter = move |d: Duration| {
+        jitter_state ^= jitter_state << 13;
+        jitter_state ^= jitter_state >> 7;
+        jitter_state ^= jitter_state << 17;
+        d * (667 + (jitter_state % 667) as u32) / 1000
+    };
+    let coalesce_deadline = cfg.batch_interval * COALESCE_DEADLINE_INTERVALS;
+    // Open-loop rate limiting: ids this feeder was entitled to generate
+    // so far is `rate * elapsed`; the deficit after a stall is burned
+    // down as fast as the window drains (queue-building semantics, the
+    // same contract as the open-loop load subsystem). Rate-limited lanes
+    // also wake on accumulation, not the closed-loop cadence: a wake is
+    // only worth its context switch if a quarter-frame of ids accrued.
+    let rate_start = Instant::now();
+    let mut generated: u64 = 0;
+    let accrual_floor = cfg.feeder_rate.map(|r| {
+        Duration::from_nanos((MAX_FRAME_IDS as u64 / 4).saturating_mul(1_000_000_000) / r.max(1))
+    });
     // Per-replica spare frame buffers: a frame that could not be sent
     // (ring full) hands its allocation back here, so a saturated replica
     // costs a binary search + copy per interval, not an alloc too.
     let mut spares: Vec<Vec<Timestamp>> = vec![Vec::new(); cfg.replicas];
     let mut backoff = cfg.batch_interval;
     while !shared.stop.load(Ordering::Relaxed) {
-        // Drain acks in one batch (and detect replicas the supervisor
+        // Drain grants in one batch (and detect replicas the supervisor
         // declared dead so their silence stops pinning the window).
-        ack_buf.clear();
-        acks.try_recv_batch(&mut ack_buf, usize::MAX);
-        for &(r, ts) in &ack_buf {
-            if ts > sender.ack_of(r) {
-                last_progress[r.index()] = Instant::now();
+        grant_buf.clear();
+        grants.try_recv_batch(&mut grant_buf, usize::MAX);
+        for &g in &grant_buf {
+            let r = g.replica.index();
+            // Any grant is progress: the replica is alive and talking, so
+            // the retransmission timeout (a lost-grant safety net, not a
+            // liveness probe) must not fire merely because the watermark
+            // paused while the replica drains a deep ring.
+            last_progress[r] = Instant::now();
+            pressure[r] = g.pressure;
+            if g.ack > sender.ack_of(g.replica) {
+                // Elapsed-since-last-ship under-estimates the true round
+                // trip when several frames are in flight; an EWMA biased
+                // low only shortens the park-timeout fallback, which is
+                // the safe direction.
+                let sample = last_ship[r].elapsed();
+                rtt_est[r] = (rtt_est[r] * 7 + sample) / 8;
             }
-            sender.on_ack(r, ts);
+            sender.on_grant(g);
         }
         for (r, dead_flag) in dead.iter_mut().enumerate() {
             if !*dead_flag && !shared.alive[r].load(Ordering::Relaxed) {
@@ -149,12 +292,18 @@ fn feeder_loop(
         // Generate eagerly up to the window cap (ids only, §5). The
         // physical clock is read once per refill; the HLC's logical bump
         // keeps ids strictly monotone within the burst.
-        let room = cfg.window_cap.saturating_sub(sender.window_len());
+        let mut room = cfg.window_cap.saturating_sub(sender.window_len());
+        if let Some(rate) = cfg.feeder_rate {
+            let entitled =
+                (rate_start.elapsed().as_nanos() as u64).saturating_mul(rate) / 1_000_000_000;
+            room = room.min(entitled.saturating_sub(generated) as usize);
+        }
+        generated += room as u64;
         let physical = Timestamp(shared.now_ns());
         for _ in 0..room {
             sender.push(hlc.tick_local(physical));
         }
-        // Ship per-replica frames.
+        // Ship per-replica frames, honouring each replica's credit.
         let heartbeat = if sender.window_len() == 0
             && hlc.heartbeat_due(physical, cfg.batch_interval.as_nanos() as u64)
         {
@@ -168,51 +317,132 @@ fn feeder_loop(
                 continue;
             }
             let rid = ReplicaId(r as u32);
-            let floor = if last_progress[r].elapsed() > retransmit_after {
-                last_progress[r] = Instant::now();
-                Timestamp::ZERO // Retransmit everything unacked.
+            // The retransmission timeout scales with the observed round
+            // trip: a fixed constant misfires the moment scheduling delay
+            // exceeds it (1024 threads on one core see multi-second acks)
+            // and every misfire is a duplicate storm in miniature.
+            let timed_out = sender.in_flight(rid) > 0
+                && last_progress[r].elapsed() > cfg.retransmit_after.max(rtt_est[r] * 8);
+            let sendable = sender.sendable(rid);
+            if sendable == 0 && !timed_out && heartbeat.is_none() {
+                // EXHAUSTED: the credit window admits nothing. Park the
+                // lane; the replica re-advertises on its theta tick.
+                if sender.starved(rid) {
+                    stats.credit_stalls += 1;
+                }
+                continue;
+            }
+            // Pressure-adaptive frame sizing: at pressure 0 ship whatever
+            // is pending (small frames, low latency); as the replica's
+            // ring fills, hold dribbles back until a full frame (or the
+            // deadline) so overload ships few, large frames. Rate-limited
+            // lanes floor this at a quarter frame — a grant doorbell must
+            // not flush every dribble the accrual clock has admitted.
+            let rate_floor = if cfg.feeder_rate.is_some() {
+                MAX_FRAME_IDS / 4
             } else {
-                last_sent[r] // New ids only.
+                0
             };
+            let min_ship = (pressure[r] as usize * MAX_FRAME_IDS / 255)
+                .max(rate_floor)
+                .min(sender.credit_of(rid) as usize)
+                .min(cfg.window_cap);
+            // A rate-limited lane takes `min_ship / rate` to accrue a
+            // frame worth shipping; holding it to the closed-loop
+            // deadline would flush pressure-sized frames as dribbles and
+            // melt the overload regime into a wake storm.
+            let deadline = match cfg.feeder_rate {
+                Some(rate) if rate > 0 => coalesce_deadline.max(Duration::from_nanos(
+                    (min_ship as u64).saturating_mul(1_000_000_000) / rate,
+                )),
+                _ => coalesce_deadline,
+            };
+            if sendable < min_ship
+                && !timed_out
+                && heartbeat.is_none()
+                && last_ship[r].elapsed() < deadline
+            {
+                continue;
+            }
+            let floor = if timed_out {
+                last_progress[r] = Instant::now();
+                Timestamp::ZERO // Re-ship everything unacked (credit-bounded).
+            } else {
+                sender.sent_of(rid) // New ids only.
+            };
+            let sent_before = sender.sent_of(rid);
             let spare = std::mem::take(&mut spares[r]);
-            let frame = sender.build_frame(partition, rid, floor, heartbeat, spare);
+            let frame = sender.build_frame(partition, rid, floor, heartbeat, MAX_FRAME_IDS, spare);
             if frame.ids.is_empty() && heartbeat.is_none() {
                 spares[r] = frame.ids;
                 continue;
             }
             let newest = frame.ids.last().copied();
-            // A full channel means the replica is saturated; drop and rely
-            // on the retransmission timeout. `last_sent` advances only on
-            // a successful send: advancing it for a dropped frame would
-            // make the next frame skip the dropped ids, the replica's
-            // watermark would jump the gap, and the ack would prune them
-            // from the window unsent — every frame must stay a contiguous
-            // suffix of the unacked stream (the `shard` dedup contract).
+            let resent = frame.ids.partition_point(|&ts| ts <= sent_before) as u64;
+            // A full channel defers the frame; nothing is counted as sent
+            // (`note_sent` advances only on success: skipping ids would
+            // break the contiguous-suffix contract the watermark dedup
+            // relies on), so the next pass re-builds the same suffix.
             match tx.try_send(ToReplica::Frame(frame)) {
                 Ok(()) => {
                     sent_something = true;
+                    last_ship[r] = Instant::now();
+                    stats.retransmitted_ids += resent;
                     if let Some(ts) = newest {
-                        last_sent[r] = last_sent[r].max(ts);
+                        sender.note_sent(rid, ts);
                     }
                 }
                 Err(TrySendError::Full(ToReplica::Frame(f)))
                 | Err(TrySendError::Disconnected(ToReplica::Frame(f))) => {
+                    stats.ring_full_stalls += 1;
                     spares[r] = f.ids;
                 }
                 Err(_) => {}
             }
         }
-        // Adaptive pacing: a feeder whose window is full and which shipped
-        // nothing has nothing to contribute until acks arrive — back off so
-        // idle feeders do not steal CPU from the service on small hosts
-        // (the paper's feeders are separate machines).
-        if sent_something || room > 0 {
-            backoff = cfg.batch_interval;
+        // Event-driven pacing. After shipping, the next actionable moment
+        // is the grant for that frame — and the replica *unparks* this
+        // thread when it issues one, so the park timeout is only a
+        // fallback (lost grant, dead replica). Earlier revisions paced by
+        // sleeping a guessed fraction of the RTT; at 256 feeders the
+        // estimate absorbed ring-queueing delay, the lanes phase-locked
+        // into burst/starve oscillation, and the replica sat idle a third
+        // of the run. A pass that neither shipped nor heard grants —
+        // window fully in flight, credit-starved, ring full — backs off
+        // exponentially instead of stealing CPU from the service on small
+        // hosts (the paper's feeders are separate machines).
+        backoff = if sent_something {
+            let next_grant = dead
+                .iter()
+                .zip(&rtt_est)
+                .filter(|(d, _)| !**d)
+                .map(|(_, rtt)| *rtt * 2)
+                .min()
+                .unwrap_or(cfg.batch_interval);
+            next_grant.clamp(cfg.batch_interval, cfg.batch_interval * 64)
         } else {
-            backoff = (backoff * 2).min(cfg.batch_interval * 16);
+            // Shipped nothing: every wake until the window reopens is a
+            // context switch taken from the replica that would have
+            // refilled the credits, so back off exponentially. Hearing a
+            // grant is no reason to reset — an actionable grant would
+            // have made the ship loop send (the branch above); a
+            // zero-credit grant is just the replica saying "still full".
+            // Starved lanes are woken by the grant doorbell, not the
+            // clock — they may park for whole seconds without adding
+            // latency.
+            (backoff * 2).min(cfg.batch_interval * 1024)
+        };
+        let mut park = backoff;
+        if let Some(floor) = accrual_floor {
+            // A rate-limited lane whose window is not full is waiting on
+            // its own accrual, not on the service.
+            if sender.window_len() < cfg.window_cap {
+                park = park.max(floor);
+            }
         }
-        std::thread::sleep(backoff);
+        std::thread::park_timeout(jitter(park));
     }
+    stats
 }
 
 fn replica_loop(
@@ -221,14 +451,19 @@ fn replica_loop(
     cfg: &EunomiaBenchConfig,
     shared: &Shared,
     rx: &Receiver<ToReplica>,
-    ack_txs: &[Sender<(ReplicaId, Timestamp)>],
+    ack_txs: &[Sender<CreditGrant>],
+    feeders: &[std::thread::Thread],
 ) -> ServiceStats {
     let mut state = ShardedReplicaState::new(ReplicaId(me as u32), n_partitions);
     let mut stats = ServiceStats::default();
     let mut next_theta = Instant::now() + cfg.theta;
     let mut frames: Vec<ToReplica> = Vec::with_capacity(DRAIN_MAX);
     let mut latency_scratch: Vec<u64> = Vec::new();
-    let rid = ReplicaId(me as u32);
+    let ring_cap = frame_ring_capacity(cfg) as f64;
+    let budget = cfg.credit_budget.min(u32::MAX as usize) as u32;
+    // Last credit advertised per lane: the theta tick re-advertises lanes
+    // it throttled (a parked feeder must not have to poll to reopen).
+    let mut advertised: Vec<u32> = vec![u32::MAX; n_partitions];
     'run: loop {
         if shared.stop.load(Ordering::Relaxed) || !shared.alive[me].load(Ordering::Relaxed) {
             break 'run;
@@ -245,22 +480,49 @@ fn replica_loop(
                 Err(RecvTimeoutError::Timeout) => {}
             }
         }
+        // Beat per sweep, not just per theta tick: a replica buried in
+        // ingest is alive, and its peers must not steal leadership from
+        // it merely because its theta clock ran late.
+        shared.beats[me].store(shared.now_ns(), Ordering::Relaxed);
         for msg in frames.drain(..) {
             let frame = match msg {
                 ToReplica::Frame(f) => f,
                 ToReplica::Stop => break 'run,
             };
-            let ack = state
-                .ingest(&frame)
+            let lane = frame.partition;
+            let n_ids = frame.ids.len() as u64;
+            state
+                .ingest_owned(frame)
                 .expect("bench wiring guarantees valid partitions");
             stats.frames += 1;
-            stats.batch_sizes.record(frame.ids.len() as u64);
-            let _ = ack_txs[frame.partition.index()].try_send((rid, ack));
+            stats.batch_sizes.record(n_ids);
+            // Watermark + credit in one grant: the ack the feeder prunes
+            // by, the window it may fill, the pressure it sizes frames by.
+            // The unpark is the grant's doorbell — feeders park between
+            // frames rather than poll, so delivery must wake them. But
+            // only a credit worth a context switch rings it: unparking a
+            // thousand overloaded lanes to hand each a zero is a wake
+            // storm that starves the very drain that would refill the
+            // credits (the grant still flows; parked feeders pick it up
+            // at their next timeout wake).
+            let fill = rx.len() as f64 / ring_cap;
+            if let Some(grant) = state.advertise(lane, fill, budget) {
+                let lane = lane.index();
+                advertised[lane] = grant.credit;
+                stats.advertised_credits.record(grant.credit as u64);
+                let sec = (shared.now_ns() / 1_000_000_000) as usize;
+                stats.record_credit(sec, grant.credit as u64);
+                if ack_txs[lane].try_send(grant).is_ok()
+                    && grant.credit as usize >= MAX_FRAME_IDS / 4
+                {
+                    feeders[lane].unpark();
+                }
+            }
         }
         if Instant::now() >= next_theta {
             next_theta = Instant::now() + cfg.theta;
             shared.beats[me].store(shared.now_ns(), Ordering::Relaxed);
-            let leader = shared.leader(cfg.omega_timeout);
+            let leader = shared.leader(me, cfg.omega_timeout);
             state.set_leader(ReplicaId(leader.unwrap_or(me) as u32));
             if leader == Some(me) {
                 // Tentatively drain, buffering latencies; count (and
@@ -289,6 +551,32 @@ fn replica_loop(
             } else {
                 let stable = Timestamp(shared.global_stable.load(Ordering::Relaxed));
                 state.apply_stable(stable);
+            }
+            // Re-advertise throttled lanes: stabilization just freed
+            // backlog (and the drain above freed ring slots), so parked
+            // feeders learn their window reopened without polling. Lanes
+            // advertised at half the budget or more are still OPEN and
+            // will be refreshed by their own next frame's grant.
+            let fill = rx.len() as f64 / ring_cap;
+            for lane in 0..n_partitions {
+                if advertised[lane] >= budget / 2 {
+                    continue;
+                }
+                if let Some(grant) = state.advertise(PartitionId(lane as u32), fill, budget) {
+                    // Ring the doorbell only on the reopening *edge*: a
+                    // lane already holding workable credit is pacing on
+                    // its own accrual, and re-waking every throttled
+                    // lane every tick is the wake storm all over again.
+                    let reopened = advertised[lane] < (MAX_FRAME_IDS / 4) as u32
+                        && grant.credit as usize >= MAX_FRAME_IDS / 4;
+                    advertised[lane] = grant.credit;
+                    stats.advertised_credits.record(grant.credit as u64);
+                    let sec = (shared.now_ns() / 1_000_000_000) as usize;
+                    stats.record_credit(sec, grant.credit as u64);
+                    if ack_txs[lane].try_send(grant).is_ok() && reopened {
+                        feeders[lane].unpark();
+                    }
+                }
             }
         }
     }
@@ -327,36 +615,50 @@ pub fn run_eunomia_service_with_stats(
     let mut replica_txs = Vec::new();
     let mut replica_rxs = Vec::new();
     for _ in 0..cfg.replicas {
-        let (tx, rx) = bounded::<ToReplica>(cfg.feeders * 4);
+        let (tx, rx) = bounded::<ToReplica>(frame_ring_capacity(cfg));
         replica_txs.push(tx);
         replica_rxs.push(rx);
     }
     let mut ack_txs = Vec::new();
     let mut ack_rxs = Vec::new();
     for _ in 0..cfg.feeders {
-        // Watermark acks supersede each other: a full ring just drops an
-        // ack the next one covers.
-        let (tx, rx) = bounded::<(ReplicaId, Timestamp)>(cfg.replicas * 16);
+        // Credit grants supersede each other: a full ring just drops a
+        // grant the next one covers. Sized so a backed-off feeder (up to
+        // 16 intervals asleep) cannot miss a window-reopening refresh.
+        let (tx, rx) = bounded::<CreditGrant>(cfg.replicas * 64);
         ack_txs.push(tx);
         ack_rxs.push(rx);
     }
 
-    let mut replica_handles = Vec::new();
+    // Feeders first: replicas need their `Thread` handles to ring the
+    // grant doorbell (`unpark`) when a credit window reopens.
     let mut feeder_handles = Vec::new();
-    for (me, rx) in replica_rxs.into_iter().enumerate() {
-        let cfg = cfg.clone();
-        let shared = shared.clone();
-        let ack_txs = ack_txs.clone();
-        replica_handles.push(std::thread::spawn(move || {
-            replica_loop(me, cfg.feeders, &cfg, &shared, &rx, &ack_txs)
-        }));
-    }
     for (p, rx) in ack_rxs.into_iter().enumerate() {
         let cfg = cfg.clone();
         let shared = shared.clone();
         let txs = replica_txs.clone();
         feeder_handles.push(std::thread::spawn(move || {
-            feeder_loop(PartitionId(p as u32), &cfg, &shared, &txs, &rx);
+            feeder_loop(PartitionId(p as u32), &cfg, &shared, &txs, &rx)
+        }));
+    }
+    let feeder_threads: Arc<Vec<std::thread::Thread>> =
+        Arc::new(feeder_handles.iter().map(|h| h.thread().clone()).collect());
+    let mut replica_handles = Vec::new();
+    for (me, rx) in replica_rxs.into_iter().enumerate() {
+        let cfg = cfg.clone();
+        let shared = shared.clone();
+        let ack_txs = ack_txs.clone();
+        let feeder_threads = feeder_threads.clone();
+        replica_handles.push(std::thread::spawn(move || {
+            replica_loop(
+                me,
+                cfg.feeders,
+                &cfg,
+                &shared,
+                &rx,
+                &ack_txs,
+                &feeder_threads,
+            )
         }));
     }
 
@@ -395,11 +697,16 @@ pub fn run_eunomia_service_with_stats(
     for tx in &replica_txs {
         let _ = tx.try_send(ToReplica::Stop);
     }
-    let elapsed = start.elapsed();
-    for h in feeder_handles {
-        let _ = h.join();
+    for t in feeder_threads.iter() {
+        t.unpark();
     }
+    let elapsed = start.elapsed();
     let mut stats = ServiceStats::default();
+    for h in feeder_handles {
+        if let Ok(s) = h.join() {
+            stats.merge(&s);
+        }
+    }
     for h in replica_handles {
         if let Ok(s) = h.join() {
             stats.merge(&s);
@@ -455,6 +762,37 @@ mod tests {
         assert!(t.total > 1_000, "stabilized only {} ops", t.total);
         // All three replicas ingest every frame at least once.
         assert!(stats.accepted_ids >= 3 * t.total, "replicas ingest 3x");
+    }
+
+    /// The regression the credit protocol exists for: at 256 feeders the
+    /// drop-on-full ack ring re-sent hundreds of millions of ids
+    /// (238M at 256x3 in the pre-credit committed sweep). With flow
+    /// control and the retransmission timeout effectively disabled,
+    /// overload must throttle at the source: zero duplicates, while the
+    /// service still makes progress.
+    #[test]
+    fn overloaded_256_feeders_produce_zero_duplicates() {
+        let cfg = EunomiaBenchConfig {
+            feeders: 256,
+            replicas: 1,
+            duration: Duration::from_millis(900),
+            window_cap: 512,
+            // No safety-net retransmissions: every duplicate would be a
+            // flow-control bug, so pin the count to exactly zero.
+            retransmit_after: Duration::from_secs(3600),
+            ..EunomiaBenchConfig::default()
+        };
+        let (t, stats) = run_eunomia_service_with_stats(&cfg);
+        assert!(t.total > 0, "overloaded service must still make progress");
+        assert_eq!(
+            stats.duplicate_ids, 0,
+            "credit flow control must not re-send ids under overload"
+        );
+        assert_eq!(stats.retransmitted_ids, 0);
+        assert!(
+            stats.advertised_credits.count() > 0,
+            "replicas must advertise credit windows"
+        );
     }
 
     #[test]

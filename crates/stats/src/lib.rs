@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Measurement utilities shared by the simulator, the threaded runtime and
 //! the benchmark harnesses.

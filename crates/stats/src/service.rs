@@ -28,11 +28,45 @@ pub struct ServiceStats {
     /// Stabilization latency (ns): id issue (its timestamp) to the
     /// leader's stable drain that emitted it.
     pub stabilization_latency: Histogram,
+    /// Feeder-side: intervals in which a lane had unshipped ids but its
+    /// credit window admitted none of them (the `EXHAUSTED` state of the
+    /// flow-control machine) — how often backpressure actually bit.
+    pub credit_stalls: u64,
+    /// Feeder-side: frames deferred because a replica's ingest ring was
+    /// full. Under credit flow control this should stay near zero — the
+    /// credits, not the ring, are supposed to be the limit.
+    pub ring_full_stalls: u64,
+    /// Feeder-side: ids re-shipped by the retransmission timeout (the
+    /// at-least-once safety net). Every one of these lands as a
+    /// `duplicate_ids` entry at some replica.
+    pub retransmitted_ids: u64,
+    /// Replica-side: distribution of credits advertised in grants.
+    pub advertised_credits: Histogram,
+    /// Replica-side: per-second minimum credit advertised by any lane —
+    /// the advertised-window timeline. [`ServiceStats::NO_CREDIT_SAMPLE`]
+    /// marks seconds in which no grant was issued.
+    pub credit_timeline: Vec<u64>,
     /// Measured wall-clock duration of the run.
     pub elapsed: Duration,
 }
 
 impl ServiceStats {
+    /// Sentinel in [`credit_timeline`](ServiceStats::credit_timeline) for
+    /// a second with no grants.
+    pub const NO_CREDIT_SAMPLE: u64 = u64::MAX;
+
+    /// Folds one advertised credit into the per-second timeline: the
+    /// bucket keeps the *minimum* credit seen that second, the clearest
+    /// view of how hard flow control was squeezing.
+    pub fn record_credit(&mut self, second: usize, credit: u64) {
+        if self.credit_timeline.len() <= second {
+            self.credit_timeline
+                .resize(second + 1, Self::NO_CREDIT_SAMPLE);
+        }
+        let slot = &mut self.credit_timeline[second];
+        *slot = (*slot).min(credit);
+    }
+
     /// Ids stabilized per wall-clock second.
     pub fn ids_per_sec(&self) -> f64 {
         if self.elapsed.is_zero() {
@@ -80,6 +114,17 @@ impl ServiceStats {
             .max(other.queue_depth_high_water);
         self.stabilization_latency
             .merge(&other.stabilization_latency);
+        self.credit_stalls += other.credit_stalls;
+        self.ring_full_stalls += other.ring_full_stalls;
+        self.retransmitted_ids += other.retransmitted_ids;
+        self.advertised_credits.merge(&other.advertised_credits);
+        if self.credit_timeline.len() < other.credit_timeline.len() {
+            self.credit_timeline
+                .resize(other.credit_timeline.len(), Self::NO_CREDIT_SAMPLE);
+        }
+        for (slot, &v) in self.credit_timeline.iter_mut().zip(&other.credit_timeline) {
+            *slot = (*slot).min(v);
+        }
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 }
@@ -135,5 +180,33 @@ mod tests {
         assert_eq!(a.queue_depth_high_water, 9);
         assert_eq!(a.batch_sizes.count(), 3);
         assert_eq!(a.elapsed, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn credit_timeline_keeps_per_second_minimum_across_merges() {
+        let mut a = ServiceStats::default();
+        a.record_credit(0, 500);
+        a.record_credit(0, 200);
+        a.record_credit(2, 900);
+        assert_eq!(
+            a.credit_timeline,
+            vec![200, ServiceStats::NO_CREDIT_SAMPLE, 900]
+        );
+        let mut b = ServiceStats {
+            credit_stalls: 3,
+            ring_full_stalls: 1,
+            retransmitted_ids: 7,
+            ..ServiceStats::default()
+        };
+        b.record_credit(1, 50);
+        b.record_credit(2, 1000);
+        b.record_credit(3, 10);
+        b.advertised_credits.record(50);
+        a.merge(&b);
+        assert_eq!(a.credit_timeline, vec![200, 50, 900, 10]);
+        assert_eq!(a.credit_stalls, 3);
+        assert_eq!(a.ring_full_stalls, 1);
+        assert_eq!(a.retransmitted_ids, 7);
+        assert_eq!(a.advertised_credits.count(), 1);
     }
 }
