@@ -1,13 +1,20 @@
 //! Service fan-in sweep: ids/s at stabilization of the threaded Eunomia
-//! service across feeder and replica scales, written to
+//! service across lane and replica scales, written to
 //! `BENCH_service.json`.
 //!
-//! Sweep cells offer a fixed load per feeder (the paper's deployment
-//! model — every feeder is a partition with its own bounded operation
+//! Sweep cells offer a fixed load per lane (the paper's deployment
+//! model — every lane is a partition with its own bounded operation
 //! stream), so the curve shows throughput scaling with the partition
 //! count until the service saturates and credit flow control takes over;
 //! the default-config speedup probe below stays closed-loop as a raw
-//! capacity measurement.
+//! capacity measurement. High lane counts are multiplexed: the 1024-lane
+//! cells run 16 feeder threads x 64 lanes each (the paper's proxy
+//! deployment) rather than 1024 OS threads, which is what carries the
+//! sweep past the fan-in knee the thread-per-lane topology hits.
+//!
+//! A fault cell follows the sweep: kill the leader replica mid-run, then
+//! revive it, and assert the credit timeline recovers — the service-path
+//! analogue of the simulator's fault matrix.
 //!
 //! This harness seeds the repo's service-bench trajectory for the PR that
 //! rebuilt the threaded hot path (lock-free ring channels, batch frames,
@@ -36,16 +43,34 @@ use std::time::Duration;
 /// rebuild ("PR 4" in CHANGES.md).
 const PRE_REFACTOR_IDS_PER_SEC: f64 = 5_087_121.0;
 
-/// Offered load per feeder (ids/s) for the sweep cells — the paper's
-/// deployment model: each feeder is a datacenter partition with its own
+/// Offered load per lane (ids/s) for the sweep cells — the paper's
+/// deployment model: each lane is a datacenter partition with its own
 /// bounded operation stream, and scaling the partition count scales the
 /// offered load until the service saturates. (The default-config capacity
 /// probe below stays closed-loop.)
 const SWEEP_FEEDER_RATE: u64 = 300_000;
 
+/// Mux geometry per sweep cell: `(lanes_per_feeder, stabilizers)`.
+///
+/// The small cells keep the thread-per-lane topology (one lane per
+/// feeder thread, one stabilizer) so their numbers stay directly
+/// comparable with the pre-mux sweep. The 1024-lane cells are where
+/// thread-per-lane hits the fan-in knee — context-switch storm between
+/// 1024 feeders, one doorbell per lane, one serial theta sweep — so they
+/// run the proxy topology: 16 feeder threads x 64 lanes each.
+fn geometry(lanes: usize) -> (usize, usize) {
+    if lanes >= 1024 {
+        (64, 1)
+    } else {
+        (1, 1)
+    }
+}
+
 struct Cell {
     feeders: usize,
     replicas: usize,
+    lanes_per_feeder: usize,
+    stabilizers: usize,
     stats: ServiceStats,
 }
 
@@ -53,28 +78,102 @@ impl Cell {
     fn offered_ids_per_sec(&self) -> u64 {
         self.feeders as u64 * SWEEP_FEEDER_RATE
     }
+
+    fn feeder_threads(&self) -> usize {
+        self.feeders.div_ceil(self.lanes_per_feeder)
+    }
+
+    /// `threads x lanes/thread` — the mux-geometry column.
+    fn geometry(&self) -> String {
+        format!("{}x{}", self.feeder_threads(), self.lanes_per_feeder)
+    }
+}
+
+/// The kill/restart fault cell: leader replica 0 dies mid-run and is
+/// revived; the run is judged on whether flow control *recovers* —
+/// stabilization resumes and the advertised-credit timeline climbs back
+/// off the floor — rather than on raw throughput.
+struct FaultCell {
+    cfg: EunomiaBenchConfig,
+    crash_at: Duration,
+    revive_at: Duration,
+    per_second: Vec<u64>,
+    stats: ServiceStats,
+}
+
+fn run_fault_cell(secs: u64) -> FaultCell {
+    let crash_at = Duration::from_millis(1200);
+    let revive_at = Duration::from_millis(2400);
+    let cfg = EunomiaBenchConfig {
+        feeders: 64,
+        lanes_per_feeder: 4,
+        replicas: 3,
+        duration: Duration::from_secs(secs + 2),
+        feeder_rate: Some(SWEEP_FEEDER_RATE),
+        crashes: vec![(crash_at, 0)],
+        revives: vec![(revive_at, 0)],
+        ..EunomiaBenchConfig::default()
+    };
+    let (timeline, stats) = run_eunomia_service_with_stats(&cfg);
+    FaultCell {
+        cfg,
+        crash_at,
+        revive_at,
+        per_second: timeline.per_second,
+        stats,
+    }
+}
+
+impl FaultCell {
+    /// The recovery predicate the CI gate relies on. Panics (failing the
+    /// bench run) if the service did not come back from the fault.
+    fn assert_recovered(&self) {
+        let last_sec = self.per_second.len() - 1;
+        assert!(
+            self.per_second[last_sec] > 0,
+            "no stabilization in the final second after revival: {:?}",
+            self.per_second
+        );
+        let last_credit = self.stats.credit_timeline.last().copied();
+        assert!(
+            matches!(last_credit, Some(v) if v != ServiceStats::NO_CREDIT_SAMPLE && v > 0),
+            "credit timeline did not recover after revival: {:?}",
+            self.stats.credit_timeline
+        );
+        assert!(
+            self.stats.duplicate_ids * 1000 <= self.stats.accepted_ids,
+            "revival resend produced {} duplicates against {} accepted",
+            self.stats.duplicate_ids,
+            self.stats.accepted_ids
+        );
+    }
 }
 
 fn main() {
     let args = BenchArgs::parse();
     eunomia_bench::banner(
         "perf_service",
-        "threaded service fan-in sweep: feeders x {16, 64, 256, 1024} at \
-         300k ids/s offered per feeder, replicas x {1, 3}",
+        "threaded service fan-in sweep: lanes x {16, 64, 256, 1024} at \
+         300k ids/s offered per lane, replicas x {1, 3}; 1024-lane cells \
+         multiplex 64 lanes per feeder thread",
         "credit flow control holds the overload regime: throughput scales \
-         with feeders until the service saturates (256-feeder cells beat \
-         64-feeder cells), duplicate ids ~0 across the sweep, and the \
-         oversubscribed 1024-feeder point degrades gracefully instead of \
-         melting into a retransmission storm",
+         with lanes until the service saturates (256-lane cells beat \
+         64-lane cells), duplicate ids ~0 across the sweep, and lane \
+         multiplexing + grant batching carry the 1024-lane point past \
+         the thread-per-lane fan-in knee; a kill/restart fault cell \
+         must re-converge its credit timeline",
     );
 
     let secs = args.secs(4, 2);
     let mut cells: Vec<Cell> = Vec::new();
     for &feeders in &[16usize, 64, 256, 1024] {
         for &replicas in &[1usize, 3] {
+            let (lanes_per_feeder, stabilizers) = geometry(feeders);
             let cfg = EunomiaBenchConfig {
                 feeders,
+                lanes_per_feeder,
                 replicas,
+                stabilizers,
                 duration: Duration::from_secs(secs),
                 feeder_rate: Some(SWEEP_FEEDER_RATE),
                 ..EunomiaBenchConfig::default()
@@ -83,6 +182,8 @@ fn main() {
             cells.push(Cell {
                 feeders,
                 replicas,
+                lanes_per_feeder,
+                stabilizers,
                 stats,
             });
         }
@@ -95,6 +196,7 @@ fn main() {
             let stab = s.stabilization_latencies_ms(&[50.0, 99.0]);
             vec![
                 format!("{}", c.feeders),
+                c.geometry(),
                 format!("{}", c.replicas),
                 format!("{:.0}", c.offered_ids_per_sec() as f64 / 1000.0),
                 format!("{}", s.stabilized_ids),
@@ -106,15 +208,16 @@ fn main() {
                 format!("{}", s.duplicate_ids),
                 format!("{}", s.credit_stalls),
                 format!("{}", s.retransmitted_ids),
-                s.advertised_credits
-                    .min()
-                    .map_or_else(|| "-".into(), |v| format!("{v}")),
+                s.theta_sweep_us(99.0)
+                    .map_or_else(|| "-".into(), |v| format!("{v:.0}")),
+                format!("{:.1}", s.mean_grant_batch_lanes()),
             ]
         })
         .collect();
     eunomia_bench::print_table(
         &[
-            "feeders",
+            "lanes",
+            "geometry",
             "replicas",
             "offered k/s",
             "stabilized",
@@ -126,9 +229,30 @@ fn main() {
             "dups",
             "credit stalls",
             "resent",
-            "credit min",
+            "sweep p99 us",
+            "batch lanes",
         ],
         &rows,
+    );
+
+    // The kill/restart fault cell (leader dies at 1.2 s, revives at
+    // 2.4 s). Runs after the sweep so a recovery failure still leaves
+    // the sweep numbers on screen.
+    let fault = run_fault_cell(secs);
+    fault.assert_recovered();
+    println!(
+        "\nfault cell ({} lanes as {}x{}, {} replicas): leader killed at {:.1} s, \
+         revived at {:.1} s -> {:.0} ids/s overall, final-second {} ids, dups {}, \
+         credit timeline recovered",
+        fault.cfg.feeders,
+        fault.cfg.feeders / fault.cfg.lanes_per_feeder,
+        fault.cfg.lanes_per_feeder,
+        fault.cfg.replicas,
+        fault.crash_at.as_secs_f64(),
+        fault.revive_at.as_secs_f64(),
+        fault.stats.ids_per_sec(),
+        fault.per_second.last().copied().unwrap_or(0),
+        fault.stats.duplicate_ids,
     );
 
     // Speedup vs the recorded pre-refactor service on the default config.
@@ -168,17 +292,23 @@ fn main() {
         eunomia_bench::fmt_ms(svc.stabilization_latency_ms(99.0)),
     );
 
-    let json = render_json(&cells, best, speedup, args.quick);
+    let json = render_json(&cells, &fault, best, speedup, args.quick);
     eunomia_bench::write_artifact(
         "BENCH_service.json",
         &json,
-        &["runs", "baseline_pre_refactor"],
+        &["runs", "baseline_pre_refactor", "fault_cell"],
         cells.len(),
         "runs",
     );
 }
 
-fn render_json(cells: &[Cell], best_default: f64, speedup: f64, quick: bool) -> String {
+fn render_json(
+    cells: &[Cell],
+    fault: &FaultCell,
+    best_default: f64,
+    speedup: f64,
+    quick: bool,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"perf_service\",");
@@ -198,6 +328,45 @@ fn render_json(cells: &[Cell], best_default: f64, speedup: f64, quick: bool) -> 
     out.push_str("  },\n");
     let _ = writeln!(out, "  \"default_best_ids_per_sec\": {best_default:.0},");
     let _ = writeln!(out, "  \"default_speedup_vs_baseline\": {speedup:.3},");
+    out.push_str("  \"fault_cell\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"feeders\": {}, \"lanes_per_feeder\": {}, \"replicas\": {},",
+        fault.cfg.feeders, fault.cfg.lanes_per_feeder, fault.cfg.replicas
+    );
+    let _ = writeln!(
+        out,
+        "    \"crash_at_s\": {:.1}, \"revive_at_s\": {:.1}, \"duration_s\": {:.1},",
+        fault.crash_at.as_secs_f64(),
+        fault.revive_at.as_secs_f64(),
+        fault.cfg.duration.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "    \"ids_per_sec\": {:.0}, \"accepted_ids\": {}, \"duplicate_ids\": {}, \
+         \"retransmitted_ids\": {},",
+        fault.stats.ids_per_sec(),
+        fault.stats.accepted_ids,
+        fault.stats.duplicate_ids,
+        fault.stats.retransmitted_ids
+    );
+    let _ = writeln!(
+        out,
+        "    \"stabilized_per_second\": [{}],",
+        fault
+            .per_second
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "    \"credit_timeline_min\": [{}],",
+        credit_timeline_json(&fault.stats)
+    );
+    out.push_str("    \"recovered\": true\n");
+    out.push_str("  },\n");
     out.push_str("  \"runs\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let s = &c.stats;
@@ -205,7 +374,9 @@ fn render_json(cells: &[Cell], best_default: f64, speedup: f64, quick: bool) -> 
         out.push_str("    {");
         let _ = write!(
             out,
-            "\"feeders\": {}, \"replicas\": {}, \"offered_ids_per_sec\": {}, \
+            "\"feeders\": {}, \"replicas\": {}, \"feeder_threads\": {}, \
+             \"lanes_per_feeder\": {}, \"stabilizers\": {}, \
+             \"offered_ids_per_sec\": {}, \
              \"wall_secs\": {:.3}, \
              \"stabilized_ids\": {}, \"ids_per_sec\": {:.0}, \"frames\": {}, \
              \"mean_batch\": {:.1}, \"queue_depth_high_water\": {}, \
@@ -213,9 +384,15 @@ fn render_json(cells: &[Cell], best_default: f64, speedup: f64, quick: bool) -> 
              \"accepted_ids\": {}, \"duplicate_ids\": {}, \
              \"credit_stalls\": {}, \"ring_full_stalls\": {}, \
              \"retransmitted_ids\": {}, \"credit_min\": {}, \
-             \"credit_p50\": {}, \"credit_timeline_min\": [{}]",
+             \"credit_p50\": {}, \
+             \"theta_sweep_p50_us\": {}, \"theta_sweep_p99_us\": {}, \
+             \"grant_batches\": {}, \"mean_grant_batch_lanes\": {:.2}, \
+             \"doorbell_unparks\": {}, \"credit_timeline_min\": [{}]",
             c.feeders,
             c.replicas,
+            c.feeder_threads(),
+            c.lanes_per_feeder,
+            c.stabilizers,
             c.offered_ids_per_sec(),
             s.elapsed.as_secs_f64(),
             s.stabilized_ids,
@@ -232,22 +409,31 @@ fn render_json(cells: &[Cell], best_default: f64, speedup: f64, quick: bool) -> 
             s.retransmitted_ids,
             json_u64_opt(s.advertised_credits.min()),
             json_u64_opt(s.advertised_credits.percentile(50.0)),
-            s.credit_timeline
-                .iter()
-                .map(|&v| {
-                    if v == ServiceStats::NO_CREDIT_SAMPLE {
-                        "null".to_string()
-                    } else {
-                        v.to_string()
-                    }
-                })
-                .collect::<Vec<_>>()
-                .join(", "),
+            json_opt(s.theta_sweep_us(50.0)),
+            json_opt(s.theta_sweep_us(99.0)),
+            s.grant_batches,
+            s.mean_grant_batch_lanes(),
+            s.doorbell_unparks,
+            credit_timeline_json(s),
         );
         out.push_str(if i + 1 == cells.len() { "}\n" } else { "},\n" });
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+fn credit_timeline_json(s: &ServiceStats) -> String {
+    s.credit_timeline
+        .iter()
+        .map(|&v| {
+            if v == ServiceStats::NO_CREDIT_SAMPLE {
+                "null".to_string()
+            } else {
+                v.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn json_opt(v: Option<f64>) -> String {

@@ -313,12 +313,32 @@ impl ShardedReplicaState {
     /// has not advanced.
     pub fn leader_process_stable_with(
         &mut self,
+        emit: impl FnMut(PartitionId, Timestamp),
+    ) -> Option<Timestamp> {
+        self.leader_process_stable_up_to(Timestamp::MAX, emit)
+    }
+
+    /// [`leader_process_stable_with`], bounded by an external `cutoff`:
+    /// drains ids at or below `min(cutoff, stable_time())`.
+    ///
+    /// This is the sharded-stabilizer entry point. When a replica's lane
+    /// table is split across several stabilizer threads, each shard's
+    /// tournament tree knows only *its* lanes' minimum; the true stable
+    /// time is the minimum over every shard. The combiner folds the
+    /// published per-shard minima into that global cutoff and each shard
+    /// drains its own lanes up to it — never past its local minimum, and
+    /// never past what the other shards have confirmed.
+    ///
+    /// [`leader_process_stable_with`]: Self::leader_process_stable_with
+    pub fn leader_process_stable_up_to(
+        &mut self,
+        cutoff: Timestamp,
         mut emit: impl FnMut(PartitionId, Timestamp),
     ) -> Option<Timestamp> {
         if !self.is_leader() {
             return None;
         }
-        let stable = self.stable_time();
+        let stable = self.stable_time().min(cutoff);
         if stable <= self.last_stable {
             return None;
         }
@@ -682,6 +702,325 @@ impl LaneSender {
     }
 }
 
+/// A [`CreditGrant`] tagged with the lane it is for.
+///
+/// The per-lane grant rings of the unmultiplexed service imply the lane
+/// by construction; a [`GrantBatch`] carries grants for *many* lanes in
+/// one ring entry, so each entry names its lane explicitly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneGrant {
+    /// The feeder lane this grant addresses.
+    pub lane: PartitionId,
+    /// The watermark-plus-credit acknowledgement itself.
+    pub grant: CreditGrant,
+}
+
+/// One coalesced bundle of per-lane grants: a single ring entry (and a
+/// single doorbell unpark) amortized over every lane a feeder thread
+/// owns.
+///
+/// The unmultiplexed service acks every ingested frame with its own ring
+/// entry and its own `unpark` — at 1024 lanes that is a doorbell storm
+/// which starves the very drain that refills the credits. A replica
+/// instead folds the sweep's grants into one `GrantBatch` per feeder
+/// thread via [`GrantCoalescer`] and rings the doorbell at most once per
+/// batch.
+#[derive(Clone, Debug, Default)]
+pub struct GrantBatch {
+    /// At most one (folded) grant per lane, in ascending lane order.
+    pub grants: Vec<LaneGrant>,
+}
+
+impl GrantBatch {
+    /// Whether any lane in the batch received a credit worth a context
+    /// switch — the doorbell predicate: a batch of zero-credit grants
+    /// must not wake a parked feeder just to tell it "still full".
+    pub fn workable(&self, min_credit: u32) -> bool {
+        self.grants.iter().any(|g| g.grant.credit >= min_credit)
+    }
+}
+
+/// Replica-side accumulator that folds per-frame [`CreditGrant`]s into
+/// one [`GrantBatch`] per drain sweep for one feeder thread's lane range.
+///
+/// Folding two grants for the same lane keeps the **maximum ack** (acks
+/// are watermarks and only ever advance) and the **latest credit and
+/// pressure** (a replica under growing pressure legitimately shrinks the
+/// window; the newest view wins). [`restore`](Self::restore) puts a batch
+/// back after a failed send without clobbering anything fresher that was
+/// noted in the meantime.
+#[derive(Clone, Debug)]
+pub struct GrantCoalescer {
+    /// First lane of the feeder thread's range.
+    base: PartitionId,
+    /// Pending folded grant per lane (relative to `base`).
+    slots: Vec<Option<CreditGrant>>,
+    /// Number of occupied slots.
+    occupied: usize,
+}
+
+impl GrantCoalescer {
+    /// A coalescer covering lanes `base .. base + n_lanes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_lanes` is zero.
+    pub fn new(base: PartitionId, n_lanes: usize) -> Self {
+        assert!(n_lanes > 0, "a feeder thread owns at least one lane");
+        GrantCoalescer {
+            base,
+            slots: vec![None; n_lanes],
+            occupied: 0,
+        }
+    }
+
+    /// First lane of the covered range.
+    pub fn base(&self) -> PartitionId {
+        self.base
+    }
+
+    /// Number of lanes with a pending grant.
+    pub fn pending(&self) -> usize {
+        self.occupied
+    }
+
+    /// Folds a grant for `lane` into the pending batch: max ack, latest
+    /// credit and pressure.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `lane` is outside the covered range.
+    pub fn note(&mut self, lane: PartitionId, grant: CreditGrant) {
+        let rel = lane.index().wrapping_sub(self.base.index());
+        debug_assert!(rel < self.slots.len(), "lane outside coalescer range");
+        let slot = &mut self.slots[rel];
+        match slot {
+            Some(prev) => {
+                *slot = Some(CreditGrant {
+                    replica: grant.replica,
+                    ack: prev.ack.max(grant.ack),
+                    credit: grant.credit,
+                    pressure: grant.pressure,
+                });
+            }
+            None => {
+                *slot = Some(grant);
+                self.occupied += 1;
+            }
+        }
+    }
+
+    /// Drains the pending grants into one [`GrantBatch`] (ascending lane
+    /// order), reusing `batch`'s allocation. Returns `None` — handing the
+    /// allocation back untouched — if nothing is pending.
+    pub fn drain(&mut self, mut batch: GrantBatch) -> Option<GrantBatch> {
+        if self.occupied == 0 {
+            return None;
+        }
+        batch.grants.clear();
+        for (rel, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(grant) = slot.take() {
+                batch.grants.push(LaneGrant {
+                    lane: PartitionId(self.base.0 + rel as u32),
+                    grant,
+                });
+            }
+        }
+        self.occupied = 0;
+        Some(batch)
+    }
+
+    /// Puts a batch back after a failed send. A lane that was re-noted
+    /// since the drain keeps its fresher credit; only the monotone ack is
+    /// folded in. Lanes without fresher grants get the batch's entry
+    /// back verbatim, so the next sweep re-sends them.
+    pub fn restore(&mut self, batch: &GrantBatch) {
+        for lg in &batch.grants {
+            let rel = lg.lane.index().wrapping_sub(self.base.index());
+            debug_assert!(rel < self.slots.len(), "lane outside coalescer range");
+            match &mut self.slots[rel] {
+                Some(prev) => prev.ack = prev.ack.max(lg.grant.ack),
+                slot @ None => {
+                    *slot = Some(lg.grant);
+                    self.occupied += 1;
+                }
+            }
+        }
+    }
+}
+
+/// One feeder thread's multiplexer over many logical partition lanes —
+/// the paper's proxy deployment, where one node fronts many partitions.
+///
+/// Each logical lane keeps its own [`LaneSender`] (its window is its
+/// partition's unacknowledged stream; its per-replica watermarks and
+/// credits are *protocol* state and cannot be shared without changing
+/// [`ShardedReplicaState`]'s dedup semantics — frames still carry the
+/// lane tag and are still contiguous suffixes per lane). What the mux
+/// shares is everything *thread-scoped*: one id budget across the lanes
+/// (`window_len` is the pooled occupancy a feeder loop caps), one grant
+/// ring, one park/unpark doorbell, one clock read per pass. Turning 1024
+/// single-lane OS threads into 64 threads × 16 lanes removes the
+/// scheduler fan-in cost while leaving the wire protocol byte-identical:
+/// a `MuxSender` driving K lanes emits exactly the frames K independent
+/// [`LaneSender`]s would (pinned by the proptests below).
+#[derive(Clone, Debug)]
+pub struct MuxSender {
+    base: PartitionId,
+    lanes: Vec<LaneSender>,
+    /// Pooled window occupancy: sum of the lanes' window lengths.
+    window_total: usize,
+}
+
+impl MuxSender {
+    /// A mux over lanes `base .. base + n_lanes`, each replicating to
+    /// `n_replicas` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_lanes` or `n_replicas` is zero.
+    pub fn new(base: PartitionId, n_lanes: usize, n_replicas: usize) -> Self {
+        assert!(n_lanes > 0, "a mux drives at least one lane");
+        MuxSender {
+            base,
+            lanes: (0..n_lanes).map(|_| LaneSender::new(n_replicas)).collect(),
+            window_total: 0,
+        }
+    }
+
+    /// Number of logical lanes.
+    pub fn n_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// First lane of the range.
+    pub fn base(&self) -> PartitionId {
+        self.base
+    }
+
+    /// Global [`PartitionId`] of local lane `lane`.
+    pub fn partition(&self, lane: usize) -> PartitionId {
+        PartitionId(self.base.0 + lane as u32)
+    }
+
+    /// The lane's underlying sender (read-only; mutation goes through the
+    /// mux so the pooled window count stays consistent).
+    pub fn lane(&self, lane: usize) -> &LaneSender {
+        &self.lanes[lane]
+    }
+
+    /// Pooled window occupancy across all lanes — the quantity a feeder
+    /// thread budgets (one shared window for the thread, not one cap per
+    /// lane).
+    pub fn window_len(&self) -> usize {
+        self.window_total
+    }
+
+    /// Window occupancy of one lane.
+    pub fn lane_window_len(&self, lane: usize) -> usize {
+        self.lanes[lane].window_len()
+    }
+
+    /// Appends a freshly issued id to `lane`'s window.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) unless `ts` exceeds the lane's newest id.
+    pub fn push(&mut self, lane: usize, ts: Timestamp) {
+        self.lanes[lane].push(ts);
+        self.window_total += 1;
+    }
+
+    /// Builds `lane`'s frame for `replica` (see [`LaneSender::build_frame`]);
+    /// the frame is tagged with the lane's global [`PartitionId`].
+    pub fn build_frame(
+        &self,
+        lane: usize,
+        replica: ReplicaId,
+        floor: Timestamp,
+        heartbeat: Option<Timestamp>,
+        max_ids: usize,
+        ids: Vec<Timestamp>,
+    ) -> BatchFrame {
+        self.lanes[lane].build_frame(
+            self.partition(lane),
+            replica,
+            floor,
+            heartbeat,
+            max_ids,
+            ids,
+        )
+    }
+
+    /// Applies a [`CreditGrant`] to `lane` (see [`LaneSender::on_grant`]).
+    /// Returns the number of ids pruned from the lane's window.
+    pub fn on_grant(&mut self, lane: usize, grant: CreditGrant) -> usize {
+        let pruned = self.lanes[lane].on_grant(grant);
+        self.window_total -= pruned;
+        pruned
+    }
+
+    /// Records a bare watermark ack for `lane` (see [`LaneSender::on_ack`]).
+    pub fn on_ack(&mut self, lane: usize, replica: ReplicaId, ts: Timestamp) -> usize {
+        let pruned = self.lanes[lane].on_ack(replica, ts);
+        self.window_total -= pruned;
+        pruned
+    }
+
+    /// Marks `replica` crashed on every lane. Returns total ids pruned.
+    pub fn mark_dead(&mut self, replica: ReplicaId) -> usize {
+        let mut pruned = 0;
+        for lane in &mut self.lanes {
+            pruned += lane.mark_dead(replica);
+        }
+        self.window_total -= pruned;
+        pruned
+    }
+
+    /// Marks `replica` live again on every lane (see
+    /// [`LaneSender::mark_alive`]).
+    pub fn mark_alive(&mut self, replica: ReplicaId) {
+        for lane in &mut self.lanes {
+            lane.mark_alive(replica);
+        }
+    }
+
+    /// Records that every id up to `ts` shipped to `replica` on `lane`.
+    pub fn note_sent(&mut self, lane: usize, replica: ReplicaId, ts: Timestamp) {
+        self.lanes[lane].note_sent(replica, ts);
+    }
+
+    /// Highest id shipped to `replica` on `lane`.
+    pub fn sent_of(&self, lane: usize, replica: ReplicaId) -> Timestamp {
+        self.lanes[lane].sent_of(replica)
+    }
+
+    /// Latest credit `replica` advertised to `lane`.
+    pub fn credit_of(&self, lane: usize, replica: ReplicaId) -> u32 {
+        self.lanes[lane].credit_of(replica)
+    }
+
+    /// Unshipped ids of `lane` admitted by `replica`'s credit window.
+    pub fn sendable(&self, lane: usize, replica: ReplicaId) -> usize {
+        self.lanes[lane].sendable(replica)
+    }
+
+    /// Whether `lane` is credit-starved for `replica`.
+    pub fn starved(&self, lane: usize, replica: ReplicaId) -> bool {
+        self.lanes[lane].starved(replica)
+    }
+
+    /// Ids of `lane` shipped to `replica` but not yet acknowledged.
+    pub fn in_flight(&self, lane: usize, replica: ReplicaId) -> usize {
+        self.lanes[lane].in_flight(replica)
+    }
+
+    /// Highest watermark ack `replica` returned for `lane`.
+    pub fn ack_of(&self, lane: usize, replica: ReplicaId) -> Timestamp {
+        self.lanes[lane].ack_of(replica)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -928,6 +1267,120 @@ mod tests {
     }
 
     #[test]
+    fn cutoff_bounded_drain_never_passes_the_combined_minimum() {
+        let mut r = ShardedReplicaState::new(ReplicaId(0), 2);
+        r.ingest(&frame(0, &[3, 7])).unwrap();
+        r.ingest(&frame(1, &[9])).unwrap();
+        // Local minimum is 7 (lane 0's watermark), but another shard's
+        // published minimum caps the combined cutoff at 5.
+        let mut out = Vec::new();
+        let stable = r
+            .leader_process_stable_up_to(Timestamp(5), |_, ts| out.push(ts))
+            .unwrap();
+        assert_eq!(stable, Timestamp(5));
+        assert_eq!(out, vec![Timestamp(3)]);
+        assert_eq!(r.pending(), 2);
+        // A cutoff at or below what was already drained is a no-op.
+        assert!(r
+            .leader_process_stable_up_to(Timestamp(5), |_, _| panic!("no ids"))
+            .is_none());
+        // The unbounded form still drains to the local minimum.
+        out.clear();
+        let stable = r.leader_process_stable_with(|_, ts| out.push(ts)).unwrap();
+        assert_eq!(stable, Timestamp(7));
+        assert_eq!(out, vec![Timestamp(7)]);
+    }
+
+    fn grant(replica: u32, ack: u64, credit: u32, pressure: u8) -> CreditGrant {
+        CreditGrant {
+            replica: ReplicaId(replica),
+            ack: Timestamp(ack),
+            credit,
+            pressure,
+        }
+    }
+
+    #[test]
+    fn coalescer_folds_one_batch_per_sweep_with_monotone_acks() {
+        let mut c = GrantCoalescer::new(p(8), 4);
+        // Three grants for lane 9 within one sweep: the ack is monotone
+        // (a late-arriving older ack cannot regress it), the credit and
+        // pressure are latest-wins.
+        c.note(p(9), grant(0, 10, 100, 0));
+        c.note(p(9), grant(0, 25, 80, 3));
+        c.note(p(9), grant(0, 20, 60, 9));
+        c.note(p(8), grant(0, 5, 0, 255));
+        assert_eq!(c.pending(), 2);
+        // One drain yields ONE batch carrying every dirty lane, ascending.
+        let batch = c.drain(GrantBatch::default()).unwrap();
+        assert_eq!(batch.grants.len(), 2);
+        assert_eq!(batch.grants[0].lane, p(8));
+        assert_eq!(batch.grants[0].grant, grant(0, 5, 0, 255));
+        assert_eq!(batch.grants[1].lane, p(9));
+        assert_eq!(batch.grants[1].grant, grant(0, 25, 60, 9));
+        // The doorbell predicate: rings iff some lane's credit clears the
+        // threshold — a batch of zero-credit grants must stay silent.
+        assert!(batch.workable(60));
+        assert!(!batch.workable(61));
+        let mut silent = GrantCoalescer::new(p(0), 1);
+        silent.note(p(0), grant(0, 5, 0, 255));
+        assert!(!silent.drain(GrantBatch::default()).unwrap().workable(1));
+        // Drained clean: the next sweep has nothing, i.e. one ring entry
+        // (and at most one unpark) per sweep, not per lane or per frame.
+        assert_eq!(c.pending(), 0);
+        assert!(c.drain(GrantBatch::default()).is_none());
+    }
+
+    #[test]
+    fn coalescer_restore_keeps_fresher_grants() {
+        let mut c = GrantCoalescer::new(p(0), 2);
+        c.note(p(0), grant(0, 10, 50, 0));
+        c.note(p(1), grant(0, 7, 20, 0));
+        let batch = c.drain(GrantBatch::default()).unwrap();
+        // Lane 0 got a fresher grant between drain and the failed send.
+        c.note(p(0), grant(0, 12, 90, 1));
+        c.restore(&batch);
+        let again = c.drain(GrantBatch::default()).unwrap();
+        assert_eq!(again.grants.len(), 2);
+        // Fresher credit survives the restore; the ack stays monotone.
+        assert_eq!(again.grants[0].grant, grant(0, 12, 90, 1));
+        // Lane 1 had nothing fresher: the batch entry comes back verbatim.
+        assert_eq!(again.grants[1].grant, grant(0, 7, 20, 0));
+    }
+
+    #[test]
+    fn mux_tracks_pooled_window_and_marks_replicas_per_lane() {
+        let mut m = MuxSender::new(p(4), 2, 2);
+        assert_eq!(m.partition(1), p(5));
+        m.push(0, Timestamp(1));
+        m.push(0, Timestamp(2));
+        m.push(1, Timestamp(3));
+        assert_eq!(m.window_len(), 3);
+        assert_eq!(m.lane_window_len(0), 2);
+        let f = m.build_frame(
+            0,
+            ReplicaId(0),
+            Timestamp::ZERO,
+            None,
+            usize::MAX,
+            Vec::new(),
+        );
+        assert_eq!(f.partition, p(4), "frames carry the global lane tag");
+        assert_eq!(f.ids.len(), 2);
+        // Replica 0 acks lane 0; replica 1 still pins it.
+        assert_eq!(m.on_ack(0, ReplicaId(0), Timestamp(2)), 0);
+        assert_eq!(m.mark_dead(ReplicaId(1)), 2);
+        assert_eq!(m.window_len(), 1);
+        m.mark_alive(ReplicaId(1));
+        assert_eq!(m.credit_of(0, ReplicaId(1)), INITIAL_CREDIT);
+        assert_eq!(
+            m.on_grant(1, grant(0, 3, 10, 0)) + m.on_grant(1, grant(1, 3, 10, 0)),
+            1
+        );
+        assert_eq!(m.window_len(), 0);
+    }
+
+    #[test]
     fn append_above_spans_the_deque_wrap_point() {
         let mut s = LaneSender::new(1);
         // Force a wrapped deque: push, prune, push more.
@@ -1096,6 +1549,111 @@ mod tests {
                     sharded[target].stable_time(),
                     reference[target].stable_time()
                 );
+            }
+        }
+
+        /// A `MuxSender` driving K lanes is id-for-id equivalent to K
+        /// independent `LaneSender`s against the reference `ReplicaState`,
+        /// under frame loss, duplicated (re-sent) frames, and lost grants:
+        /// identical frames on the wire, identical acks, identical credit
+        /// windows, identical stable times.
+        #[test]
+        fn mux_is_equivalent_to_independent_lane_senders(
+            n_lanes in 1usize..5,
+            budget in 1u32..32,
+            plan in proptest::collection::vec(
+                // (lane pick, replica pick, action): 0 = send+grant,
+                // 1 = frame lost, 2 = grant lost, 3 = duplicate resend,
+                // 4 = stabilize + re-advertise.
+                (0usize..5, 0usize..2, 0u8..5),
+                0..160,
+            ),
+        ) {
+            use crate::replica::ReplicaState;
+            let n_replicas = 2usize;
+            let base = p(3); // Non-zero base: global/local mapping exercised.
+            let mut mux = MuxSender::new(base, n_lanes, n_replicas);
+            let mut solo: Vec<LaneSender> =
+                (0..n_lanes).map(|_| LaneSender::new(n_replicas)).collect();
+            // One replica pair per flavour, each with `n_lanes` lanes
+            // (lane l is local index l, global PartitionId base + l).
+            let mut via_mux: Vec<ShardedReplicaState> =
+                (0..n_replicas).map(|i| ShardedReplicaState::new(ReplicaId(i as u32), n_lanes)).collect();
+            let mut via_solo: Vec<ReplicaState<u64>> =
+                (0..n_replicas).map(|i| ReplicaState::new(ReplicaId(i as u32), n_lanes)).collect();
+            for r in &mut via_mux {
+                r.promote();
+            }
+            for (i, r) in via_solo.iter_mut().enumerate() {
+                r.set_leader(ReplicaId(i as u32));
+            }
+            let mut next_ts = 0u64;
+            for (lane_pick, target, action) in plan {
+                let lane = lane_pick % n_lanes;
+                let rid = ReplicaId(target as u32);
+                // Issue one id on the picked lane in both flavours.
+                next_ts += 1;
+                mux.push(lane, Timestamp(next_ts));
+                solo[lane].push(Timestamp(next_ts));
+                prop_assert_eq!(
+                    mux.window_len(),
+                    solo.iter().map(|s| s.window_len()).sum::<usize>(),
+                    "pooled window must equal the sum of independent windows"
+                );
+                if action == 4 {
+                    via_mux[target].leader_process_stable_with(|_, _| {});
+                    let mut sink = Vec::new();
+                    via_solo[target].leader_process_stable(&mut sink);
+                    for (l, solo_lane) in solo.iter_mut().enumerate() {
+                        let g = via_mux[target].advertise(p(l as u32), 0.0, budget).unwrap();
+                        mux.on_grant(l, g);
+                        solo_lane.on_grant(g);
+                    }
+                    continue;
+                }
+                let floor = if action == 3 {
+                    Timestamp::ZERO // Wholesale duplicate resend.
+                } else {
+                    mux.sent_of(lane, rid)
+                };
+                prop_assert_eq!(mux.sent_of(lane, rid), solo[lane].sent_of(rid));
+                prop_assert_eq!(mux.sendable(lane, rid), solo[lane].sendable(rid));
+                prop_assert_eq!(mux.starved(lane, rid), solo[lane].starved(rid));
+                let mf = mux.build_frame(lane, rid, floor, None, usize::MAX, Vec::new());
+                let sf = solo[lane].build_frame(
+                    PartitionId(base.0 + lane as u32), rid, floor, None, usize::MAX, Vec::new());
+                prop_assert_eq!(&mf.ids, &sf.ids, "wire frames must be identical");
+                prop_assert_eq!(mf.partition, sf.partition);
+                if action == 1 || mf.ids.is_empty() {
+                    continue; // Frame lost in flight (or nothing to ship).
+                }
+                let last = *mf.ids.last().unwrap();
+                mux.note_sent(lane, rid, last);
+                solo[lane].note_sent(rid, last);
+                // Deliver: the mux replica ingests the global-tagged frame
+                // rebased to its local lane index, the solo replica the
+                // reference flavour.
+                let mut local = mf.clone();
+                local.partition = p(lane as u32);
+                let ack = via_mux[target].ingest(&local).unwrap();
+                let ref_ack = via_solo[target]
+                    .new_batch(p(lane as u32), sf.ids.iter().map(|&ts| (ts, ts.0)))
+                    .unwrap();
+                prop_assert_eq!(ack, ref_ack);
+                prop_assert_eq!(via_mux[target].stable_time(), via_solo[target].stable_time());
+                prop_assert_eq!(
+                    via_mux[target].pending(),
+                    via_solo[target].pending()
+                );
+                if action != 2 {
+                    // Grant delivered to both flavours; action 2 loses it.
+                    let g = via_mux[target].advertise(p(lane as u32), 0.0, budget).unwrap();
+                    mux.on_grant(lane, g);
+                    solo[lane].on_grant(g);
+                    prop_assert_eq!(mux.credit_of(lane, rid), solo[lane].credit_of(rid));
+                    prop_assert_eq!(mux.ack_of(lane, rid), solo[lane].ack_of(rid));
+                    prop_assert_eq!(mux.in_flight(lane, rid), solo[lane].in_flight(rid));
+                }
             }
         }
     }

@@ -45,7 +45,32 @@ pub struct ServiceStats {
     /// Replica-side: per-second minimum credit advertised by any lane —
     /// the advertised-window timeline. [`ServiceStats::NO_CREDIT_SAMPLE`]
     /// marks seconds in which no grant was issued.
+    ///
+    /// With sharded stabilizers each shard thread records only the grants
+    /// *it* issued; [`merge`](ServiceStats::merge) folds the per-shard
+    /// series element-wise by minimum (a second one shard never sampled
+    /// keeps the other shards' minimum — the sentinel always loses), so
+    /// the merged run-level series is one per-second min over every lane
+    /// of every shard, exactly what a single-threaded stabilizer would
+    /// have recorded.
     pub credit_timeline: Vec<u64>,
+    /// Stabilizer-side: wall-clock nanoseconds of each theta sweep (one
+    /// sample per shard thread per tick: publish the shard minimum,
+    /// combine the global cutoff, drain or discard the stable prefix).
+    pub theta_sweep_ns: Histogram,
+    /// Replica-side: lanes carried per enqueued [`GrantBatch`] — the
+    /// grant-coalescing occupancy (1 everywhere means batching never
+    /// amortized anything; the lanes-per-feeder-thread ceiling means the
+    /// doorbell storm collapsed into one ring entry per sweep).
+    ///
+    /// [`GrantBatch`]: ../eunomia_core/shard/struct.GrantBatch.html
+    pub grant_batch_lanes: Histogram,
+    /// Replica-side: grant batches successfully enqueued to feeder rings.
+    pub grant_batches: u64,
+    /// Replica-side: doorbell unparks rung — at most one per enqueued
+    /// batch, so `doorbell_unparks / grant_batches <= 1` pins the
+    /// one-unpark-per-batch amortization.
+    pub doorbell_unparks: u64,
     /// Measured wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -118,6 +143,10 @@ impl ServiceStats {
         self.ring_full_stalls += other.ring_full_stalls;
         self.retransmitted_ids += other.retransmitted_ids;
         self.advertised_credits.merge(&other.advertised_credits);
+        // Per-shard timelines fold element-wise by minimum into one
+        // per-second min series. The no-sample sentinel is `u64::MAX`, so
+        // it loses against any real sample on either side and survives
+        // only for seconds in which *no* shard issued a grant.
         if self.credit_timeline.len() < other.credit_timeline.len() {
             self.credit_timeline
                 .resize(other.credit_timeline.len(), Self::NO_CREDIT_SAMPLE);
@@ -125,7 +154,22 @@ impl ServiceStats {
         for (slot, &v) in self.credit_timeline.iter_mut().zip(&other.credit_timeline) {
             *slot = (*slot).min(v);
         }
+        self.theta_sweep_ns.merge(&other.theta_sweep_ns);
+        self.grant_batch_lanes.merge(&other.grant_batch_lanes);
+        self.grant_batches += other.grant_batches;
+        self.doorbell_unparks += other.doorbell_unparks;
         self.elapsed = self.elapsed.max(other.elapsed);
+    }
+
+    /// Theta-sweep duration percentile in microseconds (`None` until a
+    /// stabilizer shard has swept at least once).
+    pub fn theta_sweep_us(&self, p: f64) -> Option<f64> {
+        self.theta_sweep_ns.percentile(p).map(|ns| ns as f64 / 1e3)
+    }
+
+    /// Mean lanes per enqueued grant batch (0.0 before any batch).
+    pub fn mean_grant_batch_lanes(&self) -> f64 {
+        self.grant_batch_lanes.mean().unwrap_or(0.0)
     }
 }
 
@@ -208,5 +252,48 @@ mod tests {
         assert_eq!(a.ring_full_stalls, 1);
         assert_eq!(a.retransmitted_ids, 7);
         assert_eq!(a.advertised_credits.count(), 1);
+    }
+
+    /// The multi-thread stabilizer fold: three shards of one replica,
+    /// each sampling only its own lanes in disjoint and overlapping
+    /// seconds, merge into the one per-second min series a single-thread
+    /// stabilizer over the union of lanes would have recorded — no shard
+    /// clobbers another's seconds, and a second nobody sampled stays the
+    /// sentinel instead of a spurious zero.
+    #[test]
+    fn per_shard_timelines_fold_into_one_min_series() {
+        let mut shard0 = ServiceStats::default();
+        shard0.record_credit(0, 800);
+        shard0.record_credit(2, 300);
+        shard0.theta_sweep_ns.record(1_000);
+        shard0.grant_batch_lanes.record(16);
+        shard0.grant_batches = 1;
+        shard0.doorbell_unparks = 1;
+        let mut shard1 = ServiceStats::default();
+        shard1.record_credit(0, 900); // Loses second 0 to shard0's 800.
+        shard1.record_credit(1, 40); // Only shard with a sample here.
+        let mut shard2 = ServiceStats::default();
+        shard2.record_credit(4, 700); // Longer series than the others.
+        shard2.theta_sweep_ns.record(3_000);
+        shard2.grant_batch_lanes.record(4);
+        shard2.grant_batches = 1;
+
+        let mut run = ServiceStats::default();
+        run.merge(&shard0);
+        run.merge(&shard1);
+        run.merge(&shard2);
+        assert_eq!(
+            run.credit_timeline,
+            vec![800, 40, 300, ServiceStats::NO_CREDIT_SAMPLE, 700]
+        );
+        assert_eq!(run.theta_sweep_ns.count(), 2);
+        assert!(run.theta_sweep_us(100.0).unwrap() >= 1.0);
+        assert_eq!(run.grant_batches, 2);
+        assert_eq!(run.doorbell_unparks, 1);
+        assert!((run.mean_grant_batch_lanes() - 10.0).abs() < 1e-9);
+        assert!(
+            run.doorbell_unparks <= run.grant_batches,
+            "at most one unpark per enqueued batch"
+        );
     }
 }
